@@ -1,0 +1,60 @@
+"""Figures 4 & 5 — OWL's Libsafe reports.
+
+Regenerates the two report snippets the paper prints for the Libsafe attack:
+the bug's call stack (Figure 4) and the vulnerable input hint with the
+control-dependent branch at intercept.c:164 and the site at intercept.c:165
+(Figure 5).
+"""
+
+from reporting import emit
+
+from repro.owl.hints import format_call_stack, format_vulnerability_report
+from repro.owl.vuln_analysis import DependenceKind
+
+
+def _libsafe_dying_vulnerability(pipelines):
+    result = pipelines.result("libsafe")
+    return next(
+        v for v in result.vulnerabilities
+        if v.site.location.filename == "intercept.c"
+        and v.site.location.line == 165
+    )
+
+
+def test_figure4_call_stack(pipelines, benchmark):
+    vulnerability = _libsafe_dying_vulnerability(pipelines)
+    text = format_call_stack(vulnerability.call_stack)
+    print()
+    print("== Figure 4: Libsafe call stack ==")
+    print(text)
+    emit("fig4_call_stack", "Figure 4: Libsafe call stack",
+         ["line"], [{"line": line} for line in text.splitlines()],
+         notes="Paper prints: libsafe_strcpy (intercept.c:151) / "
+               "stack_check (util.c:164)")
+    # innermost frame first, reaching stack_check through libsafe_strcpy
+    lines = text.splitlines()
+    assert lines[0].startswith("stack_check")
+    assert any(line.startswith("libsafe_strcpy") for line in lines)
+    rendered = benchmark.pedantic(
+        lambda: format_call_stack(vulnerability.call_stack),
+        rounds=5, iterations=1,
+    )
+    assert rendered == text
+
+
+def test_figure5_input_hint(pipelines, benchmark):
+    vulnerability = _libsafe_dying_vulnerability(pipelines)
+
+    text = benchmark.pedantic(
+        lambda: format_vulnerability_report(vulnerability),
+        rounds=5, iterations=1,
+    )
+    print()
+    print("== Figure 5: OWL vulnerable input hint ==")
+    print(text)
+    emit("fig5_input_hint", "Figure 5: OWL vulnerable input hint",
+         ["line"], [{"line": line} for line in text.splitlines()])
+    assert "---- Ctrl Dependent Vulnerability----" in text
+    assert "(intercept.c:164)" in text      # the corrupted branch
+    assert "Vulnerable Site Location: (intercept.c:165)" in text
+    assert vulnerability.kind is DependenceKind.CTRL_DEP

@@ -1,0 +1,65 @@
+"""Finding III — subtle inputs trigger attacks in few repetitions.
+
+Paper section 3.1: "8 out of the 10 reproduced concurrency attacks in our
+study can be easily triggered with less than 20 repetitive executions on our
+evaluation machines with carefully chosen program inputs", and triggering the
+bug versus its attack "often need different inputs".
+
+The sweep runs every exploit twice: once with the attack's *subtle* inputs
+and once with *naive* inputs, counting executions until the predicate holds.
+The shape to reproduce: subtle inputs succeed within ~20 executions; naive
+inputs exhaust the budget.
+"""
+
+from reporting import emit
+
+from repro.exploits.driver import EXPLOIT_INDEX, exploit_attack
+
+BUDGET = 60
+
+
+def test_finding3_repetition_sweep(pipelines, benchmark):
+    rows = []
+    subtle_under_20 = 0
+    naive_successes = 0
+    for spec_name, attack_id in EXPLOIT_INDEX:
+        spec = pipelines.spec(spec_name)
+        attack = next(a for a in spec.attacks if a.attack_id == attack_id)
+        subtle = exploit_attack(spec, attack, max_repetitions=BUDGET)
+        naive = exploit_attack(spec, attack, max_repetitions=20,
+                               inputs=attack.naive_inputs)
+        rows.append({
+            "attack": attack_id,
+            "subtle inputs": attack.subtle_input_summary,
+            "repetitions (subtle)": subtle.repetitions if subtle.success
+            else ">%d" % BUDGET,
+            "repetitions (naive)": naive.repetitions if naive.success
+            else ">20",
+        })
+        if subtle.success and subtle.repetitions < 20:
+            subtle_under_20 += 1
+        if naive.success:
+            naive_successes += 1
+    emit(
+        "finding3_repetitions",
+        "Finding III: repetitions to trigger, subtle vs naive inputs",
+        ["attack", "subtle inputs", "repetitions (subtle)",
+         "repetitions (naive)"],
+        rows,
+        notes="Paper claim: 8/10 under 20 repetitions with subtle inputs; "
+              "naive inputs effectively never trigger.",
+    )
+    assert subtle_under_20 >= 8
+    assert naive_successes <= 2  # naive inputs are (almost) never enough
+
+    # Benchmark: one subtle-input execution (the unit Finding III counts).
+    libsafe = pipelines.spec("libsafe")
+    attack = libsafe.attacks[0]
+
+    def one_execution():
+        vm = libsafe.make_vm(seed=0, inputs=attack.subtle_inputs)
+        vm.start("main")
+        return vm.run()
+
+    result = benchmark.pedantic(one_execution, rounds=3, iterations=1)
+    assert result.steps > 0

@@ -1,0 +1,67 @@
+"""Table 2 — OWL concurrency attack detection results.
+
+Per evaluated program: number of known attacks, number OWL found, and the
+number of OWL vulnerability reports.  The paper's row shape to reproduce:
+OWL detects every evaluated attack (10/10) while its report count stays a
+tiny fraction of the detectors' raw output (180 vs 31K in the paper).
+"""
+
+from reporting import emit
+
+#: (spec name, paper LoC, paper #atks, paper #found, paper #reports)
+PAPER_ROWS = [
+    ("apache", "290K", 3, 3, 10),
+    ("chrome", "3.4M", 1, 1, 115),
+    ("libsafe", "3.4K", 1, 1, 3),
+    ("linux", "2.8M", 2, 2, 34),
+    ("mysql", "1.5M", 2, 2, 16),
+    ("ssdb", "67K", 1, 1, 2),
+]
+
+
+def test_table2_detection(pipelines, benchmark):
+    rows = []
+    total_attacks = total_found = total_reports = 0
+    for name, loc, paper_attacks, paper_found, paper_reports in PAPER_ROWS:
+        result = pipelines.result(name)
+        spec = pipelines.spec(name)
+        found = len(result.detected_ground_truths())
+        reports = result.counters.vulnerability_reports
+        rows.append({
+            "Name": name,
+            "LoC (paper)": loc,
+            "# atks": len(spec.attacks),
+            "# atks found": found,
+            "# OWL reports": reports,
+            "paper (atks/found/reports)": "%d/%d/%d" % (
+                paper_attacks, paper_found, paper_reports,
+            ),
+        })
+        total_attacks += len(spec.attacks)
+        total_found += found
+        total_reports += reports
+    rows.append({
+        "Name": "Total",
+        "LoC (paper)": "5.36M",
+        "# atks": total_attacks,
+        "# atks found": total_found,
+        "# OWL reports": total_reports,
+        "paper (atks/found/reports)": "11/10/180",
+    })
+    emit(
+        "table2_detection", "Table 2: OWL concurrency attack detection",
+        ["Name", "LoC (paper)", "# atks", "# atks found", "# OWL reports",
+         "paper (atks/found/reports)"],
+        rows,
+    )
+    # The headline shape: no evaluated attack is missed.
+    assert total_found == total_attacks == 10
+
+    # Benchmark one end-to-end pipeline (the smallest target).
+    def pipeline_once():
+        from repro.owl.pipeline import OwlPipeline
+
+        return OwlPipeline(pipelines.spec("libsafe")).run()
+
+    result = benchmark.pedantic(pipeline_once, rounds=2, iterations=1)
+    assert result.detected_ground_truths()

@@ -1,0 +1,67 @@
+"""Table 4 — OWL's detection results on known concurrency attacks.
+
+For each known attack: the program/version, vulnerability type, and the
+subtle inputs that trigger it, plus the measured number of repeated
+executions the exploit needed ("all these attacks were often triggered
+within 20 repeated queries or loops except the Apache one").
+"""
+
+from reporting import emit
+
+from repro.exploits.driver import EXPLOIT_INDEX, exploit_attack
+
+#: paper Table 4 rows (program version, vulnerability type, subtle inputs)
+PAPER_TABLE4 = {
+    "apache-2.0.48-doublefree": ("Apache-2.0.48", "Double Free", "PhP queries"),
+    "chrome-6.0.472.58": ("Chrome-6.0.472.58", "Use after free",
+                          "Js console.profile"),
+    "libsafe-2.0-16": ("Libsafe-2.0-16", "Buffer Overflow",
+                       "Loops with strcpy()"),
+    "linux-2.6.10-uselib": ("Linux-2.6.10", "Null Func Ptr Deref",
+                            "Syscall parameters"),
+    "linux-2.6.29-privesc": ("Linux-2.6.29", "Privilege Escalation",
+                             "Syscall parameters"),
+    "mysql-24988": ("MySQL-5.0.27", "Access Permission", "FLUSH PRIVILEGES"),
+    "mysql-setpassword": ("MySQL-5.1.35", "Double Free", "SET PASSWORD"),
+}
+
+
+def test_table4_known_attacks(pipelines, benchmark):
+    rows = []
+    triggered = 0
+    under_20 = 0
+    for spec_name, attack_id in EXPLOIT_INDEX:
+        spec = pipelines.spec(spec_name)
+        attack = next(a for a in spec.attacks if a.attack_id == attack_id)
+        outcome = exploit_attack(spec, attack, max_repetitions=60)
+        paper = PAPER_TABLE4.get(attack_id)
+        rows.append({
+            "Name (paper)": paper[0] if paper else attack_id,
+            "Vul. Type": attack.vuln_type.value,
+            "Subtle Inputs": attack.subtle_input_summary,
+            "repetitions": outcome.repetitions if outcome.success else ">60",
+            "paper type": paper[1] if paper else "(new, section 8.4)",
+        })
+        if outcome.success:
+            triggered += 1
+            if outcome.repetitions < 20:
+                under_20 += 1
+    emit(
+        "table4_known_attacks",
+        "Table 4: known concurrency attacks, triggered via subtle inputs",
+        ["Name (paper)", "Vul. Type", "Subtle Inputs", "repetitions",
+         "paper type"],
+        rows,
+        notes="Paper: attacks triggered within ~20 repetitions (Finding III).",
+    )
+    assert triggered == 10
+    assert under_20 >= 8  # the paper's 8-out-of-10 claim
+
+    # Benchmark one exploit end to end.
+    libsafe = pipelines.spec("libsafe")
+
+    def exploit_once():
+        return exploit_attack(libsafe, libsafe.attacks[0], max_repetitions=40)
+
+    outcome = benchmark.pedantic(exploit_once, rounds=2, iterations=1)
+    assert outcome.success

@@ -1,0 +1,44 @@
+"""Session-level fixtures shared by the benchmark harness.
+
+Running the OWL pipeline on every evaluated program is the expensive part;
+``pipeline_results`` computes each program's result once per session and the
+individual table/figure benchmarks read from the cache.
+"""
+
+from __future__ import annotations
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import pytest
+
+EVALUATED_PROGRAMS = [
+    "apache", "chrome", "libsafe", "linux", "memcached", "mysql", "ssdb",
+]
+
+
+class _PipelineCache:
+    def __init__(self):
+        self._specs = {}
+        self._results = {}
+
+    def spec(self, name: str):
+        if name not in self._specs:
+            from repro.apps.registry import spec_by_name
+
+            self._specs[name] = spec_by_name(name)
+        return self._specs[name]
+
+    def result(self, name: str):
+        if name not in self._results:
+            from repro.owl.pipeline import OwlPipeline
+
+            self._results[name] = OwlPipeline(self.spec(name)).run()
+        return self._results[name]
+
+
+@pytest.fixture(scope="session")
+def pipelines():
+    return _PipelineCache()

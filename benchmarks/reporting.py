@@ -1,0 +1,40 @@
+"""Shared reporting for the benchmark harness.
+
+Every table/figure benchmark calls :func:`emit` with the rows it
+regenerated; the rows are printed as an aligned paper-vs-measured table and
+saved as JSON under ``benchmarks/out/`` so EXPERIMENTS.md can reference the
+exact numbers of the last run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+
+
+def emit(name: str, title: str, columns: Sequence[str],
+         rows: List[Dict], notes: Optional[str] = None) -> None:
+    """Print an aligned table and persist it as JSON."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "%s.json" % name), "w") as handle:
+        json.dump({"title": title, "columns": list(columns), "rows": rows,
+                   "notes": notes}, handle, indent=2, default=str)
+    widths = {
+        column: max([len(column)] + [len(str(row.get(column, ""))) for row in rows])
+        for column in columns
+    }
+    print()
+    print("== %s ==" % title)
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(
+            str(row.get(column, "")).ljust(widths[column]) for column in columns
+        ))
+    if notes:
+        print(notes)
+    print()

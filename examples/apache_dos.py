@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Exploiting the Apache bug-46215 integer-overflow DoS (paper Figure 8,
+section 8.4).
+
+Concurrent ``proxy_balancer_post_request`` calls underflow the unsigned
+busyness counter to 18,446,744,073,709,551,614 — the exact value the paper
+reports — after which ``find_best_bybusyness`` permanently starves the
+"busiest" worker.
+
+Run with::
+
+    python examples/apache_dos.py
+"""
+
+from repro import spec_by_name
+from repro.apps.apache_balancer import read_assigned, read_worker_busy
+from repro.exploits import exploit_attack
+
+PAPER_VALUE = 18_446_744_073_709_551_614
+
+
+def main() -> None:
+    spec = spec_by_name("apache_balancer")
+    attack = spec.attacks[0]
+    print("Attack: %s" % attack.name)
+    print("  %s" % attack.description)
+    print()
+
+    # Healthy run: worker 0 finishes its request, counters balanced.
+    vm = spec.make_vm(seed=0, inputs=attack.naive_inputs)
+    vm.start("main")
+    vm.run()
+    print("naive inputs : worker0.busy=%d assigned=(%d, %d)" % (
+        read_worker_busy(vm, 0), read_assigned(vm, 0), read_assigned(vm, 1),
+    ))
+
+    outcome = exploit_attack(spec, attack, max_repetitions=50)
+    print()
+    print(outcome.describe())
+    if outcome.success:
+        vm = spec.make_vm(seed=outcome.seed, inputs=attack.subtle_inputs)
+        vm.start("main")
+        vm.run()
+        busy = read_worker_busy(vm, 0)
+        print()
+        print("subtle inputs: worker0.busy=%d" % busy)
+        print("               assigned=(worker0: %d, worker1: %d)" % (
+            read_assigned(vm, 0), read_assigned(vm, 1),
+        ))
+        if busy == PAPER_VALUE:
+            print()
+            print("worker0.busy == 18,446,744,073,709,551,614 — the exact "
+                  "overflowed value the paper observed (section 8.4).")
+        print()
+        print("Worker 0 received zero requests: the balancer views it as the")
+        print("'busiest' worker forever — a denial of service.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Exploiting the Apache bug-25520 HTML integrity violation (paper
+Figure 7, section 8.4).
+
+The exploit crafts a log message whose overflowing bytes overwrite the log
+file descriptor stored next to ``buf->outbuf``; the next flush writes
+Apache's own request log into another user's HTML page.
+
+Run with::
+
+    python examples/apache_html_integrity.py
+"""
+
+from repro import spec_by_name
+from repro.exploits import exploit_attack
+
+
+def main() -> None:
+    spec = spec_by_name("apache_log")
+    attack = spec.attacks[0]
+    print("Attack: %s" % attack.name)
+    print("  %s" % attack.description)
+    print("  reference: %s" % attack.reference)
+    print()
+
+    # Show the victim file before the attack.
+    vm = spec.make_vm(seed=0, inputs=attack.naive_inputs)
+    vm.start("main")
+    vm.run()
+    print("user.html with naive inputs:   %r" %
+          vm.world.file_content("user.html"))
+
+    # Drive the exploit: subtle inputs + repetition over fresh schedules.
+    outcome = exploit_attack(spec, attack, max_repetitions=50)
+    print()
+    print(outcome.describe())
+    if outcome.success:
+        vm = spec.make_vm(seed=outcome.seed, inputs=attack.subtle_inputs)
+        vm.start("main")
+        vm.run()
+        print()
+        print("user.html after the attack:    %r" %
+              vm.world.file_content("user.html"))
+        print("access.log after the attack:   %r" %
+              vm.world.file_content("access.log"))
+        print()
+        print("The request log bytes landed inside the user's HTML file —")
+        print("an HTML integrity violation and information leak.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Point OWL at your own program: write it in the IR DSL, wrap it in a
+ProgramSpec, and run the pipeline.
+
+The program below contains a deliberately planted TOCTOU-style concurrency
+bug: a worker checks an ``is_admin`` flag, sleeps through an IO window, and
+then calls ``setuid(0)``; a second thread toggles the flag.  OWL should
+surface a CTRL_DEP privilege-operation hint.
+
+Run with::
+
+    python examples/custom_target.py
+"""
+
+from repro import OwlPipeline, ProgramSpec
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.types import I32, I64, I8, ptr
+from repro.owl.hints import format_full_report
+
+
+def build_module() -> Module:
+    module = Module("my_service")
+    b = IRBuilder(module)
+    is_admin = b.global_var("is_admin", I64, 0)
+
+    b.set_location("service.c", 1)
+    b.begin_function("session_worker", I32, [("arg", ptr(I8))],
+                     source_file="service.c")
+    flag = b.load(is_admin, line=10)               # racy read
+    granted = b.icmp("ne", flag, 0, line=10)
+    b.cond_br(granted, "admin", "plain", line=10)
+    b.at("admin")
+    b.call("io_delay", [b.call("input_int", [b.i64(1)], line=11)], line=11)
+    b.call("setuid", [0], line=12)                 # privilege operation
+    b.br("plain", line=12)
+    b.at("plain")
+    b.ret(b.i32(0), line=13)
+    b.end_function()
+
+    b.begin_function("admin_toggler", I32, [("arg", ptr(I8))],
+                     source_file="service.c")
+    b.store(1, is_admin, line=20)                  # racy write (transient)
+    b.call("io_delay", [30], line=21)
+    b.store(0, is_admin, line=22)
+    b.ret(b.i32(0), line=23)
+    b.end_function()
+
+    b.begin_function("main", I32, [], source_file="service.c")
+    t1 = b.call("thread_create",
+                [module.get_function("session_worker"), b.null()], line=30)
+    t2 = b.call("thread_create",
+                [module.get_function("admin_toggler"), b.null()], line=31)
+    b.call("thread_join", [t1], line=32)
+    b.call("thread_join", [t2], line=33)
+    b.ret(b.i32(0), line=34)
+    b.end_function()
+    verify_module(module)
+    return module
+
+
+def main() -> None:
+    spec = ProgramSpec(
+        name="my_service",
+        module_factory=build_module,
+        workload_inputs={1: [20]},
+        detect_seeds=range(12),
+        verify_seeds=range(8),
+    )
+    result = OwlPipeline(spec).run()
+    print("race reports: %d, remaining after reduction: %d" % (
+        result.counters.raw_reports, result.counters.remaining,
+    ))
+    print()
+    for vulnerability in result.vulnerabilities:
+        print(format_full_report(vulnerability))
+        print()
+    for attack in result.attacks:
+        print(attack.verification.describe())
+
+
+if __name__ == "__main__":
+    main()

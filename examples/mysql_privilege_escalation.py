@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Exploiting the MySQL bug-24988 FLUSH PRIVILEGES race (paper Table 4).
+
+``acl_reload`` rebuilds the in-memory privilege entries field by field while
+connection threads keep authenticating against them; the attacker's user id
+transiently shares a slot with the superuser's leftover privilege mask.
+The paper triggered the corruption "with only 18 repeated executions" of
+``flush privileges;``.
+
+Run with::
+
+    python examples/mysql_privilege_escalation.py
+"""
+
+from repro import spec_by_name
+from repro.exploits import exploit_attack
+
+
+def main() -> None:
+    spec = spec_by_name("mysql")
+    attack = next(a for a in spec.attacks if a.attack_id == "mysql-24988")
+    print("Attack: %s" % attack.name)
+    print("  subtle input: %s" % attack.subtle_input_summary)
+    print()
+
+    outcome = exploit_attack(spec, attack, max_repetitions=50)
+    print(outcome.describe())
+    if outcome.success:
+        vm = spec.make_vm(seed=outcome.seed, inputs=attack.subtle_inputs)
+        vm.start("main")
+        vm.run()
+        print()
+        print("session effective uid: %d (attacker authenticated as user %d)"
+              % (vm.world.euid, 2))
+        print("privileged statements executed:")
+        for record in vm.world.exec_log:
+            print("  %s(%r) with euid=%d" % (
+                record.kind, record.command, record.euid,
+            ))
+        print()
+        print("The unprivileged connection obtained superuser access — the")
+        print("privilege escalation of MySQL bug 24988.")
+
+
+if __name__ == "__main__":
+    main()

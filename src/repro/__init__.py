@@ -1,0 +1,62 @@
+"""repro — a reproduction of *OWL: Understanding and Detecting Concurrency
+Attacks* (Gu, Gan, Zhao, Ning, Cui, Yang — DSN 2018).
+
+The package is organised exactly like the system the paper describes:
+
+- :mod:`repro.ir` — an LLVM-like SSA IR (the "bitcode" OWL analyzes),
+- :mod:`repro.runtime` — a concurrent VM with controllable schedulers,
+  runtime fault detection and an LLDB-like debugger,
+- :mod:`repro.detectors` — TSan-style and SKI-style race detectors,
+- :mod:`repro.owl` — the paper's contribution: the directed concurrency
+  attack detection pipeline (adhoc-sync pruning, dynamic race verification,
+  Algorithm 1 static vulnerability analysis, dynamic attack verification),
+- :mod:`repro.apps` — model programs reproducing the studied bugs
+  (Libsafe, Apache, MySQL, SSDB, Linux, Chrome, Memcached),
+- :mod:`repro.exploits` — exploit scripts for the ten reproduced attacks,
+- :mod:`repro.study` — the section-3 quantitative study corpus and
+  findings.
+
+Quick start::
+
+    from repro import OwlPipeline, spec_by_name
+
+    result = OwlPipeline(spec_by_name("libsafe")).run()
+    print(result.counters.as_dict())
+    for attack in result.realized_attacks():
+        print(attack.verification.describe())
+"""
+
+from repro.owl import (
+    AnalysisOptions,
+    DynamicRaceVerifier,
+    DynamicVulnerabilityVerifier,
+    OwlPipeline,
+    PipelineResult,
+    VulnerabilityAnalyzer,
+    VulnSiteType,
+)
+from repro.spec import AttackGroundTruth, ProgramSpec
+
+__version__ = "1.0.0"
+
+
+def spec_by_name(name: str) -> ProgramSpec:
+    """Look up a model target program by name (see :mod:`repro.apps`)."""
+    from repro.apps.registry import spec_by_name as lookup
+
+    return lookup(name)
+
+
+__all__ = [
+    "AnalysisOptions",
+    "AttackGroundTruth",
+    "DynamicRaceVerifier",
+    "DynamicVulnerabilityVerifier",
+    "OwlPipeline",
+    "PipelineResult",
+    "ProgramSpec",
+    "VulnerabilityAnalyzer",
+    "VulnSiteType",
+    "spec_by_name",
+    "__version__",
+]

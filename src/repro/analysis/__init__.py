@@ -1,0 +1,21 @@
+"""Shared static-analysis utilities: call graphs and dependence traversals.
+
+These are the building blocks under OWL's two static components — the
+adhoc-synchronization detector (intra-procedural forward data/control
+dependence, paper section 5.1) and the vulnerability analyzer's Algorithm 1
+(inter-procedural propagation directed by call stacks, section 6.1).
+"""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.depgraph import (
+    forward_dependent_instructions,
+    instructions_after,
+    stores_to_same_pointer,
+)
+
+__all__ = [
+    "CallGraph",
+    "forward_dependent_instructions",
+    "instructions_after",
+    "stores_to_same_pointer",
+]

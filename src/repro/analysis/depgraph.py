@@ -1,0 +1,97 @@
+"""Intra-procedural forward dependence traversals.
+
+``forward_dependent_instructions`` computes the set of instructions reachable
+from a seed through data dependence (operand use, including one level of
+store-to/load-from the *same static pointer value*, matching clang -O0 local
+spills) and control dependence (everything control dependent on a dependent
+branch).  This is the traversal under the adhoc-synchronization test (paper
+section 5.1: "it conducts a intra-procedural forward data and control
+dependency analysis to find the propagation of the corrupted variable").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.ir.cfg import cfg_for
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Br, Instruction, Load, Store
+
+
+def instructions_after(seed: Instruction) -> List[Instruction]:
+    """All instructions that may execute after ``seed`` in its function.
+
+    CFG-forward order: the rest of the seed's block, then every block
+    reachable from it (a block reachable through a back edge contributes all
+    of its instructions, including ones lexically before the seed).
+    """
+    block = seed.block
+    if block is None:
+        return []
+    result: List[Instruction] = []
+    index = block.index_of(seed)
+    result.extend(block.instructions[index + 1:])
+    seen: Set[BasicBlock] = {block}
+    stack: List[BasicBlock] = list(block.successors())
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        result.extend(current.instructions)
+        stack.extend(current.successors())
+    # The seed's own block may be re-entered through a loop back edge.
+    for successor_chain_block in seen:
+        for successor in successor_chain_block.successors():
+            if successor is block:
+                result.extend(block.instructions[: index + 1])
+                return result
+    return result
+
+
+def forward_dependent_instructions(
+    seeds: Iterable[Instruction], function: Function,
+) -> Set[Instruction]:
+    """Forward data+control dependence closure of ``seeds`` inside ``function``."""
+    cfg = cfg_for(function)
+    dependent: Set[Instruction] = set(seeds)
+    dependent_branches: List[Br] = [
+        i for i in dependent if isinstance(i, Br) and i.is_conditional
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for instruction in function.instructions():
+            if instruction in dependent:
+                continue
+            hit = any(operand in dependent for operand in instruction.operands)
+            if not hit:
+                hit = any(
+                    cfg.is_control_dependent(instruction, branch)
+                    for branch in dependent_branches
+                )
+            if not hit and isinstance(instruction, Load):
+                hit = stores_to_same_pointer(instruction, dependent)
+            if hit:
+                dependent.add(instruction)
+                if isinstance(instruction, Br) and instruction.is_conditional:
+                    dependent_branches.append(instruction)
+                changed = True
+    return dependent
+
+
+def stores_to_same_pointer(load: Load, dependent: Set[Instruction]) -> bool:
+    """Whether a dependent store writes through the load's exact pointer value.
+
+    A cheap must-alias rule: a corrupted value stored to an alloca/GEP and
+    reloaded through the *same SSA pointer* propagates.  This compensates for
+    the deliberate absence of pointer analysis (paper section 6.1: "our
+    design did not incorporate pointer analysis").
+    """
+    pointer = load.pointer
+    return any(
+        isinstance(instruction, Store)
+        and instruction.pointer is pointer
+        and instruction.value in dependent
+        for instruction in dependent
+    )

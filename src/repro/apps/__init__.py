@@ -1,0 +1,45 @@
+"""Model target programs.
+
+Each module builds an IR program reproducing one studied target's concurrency
+bug(s) — code shape, line numbers, call-stack structure and bug-to-attack
+propagation distance all mirror the paper's figures — plus parameterized
+benign shared state (stats counters, adhoc synchronizations) so that raw
+detectors bury the vulnerable races in benign reports at ratios comparable to
+the paper's Table 1.
+
+The inventory (paper section 8): Apache (bugs 25520 and 46215), Chrome,
+Libsafe, Linux (uselib/msync and a proc-race privilege escalation), Memcached
+(benign-only), MySQL (bugs 24988 and 44060-style), and SSDB
+(CVE-2016-1000324).
+
+Imports are lazy (PEP 562) so that a single app can be loaded in isolation.
+"""
+
+_EXPORTS = {
+    "libsafe_spec": ("repro.apps.libsafe", "libsafe_spec"),
+    "ssdb_spec": ("repro.apps.ssdb", "ssdb_spec"),
+    "apache_log_spec": ("repro.apps.apache_log", "apache_log_spec"),
+    "apache_balancer_spec": ("repro.apps.apache_balancer", "apache_balancer_spec"),
+    "mysql_spec": ("repro.apps.mysql", "mysql_spec"),
+    "linux_uselib_spec": ("repro.apps.linux_uselib", "linux_uselib_spec"),
+    "linux_proc_spec": ("repro.apps.linux_proc", "linux_proc_spec"),
+    "chrome_spec": ("repro.apps.chrome", "chrome_spec"),
+    "memcached_spec": ("repro.apps.memcached", "memcached_spec"),
+    "all_specs": ("repro.apps.registry", "all_specs"),
+    "apache_spec": ("repro.apps.registry", "apache_spec"),
+    "linux_spec": ("repro.apps.registry", "linux_spec"),
+    "spec_by_name": ("repro.apps.registry", "spec_by_name"),
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError("module %r has no attribute %r" % (__name__, name))
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attribute)

@@ -1,0 +1,269 @@
+"""Model of the Apache bug-46215 integer-overflow DoS (paper Figure 8).
+
+Each proxy worker has an unsigned busyness counter ``worker->s->busy``.
+Load-balancer threads increment/decrement it without a lock
+(proxy_util.c:616-617); the "if (worker && worker->s->busy)" guard can pass
+on a stale value, after which the decrement underflows the unsigned counter
+to 18,446,744,073,709,551,614 — marking the worker the "busiest" forever.
+``find_best_bybusyness`` (proxy_util.c:1138) then never selects it
+(``mycandidate = worker`` at line 1195 is control dependent on the corrupted
+comparison at line 1192), so the worker is completely starved: a DoS that
+collapses Apache's effective capacity.
+
+The paper's race report pairs line 617's decrement with line 1192's read;
+OWL's analyzer flags the pointer assignment at 1195 as control dependent on
+the corrupted branch — this model reproduces both.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.types import ArrayType, I32, I64, I8, U64, VOID, ptr
+from repro.ir.verifier import verify_module
+from repro.owl.vuln_sites import VulnSiteType
+from repro.runtime.interpreter import VM
+from repro.spec import AttackGroundTruth, ProgramSpec
+
+#: input channels
+CH_BAL_WINDOW = 21    # IO delay between the busy check and the decrement
+CH_BAL_REQUESTS = 22  # how many requests the dispatcher routes
+
+WORKER_COUNT = 2
+#: the value the paper observed: two underflowing decrements below zero
+OVERFLOWED = (1 << 64) - 2
+
+
+def build_into(b: IRBuilder, fixed: bool = False) -> dict:
+    """With ``fixed=True`` the check-and-decrement runs under a mutex — the
+    upstream fix shape (apr_atomic usage): the counter cannot underflow."""
+    module = b.module
+    busy_lock = b.global_var("balancer_lock", I64, 0)
+    worker_struct = b.struct("proxy_worker", [
+        ("busy", U64),
+        ("id", I64),
+    ])
+    workers = b.global_var("proxy_workers",
+                           ArrayType(worker_struct, WORKER_COUNT))
+    assigned = b.global_var("requests_assigned", ArrayType(I64, WORKER_COUNT))
+
+    # ------------------------------------------------------------------
+    # proxy_balancer_post_request (Figure 8, lines 588-617)
+
+    b.set_location("proxy_util.c", 588)
+    b.begin_function("proxy_balancer_post_request", I32,
+                     [("worker", ptr(worker_struct))],
+                     source_file="proxy_util.c")
+    if fixed:
+        b.call("mutex_lock", [b.cast("bitcast", busy_lock, ptr(I8), line=615)],
+               line=615)
+    busy_slot = b.field(b.arg("worker"), "busy", line=616)
+    busy = b.load(busy_slot, line=616)
+    nonzero = b.icmp("ne", busy, 0, line=616)
+    b.cond_br(nonzero, "decrement", "out", line=616)
+    b.at("decrement")
+    window = b.call("input_int", [b.i64(CH_BAL_WINDOW)], line=616)
+    b.call("io_delay", [window], line=616)
+    current = b.load(busy_slot, line=617)
+    b.store(b.sub(current, 1, line=617), busy_slot, line=617)
+    b.br("out", line=617)
+    b.at("out")
+    if fixed:
+        b.call("mutex_unlock",
+               [b.cast("bitcast", busy_lock, ptr(I8), line=618)], line=618)
+    b.ret(b.i32(0), line=618)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # find_best_bybusyness (Figure 8, lines 1138-1195)
+
+    b.begin_function("find_best_bybusyness", ptr(worker_struct), [],
+                     source_file="proxy_util.c")
+    candidate = b.local(ptr(worker_struct), "mycandidate",
+                        b.null(worker_struct), line=1144)
+    index = b.local(I64, "i", 0, line=1150)
+    if fixed:
+        # the upstream fix serializes the busyness scan against updates
+        b.call("mutex_lock", [b.cast("bitcast", busy_lock, ptr(I8), line=1150)],
+               line=1150)
+    b.br("loop", line=1150)
+    b.at("loop")
+    i = b.load(index, line=1150)
+    more = b.icmp("slt", i, WORKER_COUNT, line=1150)
+    b.cond_br(more, "body", "done", line=1150)
+    b.at("body")
+    worker = b.index(
+        b.cast("bitcast", workers, ptr(worker_struct), line=1190), i, line=1190,
+    )
+    current = b.load(candidate, line=1192)
+    current_int = b.cast("ptrtoint", current, I64, line=1192)
+    no_candidate = b.icmp("eq", current_int, 0, line=1192)
+    b.cond_br(no_candidate, "take", "compare", line=1192)
+    b.at("compare")
+    worker_busy = b.load(b.field(worker, "busy", line=1193), line=1193)
+    candidate_busy = b.load(b.field(current, "busy", line=1193), line=1193)
+    less = b.icmp("ult", worker_busy, candidate_busy, line=1193)
+    b.cond_br(less, "take", "next", line=1193)
+    b.at("take")
+    b.store(worker, candidate, line=1195)       # <- vulnerable site
+    b.br("next", line=1195)
+    b.at("next")
+    b.store(b.add(i, 1, line=1196), index, line=1196)
+    b.br("loop", line=1196)
+    b.at("done")
+    if fixed:
+        b.call("mutex_unlock",
+               [b.cast("bitcast", busy_lock, ptr(I8), line=1197)], line=1197)
+    best = b.load(candidate, line=1197)
+    b.ret(best, line=1197)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # dispatcher: route requests to the least busy worker
+
+    b.begin_function("dispatcher", I32, [("arg", ptr(I8))],
+                     source_file="proxy_util.c")
+    total = b.call("input_int", [b.i64(CH_BAL_REQUESTS)], line=1200)
+    served = b.local(I64, "served", 0, line=1200)
+    b.br("dispatch", line=1201)
+    b.at("dispatch")
+    count = b.load(served, line=1201)
+    more = b.icmp("slt", count, total, line=1201)
+    b.cond_br(more, "route", "finished", line=1201)
+    b.at("route")
+    best = b.call("find_best_bybusyness", [], line=1202)
+    best_id = b.load(b.field(best, "id", line=1203), line=1203)
+    slot = b.index(b.cast("bitcast", assigned, ptr(I64), line=1204), best_id,
+                   line=1204)
+    tally = b.load(slot, line=1204)
+    b.store(b.add(tally, 1, line=1204), slot, line=1204)
+    b.store(b.add(count, 1, line=1205), served, line=1205)
+    b.br("dispatch", line=1205)
+    b.at("finished")
+    b.ret(b.i32(0), line=1206)
+    b.end_function()
+
+    # completion thread: reports worker 0's request as done
+    b.begin_function("completion", I32, [("arg", ptr(I8))],
+                     source_file="proxy_util.c")
+    w0 = b.index(b.cast("bitcast", workers, ptr(worker_struct), line=1210), 0,
+                 line=1210)
+    b.call("proxy_balancer_post_request", [w0], line=1211)
+    b.ret(b.i32(0), line=1212)
+    b.end_function()
+
+    return {"worker_struct": worker_struct, "workers": workers,
+            "assigned": assigned}
+
+
+def setup_main_body(b: IRBuilder, handles: dict, line: int = 1300) -> int:
+    """Initialize the worker table: worker 0 has one in-flight request."""
+    worker_struct = handles["worker_struct"]
+    workers = handles["workers"]
+    base = b.cast("bitcast", workers, ptr(worker_struct), line=line)
+    w0 = b.index(base, 0, line=line)
+    b.store(1, b.field(w0, "busy", line=line), line=line)
+    b.store(0, b.field(w0, "id", line=line), line=line)
+    w1 = b.index(base, 1, line=line + 1)
+    b.store(0, b.field(w1, "busy", line=line + 1), line=line + 1)
+    b.store(1, b.field(w1, "id", line=line + 1), line=line + 1)
+    return line + 2
+
+
+def build_module(fixed: bool = False) -> Module:
+    module = Module("apache_balancer" if not fixed else "apache_balancer_fixed")
+    b = IRBuilder(module)
+    handles = build_into(b, fixed=fixed)
+    b.begin_function("main", I32, [], source_file="main.c")
+    line = setup_main_body(b, handles, line=1300)
+    completion = module.get_function("completion")
+    dispatcher = module.get_function("dispatcher")
+    threads = []
+    for _ in range(3):
+        threads.append(b.call("thread_create", [completion, b.null()], line=line))
+        line += 1
+    threads.append(b.call("thread_create", [dispatcher, b.null()], line=line))
+    line += 1
+    for handle in threads:
+        b.call("thread_join", [handle], line=line)
+        line += 1
+    b.ret(b.i32(0), line=line)
+    b.end_function()
+    verify_module(module)
+    return module
+
+
+# ---------------------------------------------------------------------------
+# inputs and predicates
+
+
+def workload_inputs() -> dict:
+    return {CH_BAL_WINDOW: [6], CH_BAL_REQUESTS: [6]}
+
+
+def exploit_inputs() -> dict:
+    """Stretch the check-to-decrement window so underflows stack up."""
+    return {CH_BAL_WINDOW: [120], CH_BAL_REQUESTS: [8]}
+
+
+def naive_inputs() -> dict:
+    return {CH_BAL_WINDOW: [0], CH_BAL_REQUESTS: [2]}
+
+
+def read_worker_busy(vm: VM, worker_index: int) -> int:
+    base = vm.global_address("proxy_workers")
+    return vm.memory.read_int(base + worker_index * 16, 8, signed=False)
+
+
+def read_assigned(vm: VM, worker_index: int) -> int:
+    base = vm.global_address("requests_assigned")
+    return vm.memory.read_int(base + worker_index * 8, 8, signed=True)
+
+
+def attack_realized(vm: VM) -> bool:
+    """Worker 0's counter underflowed and the balancer starves it."""
+    busy = read_worker_busy(vm, 0)
+    if busy < (1 << 63):
+        return False
+    # DoS predicate: every dispatched request avoided the "busiest" worker.
+    return read_assigned(vm, 0) == 0 and read_assigned(vm, 1) > 0
+
+
+# ---------------------------------------------------------------------------
+# the spec
+
+
+def apache_balancer_attack() -> AttackGroundTruth:
+    return AttackGroundTruth(
+        attack_id="apache-46215",
+        name="Apache load-balancer integer-overflow DoS",
+        vuln_type=VulnSiteType.NULL_PTR_DEREF,
+        site_location=("proxy_util.c", 1195),
+        racy_variable="proxy_workers[0].busy",
+        subtle_inputs=exploit_inputs(),
+        naive_inputs=naive_inputs(),
+        racing_order="write-first",
+        predicate=attack_realized,
+        description=(
+            "Racy busy-- underflows the unsigned busyness counter to "
+            "18,446,744,073,709,551,614; find_best_bybusyness permanently "
+            "skips the 'busiest' worker, starving it of requests."
+        ),
+        reference="Apache bug 46215, paper Figure 8 / section 8.4",
+        subtle_input_summary="Concurrent request completions on one worker",
+    )
+
+
+def apache_balancer_spec() -> ProgramSpec:
+    return ProgramSpec(
+        name="apache_balancer",
+        module_factory=build_module,
+        detector="tsan",
+        entry="main",
+        workload_inputs=workload_inputs(),
+        detect_seeds=range(12),
+        verify_seeds=range(10),
+        max_steps=80_000,
+        attacks=[apache_balancer_attack()],
+        paper_loc="290K",
+    )

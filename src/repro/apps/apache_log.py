@@ -1,0 +1,246 @@
+"""Model of the Apache bug-25520 HTML integrity violation (paper Figure 7).
+
+``ap_buffered_log_writer`` shares ``buf->outcnt`` (the log buffer cursor)
+between worker threads without synchronization.  Two workers can both pass
+the ``len + buf->outcnt > LOG_BUFSIZE`` check with a stale cursor; after one
+advances the cursor, the other's ``memcpy`` at http_log.c:1359 lands past the
+end of ``buf->outbuf`` — and Apache stores the HTTP-request-log file
+descriptor *next to* ``outbuf``, so the overflowing bytes (attacker-chosen
+log content) overwrite the descriptor.  The next flush then writes Apache's
+own request log into whatever file the corrupted descriptor names — another
+user's HTML file: an HTML integrity violation and information leak.
+
+The paper notes this race had been known for years but "people thought the
+worst consequence of this bug would just be corrupting Apache's own request
+log"; OWL was the first to detect the HTML integrity attack and the authors
+the first to build the exploit.  The exploit script here reproduces it: the
+crafted log message carries the victim file's descriptor value in the bytes
+that land on ``buf->fd``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.types import ArrayType, I32, I64, I8, VOID, ptr
+from repro.ir.verifier import verify_module
+from repro.owl.vuln_sites import VulnSiteType
+from repro.runtime.interpreter import VM
+from repro.spec import AttackGroundTruth, ProgramSpec
+
+#: input channels
+CH_LOG_MSG1 = 11     # worker 1's log message
+CH_LOG_MSG2 = 12     # worker 2's log message
+CH_LOG_WINDOW = 13   # IO delay between the size check and the memcpy
+
+LOG_BUFSIZE = 32
+MESSAGE_LEN = 20
+
+#: the descriptor the corrupted fd should point at (main opens access.log
+#: first => fd 3, then the victim's user.html => fd 4)
+VICTIM_FD = 4
+
+
+def build_into(b: IRBuilder) -> dict:
+    """Add the mod_log code to a module; returns named handles."""
+    module = b.module
+    log_struct = b.struct("buffered_log", [
+        ("outcnt", I64),
+        ("outbuf", ArrayType(I8, LOG_BUFSIZE)),
+        ("fd", I32),
+        ("spare", ArrayType(I8, 16)),
+    ])
+    log_global = b.global_var("buffered_log_state", log_struct)
+
+    # ------------------------------------------------------------------
+    # flush_log: drain outbuf to the (possibly corrupted) descriptor
+
+    b.set_location("http_log.c", 1300)
+    b.begin_function("flush_log", VOID, [("buf", ptr(log_struct))],
+                     source_file="http_log.c")
+    count_slot = b.field(b.arg("buf"), "outcnt", line=1302)
+    count = b.load(count_slot, line=1302)
+    fd = b.load(b.field(b.arg("buf"), "fd", line=1303), line=1303)
+    data = b.index(
+        b.cast("bitcast", b.field(b.arg("buf"), "outbuf", line=1304), ptr(I8),
+               line=1304),
+        0, line=1304,
+    )
+    b.call("write", [fd, data, count], line=1305)
+    b.store(0, count_slot, line=1306)
+    b.ret_void(line=1307)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # ap_buffered_log_writer (Figure 7, lines 1327-1366)
+
+    b.begin_function("ap_buffered_log_writer", I32,
+                     [("handle", ptr(I8)), ("strs", ptr(I8)), ("len", I64)],
+                     source_file="http_log.c")
+    buf = b.cast("bitcast", b.arg("handle"), ptr(log_struct), name="buf", line=1339)
+    outcnt_slot = b.field(buf, "outcnt", line=1342)
+    outcnt = b.load(outcnt_slot, line=1342)
+    total = b.add(b.arg("len"), outcnt, line=1342)
+    too_big = b.icmp("sgt", total, LOG_BUFSIZE, line=1342)
+    b.cond_br(too_big, "flush", "append", line=1342)
+    b.at("flush")
+    b.call("flush_log", [buf], line=1343)
+    b.br("append", line=1343)
+    b.at("append")
+    window = b.call("input_int", [b.i64(CH_LOG_WINDOW)], line=1357)
+    b.call("io_delay", [window], line=1357)
+    cursor = b.load(outcnt_slot, line=1358)               # racy re-read
+    outbuf = b.cast("bitcast", b.field(buf, "outbuf", line=1358), ptr(I8), line=1358)
+    destination = b.index(outbuf, cursor, name="s", line=1358)
+    b.call("memcpy", [destination, b.arg("strs"), b.arg("len")],
+           line=1359)                                      # <- vulnerable site
+    before = b.load(outcnt_slot, line=1362)
+    b.store(b.add(before, b.arg("len"), line=1362), outcnt_slot, line=1362)
+    b.ret(b.i32(0), line=1363)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # log worker: one request's logging path
+
+    b.begin_function("log_worker", I32, [("arg", ptr(I8))], source_file="http_log.c")
+    channel = b.cast("ptrtoint", b.arg("arg"), I64, line=1400)
+    message = b.call("input_str", [channel], line=1401)
+    length = b.call("strlen", [message], line=1402)
+    handle = b.cast("bitcast", log_global, ptr(I8), line=1403)
+    b.call("ap_buffered_log_writer", [handle, message, length], line=1404)
+    b.ret(b.i32(0), line=1405)
+    b.end_function()
+
+    return {"log_struct": log_struct, "log_global": log_global}
+
+
+def setup_main_body(b: IRBuilder, handles: dict, line: int = 1500) -> int:
+    """Emit the mod_log setup into an open main(): open files, init state."""
+    log_global = handles["log_global"]
+    access_log = b.global_string("path_access_log", "access.log")
+    user_html = b.global_string("path_user_html", "user.html")
+    html_content = b.global_string("html_content", "<html>user page</html>")
+    fd_log = b.call(
+        "open", [b.cast("bitcast", access_log, ptr(I8), line=line), 0], line=line,
+    )
+    fd_html = b.call(
+        "open", [b.cast("bitcast", user_html, ptr(I8), line=line + 1), 0],
+        line=line + 1,
+    )
+    content_ptr = b.cast("bitcast", html_content, ptr(I8), line=line + 2)
+    b.call("write", [fd_html, content_ptr, 22], line=line + 2)
+    b.store(fd_log, b.field(log_global, "fd", line=line + 3), line=line + 3)
+    b.store(0, b.field(log_global, "outcnt", line=line + 3), line=line + 3)
+    return line + 4
+
+
+def build_module() -> Module:
+    module = Module("apache_log")
+    b = IRBuilder(module)
+    handles = build_into(b)
+    b.begin_function("main", I32, [], source_file="main.c")
+    line = setup_main_body(b, handles, line=1500)
+    worker = module.get_function("log_worker")
+    one = b.cast("inttoptr", b.i64(CH_LOG_MSG1), ptr(I8), line=line)
+    two = b.cast("inttoptr", b.i64(CH_LOG_MSG2), ptr(I8), line=line)
+    t1 = b.call("thread_create", [worker, one], line=line + 1)
+    t2 = b.call("thread_create", [worker, two], line=line + 2)
+    b.call("thread_join", [t1], line=line + 3)
+    b.call("thread_join", [t2], line=line + 4)
+    b.call("flush_log", [handles["log_global"]], line=line + 5)
+    b.ret(b.i32(0), line=line + 6)
+    b.end_function()
+    verify_module(module)
+    return module
+
+
+# ---------------------------------------------------------------------------
+# inputs and predicates
+
+
+def _plain_message() -> bytes:
+    return b"log:entry:alpha:" + b"0" * (MESSAGE_LEN - 16)
+
+
+def _crafted_message(victim_fd: int = VICTIM_FD) -> bytes:
+    """A log message whose overflowing tail lands the victim fd on buf->fd.
+
+    The second writer's memcpy starts at ``outbuf[MESSAGE_LEN]`` (struct
+    offset 8 + 20 = 28) and writes MESSAGE_LEN bytes (28..48); ``fd`` lives
+    at struct offset 40, i.e. message bytes [12..16).
+    """
+    message = bytearray(b"log:leak:" + b"x" * (MESSAGE_LEN - 9))
+    message[12:16] = struct.pack("<i", victim_fd)
+    return bytes(message)
+
+
+def workload_inputs() -> dict:
+    """Ordinary logging traffic: short messages, no crafted bytes."""
+    return {
+        CH_LOG_MSG1: [_plain_message()],
+        CH_LOG_MSG2: [b"log:entry:beta:" + b"1" * (MESSAGE_LEN - 15)],
+        CH_LOG_WINDOW: [40],
+    }
+
+
+def exploit_inputs() -> dict:
+    return {
+        CH_LOG_MSG1: [_plain_message()],
+        CH_LOG_MSG2: [_crafted_message()],
+        CH_LOG_WINDOW: [120],
+    }
+
+
+def naive_inputs() -> dict:
+    return {
+        CH_LOG_MSG1: [b"hi"],
+        CH_LOG_MSG2: [b"yo"],
+        CH_LOG_WINDOW: [1],
+    }
+
+
+def attack_realized(vm: VM) -> bool:
+    """Apache's request log bytes ended up inside the user's HTML file."""
+    return b"log:" in vm.world.file_content("user.html")
+
+
+# ---------------------------------------------------------------------------
+# the spec
+
+
+def apache_log_attack() -> AttackGroundTruth:
+    return AttackGroundTruth(
+        attack_id="apache-25520",
+        name="Apache buffered-log HTML integrity violation",
+        vuln_type=VulnSiteType.MEMORY_OP,
+        site_location=("http_log.c", 1359),
+        racy_variable="buffered_log_state.outcnt",
+        subtle_inputs=exploit_inputs(),
+        naive_inputs=naive_inputs(),
+        racing_order="write-first",
+        predicate=attack_realized,
+        description=(
+            "Racy outcnt lets a memcpy overrun outbuf into the adjacent log "
+            "file descriptor; the corrupted descriptor redirects Apache's "
+            "request log into a user's HTML file."
+        ),
+        reference="Apache bug 25520, paper Figure 7 / section 8.4",
+        subtle_input_summary="Concurrent requests with crafted log lengths",
+    )
+
+
+def apache_log_spec() -> ProgramSpec:
+    return ProgramSpec(
+        name="apache_log",
+        module_factory=build_module,
+        detector="tsan",
+        entry="main",
+        workload_inputs=workload_inputs(),
+        detect_seeds=range(12),
+        verify_seeds=range(10),
+        max_steps=60_000,
+        attacks=[apache_log_attack()],
+        paper_loc="290K",
+    )

@@ -1,0 +1,161 @@
+"""Model of the Apache-2.0.48 double free (paper Table 4, "PhP queries").
+
+Concurrent PHP request handlers release a shared request pool through an
+unlocked reference count.  Two handlers can both observe ``refcnt == 1``
+(the stale read), both decrement, and both take the ``refcnt reached zero``
+branch — freeing the pool's buffer twice.  A double free hands the allocator
+attacker-influenced state: the classic setup for heap corruption.
+
+The vulnerable site is the ``free`` call, control dependent on the branch
+fed by the racy reference-count load.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.types import I32, I64, I8, U64, ptr
+from repro.ir.verifier import verify_module
+from repro.owl.vuln_sites import VulnSiteType
+from repro.runtime.errors import FaultKind
+from repro.runtime.interpreter import VM
+from repro.spec import AttackGroundTruth, ProgramSpec
+
+#: input channels
+CH_PHP_KIND = 31     # request kind: 1 = php (releases the pool), 0 = static
+CH_PHP_WINDOW = 32   # IO delay between the refcount load and the store
+CH_PHP_STAGGER = 33  # per-handler start offset (decorrelates the handlers)
+
+
+def build_into(b: IRBuilder, fixed: bool = False) -> dict:
+    """With ``fixed=True`` the refcount release runs under a mutex — the
+    upstream fix shape: no race, no double free."""
+    module = b.module
+    pool_lock = b.global_var("php_pool_lock", I64, 0)
+    pool_struct = b.struct("req_pool", [
+        ("refcnt", I64),
+        ("data", U64),
+    ])
+    pool = b.global_var("php_req_pool", pool_struct)
+
+    b.set_location("mod_php.c", 700)
+    b.begin_function("php_release_pool", I32, [("p", ptr(pool_struct))],
+                     source_file="mod_php.c")
+    if fixed:
+        b.call("mutex_lock", [b.cast("bitcast", pool_lock, ptr(I8), line=749)],
+               line=749)
+    refcnt_slot = b.field(b.arg("p"), "refcnt", line=750)
+    count = b.load(refcnt_slot, line=750)           # racy read (unless fixed)
+    window = b.call("input_int", [b.i64(CH_PHP_WINDOW)], line=750)
+    b.call("io_delay", [window], line=750)
+    remaining = b.sub(count, 1, line=751)
+    b.store(remaining, refcnt_slot, line=751)       # racy write
+    empty = b.icmp("eq", remaining, 0, line=752)
+    b.cond_br(empty, "destroy", "out", line=752)
+    b.at("destroy")
+    data = b.load(b.field(b.arg("p"), "data", line=753), line=753)
+    b.call("free", [b.cast("inttoptr", data, ptr(I8), line=753)],
+           line=753)                                 # <- vulnerable site
+    b.br("out", line=753)
+    b.at("out")
+    if fixed:
+        b.call("mutex_unlock",
+               [b.cast("bitcast", pool_lock, ptr(I8), line=754)], line=754)
+    b.ret(b.i32(0), line=754)
+    b.end_function()
+
+    b.begin_function("php_handler", I32, [("arg", ptr(I8))],
+                     source_file="mod_php.c")
+    stagger = b.call("input_int", [b.i64(CH_PHP_STAGGER)], line=759)
+    b.call("io_delay", [stagger], line=759)
+    kind = b.call("input_int", [b.i64(CH_PHP_KIND)], line=760)
+    is_php = b.icmp("ne", kind, 0, line=760)
+    b.cond_br(is_php, "release", "done", line=760)
+    b.at("release")
+    b.call("php_release_pool", [pool], line=761)
+    b.br("done", line=761)
+    b.at("done")
+    b.ret(b.i32(0), line=762)
+    b.end_function()
+
+    return {"pool_struct": pool_struct, "pool": pool}
+
+
+def setup_main_body(b: IRBuilder, handles: dict, line: int = 800) -> int:
+    pool = handles["pool"]
+    data = b.call("malloc", [64], line=line)
+    b.store(b.cast("ptrtoint", data, I64, line=line),
+            b.field(pool, "data", line=line), line=line)
+    b.store(1, b.field(pool, "refcnt", line=line + 1), line=line + 1)
+    return line + 2
+
+
+def build_module(fixed: bool = False) -> Module:
+    module = Module("apache_php" if not fixed else "apache_php_fixed")
+    b = IRBuilder(module)
+    handles = build_into(b, fixed=fixed)
+    b.begin_function("main", I32, [], source_file="main.c")
+    line = setup_main_body(b, handles, line=800)
+    handler = module.get_function("php_handler")
+    t1 = b.call("thread_create", [handler, b.null()], line=line)
+    t2 = b.call("thread_create", [handler, b.null()], line=line + 1)
+    b.call("thread_join", [t1], line=line + 2)
+    b.call("thread_join", [t2], line=line + 3)
+    b.ret(b.i32(0), line=line + 4)
+    b.end_function()
+    verify_module(module)
+    return module
+
+
+def workload_inputs() -> dict:
+    """PHP traffic with a tiny release window: the race is visible to the
+    detector but the double free almost never fires."""
+    return {CH_PHP_KIND: [1, 1], CH_PHP_WINDOW: [2], CH_PHP_STAGGER: [1, 400]}
+
+
+def exploit_inputs() -> dict:
+    """Two concurrent PHP queries with a stretched release window."""
+    return {CH_PHP_KIND: [1, 1], CH_PHP_WINDOW: [150], CH_PHP_STAGGER: [1, 1]}
+
+
+def naive_inputs() -> dict:
+    return {CH_PHP_KIND: [0, 0], CH_PHP_WINDOW: [1], CH_PHP_STAGGER: [1, 1]}
+
+
+def attack_realized(vm: VM) -> bool:
+    return any(fault.kind is FaultKind.DOUBLE_FREE for fault in vm.faults)
+
+
+def apache_php_attack() -> AttackGroundTruth:
+    return AttackGroundTruth(
+        attack_id="apache-2.0.48-doublefree",
+        name="Apache mod_php pool double free",
+        vuln_type=VulnSiteType.MEMORY_OP,
+        site_location=("mod_php.c", 753),
+        racy_variable="php_req_pool.refcnt",
+        subtle_inputs=exploit_inputs(),
+        naive_inputs=naive_inputs(),
+        racing_order="read-first",
+        predicate=attack_realized,
+        description=(
+            "Two PHP handlers race on the pool refcount; both observe the "
+            "final reference and both free the pool buffer."
+        ),
+        reference="paper Table 4 row Apache-2.0.48",
+        subtle_input_summary="PhP queries",
+    )
+
+
+def apache_php_spec() -> ProgramSpec:
+    return ProgramSpec(
+        name="apache_php",
+        module_factory=build_module,
+        detector="tsan",
+        entry="main",
+        workload_inputs=workload_inputs(),
+        detect_seeds=range(12),
+        verify_seeds=range(10),
+        max_steps=40_000,
+        attacks=[apache_php_attack()],
+        paper_loc="290K",
+    )

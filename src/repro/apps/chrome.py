@@ -1,0 +1,202 @@
+"""Model of the Chrome-6.0.472.58 use-after-free (paper Table 4).
+
+Triggered from JavaScript by ``console.profile()``: the V8 profiler object
+is shared between the renderer thread (which starts/stops profiling and
+frees the profiler) and the sampling thread (which dereferences it on every
+tick) without synchronization.  A stop request can free the profiler while
+the sampler is between its NULL check and its use — a use-after-free whose
+freed memory is attacker-groomable from script.
+"""
+
+from __future__ import annotations
+
+from repro.apps.support import add_adhoc_sync_workers, add_benign_counters, add_publish_races
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.types import FunctionType, I32, I64, I8, U64, ptr
+from repro.ir.verifier import verify_module
+from repro.owl.vuln_sites import VulnSiteType
+from repro.runtime.errors import FaultKind
+from repro.runtime.interpreter import VM
+from repro.spec import AttackGroundTruth, ProgramSpec
+
+#: input channels (driven from JS: console.profile / console.profileEnd)
+CH_SAMPLE_WINDOW = 61   # sampler delay between its check and its use
+CH_STOP_DELAY = 62      # when the renderer stops profiling and frees
+
+SAMPLE_ROUNDS = 5
+
+
+def build_into(b: IRBuilder) -> dict:
+    module = b.module
+    profiler_struct = b.struct("v8_profiler", [
+        ("tick_fn", U64),
+        ("samples", I64),
+    ])
+    profiler_ptr = b.global_var("active_profiler", U64, 0)
+
+    b.set_location("profiler.cc", 100)
+    b.begin_function("record_tick", I32, [("p", ptr(I8))],
+                     source_file="profiler.cc")
+    profiler = b.cast("bitcast", b.arg("p"), ptr(profiler_struct), line=101)
+    samples = b.field(profiler, "samples", line=102)
+    count = b.load(samples, line=102)
+    b.store(b.add(count, 1, line=102), samples, line=102)
+    b.ret(b.i32(0), line=103)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # sampler thread: dereferences the shared profiler on every tick
+
+    b.begin_function("sampler_thread", I32, [("arg", ptr(I8))],
+                     source_file="sampler.cc")
+    round_slot = b.local(I64, "round", 0, line=200)
+    b.br("tick", line=200)
+    b.at("tick")
+    done = b.load(round_slot, line=201)
+    more = b.icmp("slt", done, SAMPLE_ROUNDS, line=201)
+    b.cond_br(more, "sample", "out", line=201)
+    b.at("sample")
+    active = b.load(profiler_ptr, line=205)          # the racy read
+    running = b.icmp("ne", active, 0, line=205)
+    b.cond_br(running, "use", "skip", line=205)
+    b.at("use")
+    window = b.call("input_int", [b.i64(CH_SAMPLE_WINDOW)], line=206)
+    b.call("io_delay", [window], line=206)           # stack walk in between
+    profiler = b.cast("inttoptr", active, ptr(profiler_struct), line=207)
+    tick_addr = b.load(b.field(profiler, "tick_fn", line=207),
+                       line=207)                     # use-after-free read
+    tick = b.cast("inttoptr", tick_addr,
+                  ptr(FunctionType(I32, [ptr(I8)])), line=208)
+    b.call(tick, [b.cast("bitcast", profiler, ptr(I8), line=208)],
+           line=208)                                  # <- vulnerable site
+    b.br("skip", line=208)
+    b.at("skip")
+    b.store(b.add(done, 1, line=209), round_slot, line=209)
+    b.br("tick", line=209)
+    b.at("out")
+    b.ret(b.i32(0), line=210)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # renderer thread: console.profileEnd -> stop and free the profiler
+
+    b.begin_function("renderer_stop_profile", I32, [("arg", ptr(I8))],
+                     source_file="renderer.cc")
+    delay = b.call("input_int", [b.i64(CH_STOP_DELAY)], line=300)
+    b.call("io_delay", [delay], line=300)
+    active = b.load(profiler_ptr, line=301)
+    b.store(0, profiler_ptr, line=302)               # the racy write
+    b.call("free", [b.cast("inttoptr", active, ptr(I8), line=303)], line=303)
+    b.ret(b.i32(0), line=304)
+    b.end_function()
+
+    return {"profiler_struct": profiler_struct, "profiler_ptr": profiler_ptr}
+
+
+def build_module(noise: bool = True) -> Module:
+    module = Module("chrome")
+    b = IRBuilder(module)
+    handles = build_into(b)
+    extra = []
+    if noise:
+        setter, waiter = add_adhoc_sync_workers(b, 1, "message_loop.cc",
+                                                first_line=8000)
+        producer, consumer = add_publish_races(b, 16, "ipc_channel.cc",
+                                               first_line=7000)
+        counters = add_benign_counters(b, 5, "histograms.cc", first_line=9000)
+        extra = [setter, waiter, producer, consumer, counters, counters]
+    b.begin_function("main", I32, [], source_file="browser_main.cc")
+    line = 400
+    # console.profile(): allocate and publish the profiler
+    profiler = b.call("malloc", [16], line=line)
+    typed = b.cast("bitcast", profiler, ptr(handles["profiler_struct"]),
+                   line=line)
+    tick_addr = b.cast("ptrtoint", module.get_function("record_tick"), I64,
+                       line=line + 1)
+    b.store(tick_addr, b.field(typed, "tick_fn", line=line + 1), line=line + 1)
+    b.store(0, b.field(typed, "samples", line=line + 1), line=line + 1)
+    b.store(b.cast("ptrtoint", profiler, I64, line=line + 2),
+            handles["profiler_ptr"], line=line + 2)
+    names = ["sampler_thread", "renderer_stop_profile"] + extra
+    threads = []
+    for name in names:
+        target = module.get_function(name)
+        threads.append(b.call("thread_create", [target, b.null()], line=line + 3))
+        line += 1
+    for handle in threads:
+        b.call("thread_join", [handle], line=line + 3)
+        line += 1
+    b.ret(b.i32(0), line=line + 3)
+    b.end_function()
+    verify_module(module)
+    return module
+
+
+# ---------------------------------------------------------------------------
+# inputs and predicates
+
+
+def workload_inputs() -> dict:
+    """Typical page: profiling stops long after sampling finished."""
+    return {CH_SAMPLE_WINDOW: [2], CH_STOP_DELAY: [2000]}
+
+
+def exploit_inputs() -> dict:
+    """JS console.profile with a heavy page: the stack walk stretches the
+    sampler's check-to-use window and profileEnd lands inside it."""
+    return {CH_SAMPLE_WINDOW: [120], CH_STOP_DELAY: [80]}
+
+
+def naive_inputs() -> dict:
+    return {CH_SAMPLE_WINDOW: [1], CH_STOP_DELAY: [8000]}
+
+
+def attack_realized(vm: VM) -> bool:
+    return any(
+        fault.kind in (FaultKind.USE_AFTER_FREE, FaultKind.NULL_DEREF)
+        for fault in vm.faults
+    )
+
+
+# ---------------------------------------------------------------------------
+# the spec
+
+
+def chrome_attack() -> AttackGroundTruth:
+    return AttackGroundTruth(
+        attack_id="chrome-6.0.472.58",
+        name="Chrome profiler use-after-free",
+        vuln_type=VulnSiteType.NULL_PTR_DEREF,
+        site_location=("sampler.cc", 208),
+        racy_variable="active_profiler",
+        subtle_inputs=exploit_inputs(),
+        naive_inputs=naive_inputs(),
+        racing_order="read-first",
+        predicate=attack_realized,
+        description=(
+            "console.profileEnd frees the profiler while the sampler is "
+            "between its NULL check and its tick dispatch; the sampler "
+            "calls through freed memory."
+        ),
+        reference="paper Table 4 row Chrome-6.0.472.58",
+        subtle_input_summary="Js console.profile",
+    )
+
+
+def chrome_spec(noise: bool = True) -> ProgramSpec:
+    return ProgramSpec(
+        name="chrome",
+        module_factory=lambda: build_module(noise=noise),
+        detector="tsan",
+        entry="main",
+        workload_inputs=workload_inputs(),
+        detect_seeds=range(12),
+        verify_seeds=range(8),
+        max_steps=120_000,
+        attacks=[chrome_attack()],
+        paper_loc="3.4M",
+        paper_raw_reports=1715,
+        paper_remaining_reports=126,
+        paper_adhoc_syncs=1,
+    )

@@ -1,0 +1,253 @@
+"""Model of the Libsafe concurrency attack (paper Figure 1, section 4.3).
+
+Libsafe intercepts libc memory functions to detect buffer overflows.  When a
+thread detects an overflow it calls ``libsafe_die()``, which sets the global
+flag ``dying`` and kills the process "shortly".  Access to ``dying`` is not
+protected by a mutex: between the store at util.c:1640 and the kill, another
+thread calling ``libsafe_strcpy`` reads ``dying`` at util.c:145, *bypasses*
+the stack-overflow check (``return 0`` at util.c:146), and runs an unchecked
+``strcpy`` at intercept.c:165 — a stack overflow that overwrites the
+adjacent handler slot and injects attacker code.
+
+The model mirrors the figure's line numbers so OWL's reports can be compared
+with paper Figures 4 and 5 verbatim.  Alongside the vulnerable race the
+program carries two benign races (a request counter and a length statistic),
+matching the paper's three total race reports for Libsafe (Table 1/3).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.types import ArrayType, FunctionType, I32, I64, I8, U64, VOID, ptr
+from repro.ir.verifier import verify_module
+from repro.owl.vuln_sites import VulnSiteType
+from repro.runtime.interpreter import VM
+from repro.spec import AttackGroundTruth, ProgramSpec
+
+#: input channels
+CH_WORKER1 = 1      # first worker's request payload
+CH_WORKER2 = 2      # second worker's request payload
+CH_KILL_DELAY = 9   # io delay between dying=1 and the process kill
+
+FRAME_BUF_SIZE = 16
+
+
+def build_module(fixed: bool = False) -> Module:
+    """Build the Libsafe model.
+
+    With ``fixed=True`` the ``dying`` flag is accessed atomically
+    (release/acquire), the upstream fix shape: the happens-before detector
+    goes quiet on ``dying`` and the check-bypass window closes.
+    """
+    module = Module("libsafe" if not fixed else "libsafe_fixed")
+    b = IRBuilder(module)
+
+    frame_struct = b.struct("vuln_frame", [
+        ("buf", ArrayType(I8, FRAME_BUF_SIZE)),
+        ("handler", U64),
+        ("pad", ArrayType(I8, 16)),
+    ])
+    dying = b.global_var("dying", I32, 0)
+    req_count = b.global_var("req_count", I64, 0)
+    last_len = b.global_var("last_len", I64, 0)
+    log_buf = b.global_var("log_buf", ArrayType(I8, 128))
+    msg_buf = b.global_var("msg_buf", ArrayType(I8, 128), b"request completed")
+
+    # ------------------------------------------------------------------
+    # util.c — stack_check and libsafe_die (Figure 1 left/right columns)
+
+    b.set_location("util.c", 1636)
+    b.begin_function("libsafe_die", VOID, [], source_file="util.c")
+    b.store(1, dying, line=1640, atomic=fixed)
+    delay = b.call("input_int", [b.i64(CH_KILL_DELAY)], line=1641)
+    b.call("io_delay", [delay], line=1641)
+    b.call("kill_process", [], line=1642)
+    b.ret_void(line=1642)
+    b.end_function()
+
+    b.set_location("util.c", 117)
+    b.begin_function("stack_check", I32,
+                     [("dst", ptr(I8)), ("src", ptr(I8))], source_file="util.c")
+    d = b.load(dying, line=145, atomic=fixed)
+    bypass = b.icmp("ne", d, 0, line=145)
+    b.cond_br(bypass, "ret0", "check", line=145)
+    b.at("ret0")
+    b.ret(b.i32(0), line=146)            # Bypass check.
+    b.at("check")
+    length = b.call("strlen", [b.arg("src")], line=147)
+    overflow = b.icmp("ugt", length, FRAME_BUF_SIZE - 1, line=148)
+    b.cond_br(overflow, "die", "ok", line=148)
+    b.at("die")
+    b.call("libsafe_die", [], line=149)
+    b.ret(b.i32(1), line=149)
+    b.at("ok")
+    b.ret(b.i32(0), line=150)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # intercept.c — libsafe_strcpy (Figure 1 bottom)
+
+    b.set_location("intercept.c", 151)
+    b.begin_function("libsafe_strcpy", ptr(I8),
+                     [("dst", ptr(I8)), ("src", ptr(I8))],
+                     source_file="intercept.c")
+    check = b.call("stack_check", [b.arg("dst"), b.arg("src")], line=163)
+    passed = b.icmp("eq", check, 0, line=164)
+    b.cond_br(passed, "copy", "blocked", line=164)
+    b.at("copy")
+    copied = b.call("strcpy", [b.arg("dst"), b.arg("src")], line=165)
+    b.ret(copied, line=165)
+    b.at("blocked")
+    b.ret(b.null(I8), line=166)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # exploit.c — the victim application linked against Libsafe
+
+    b.set_location("exploit.c", 200)
+    b.begin_function("benign_handler", VOID, [], source_file="exploit.c")
+    b.ret_void(line=201)
+    b.end_function()
+
+    b.begin_function("evil", VOID, [], source_file="exploit.c")
+    shell = b.global_string("shell_cmd", "/bin/sh")
+    b.call("system", [b.cast("bitcast", shell, ptr(I8), line=211)], line=211)
+    b.ret_void(line=212)
+    b.end_function()
+
+    b.begin_function("worker", I32, [("arg", ptr(I8))], source_file="exploit.c")
+    channel = b.cast("ptrtoint", b.arg("arg"), I64, line=220)
+    src = b.call("input_str", [channel], line=221)
+    frame_raw = b.call("malloc", [frame_struct.size()], line=222)
+    frame = b.cast("bitcast", frame_raw, ptr(frame_struct), name="frame", line=222)
+    handler_slot = b.field(frame, "handler", line=223)
+    benign = module.get_function("benign_handler")
+    benign_addr = b.cast("ptrtoint", benign, I64, line=223)
+    b.store(benign_addr, b.cast("bitcast", handler_slot, ptr(I64), line=223), line=223)
+    buf_field = b.field(frame, "buf", line=224)
+    dst = b.cast("bitcast", buf_field, ptr(I8), line=224)
+    b.call("libsafe_strcpy", [dst, src], line=225)
+    count = b.load(req_count, line=226)
+    b.store(b.add(count, 1, line=226), req_count, line=226)
+    length = b.call("strlen", [src], line=227)
+    b.store(length, last_len, line=227)
+    handler = b.load(b.cast("bitcast", handler_slot, ptr(U64), line=228), line=228)
+    handler_ptr = b.cast("inttoptr", handler, ptr(FunctionType(VOID, [])), line=229)
+    b.call(handler_ptr, [], line=229)
+    b.ret(b.i32(0), line=230)
+    b.end_function()
+
+    b.begin_function("logger", I32, [("arg", ptr(I8))], source_file="exploit.c")
+    length = b.load(last_len, line=300)
+    dst = b.index(b.cast("bitcast", log_buf, ptr(I8), line=301), 0, line=301)
+    src = b.cast("bitcast", msg_buf, ptr(I8), line=301)
+    b.call("memcpy", [dst, src, length], line=301)
+    count = b.load(req_count, line=302)
+    fmt = b.global_string("log_fmt", "served %d requests")
+    b.call("sprintf", [dst, b.cast("bitcast", fmt, ptr(I8), line=303), count],
+           line=303)
+    b.ret(b.i32(0), line=304)
+    b.end_function()
+
+    b.begin_function("main", I32, [], source_file="exploit.c")
+    worker = module.get_function("worker")
+    logger = module.get_function("logger")
+    one = b.cast("inttoptr", b.i64(CH_WORKER1), ptr(I8), line=400)
+    two = b.cast("inttoptr", b.i64(CH_WORKER2), ptr(I8), line=400)
+    t1 = b.call("thread_create", [worker, one], line=401)
+    t2 = b.call("thread_create", [worker, two], line=402)
+    t3 = b.call("thread_create", [logger, b.null()], line=403)
+    b.call("thread_join", [t1], line=404)
+    b.call("thread_join", [t2], line=405)
+    b.call("thread_join", [t3], line=406)
+    b.ret(b.i32(0), line=407)
+    b.end_function()
+
+    verify_module(module)
+    return module
+
+
+# ---------------------------------------------------------------------------
+# inputs
+
+
+def exploit_inputs(evil_address: int) -> dict:
+    """The subtle inputs of Table 4: "Loops with strcpy()".
+
+    Worker 1 receives an over-long string that trips the overflow check and
+    sends the process into ``libsafe_die`` (opening the vulnerable window);
+    worker 2 receives the injection payload: 16 filler bytes followed by the
+    address of ``evil`` overwriting the frame's handler slot.
+    """
+    payload = b"A" * FRAME_BUF_SIZE + evil_address.to_bytes(8, "little")
+    return {
+        CH_WORKER1: [b"B" * (FRAME_BUF_SIZE + 4)],
+        CH_WORKER2: [payload],
+        CH_KILL_DELAY: [400],
+    }
+
+
+def workload_inputs() -> dict:
+    """The testing workload: ordinary requests plus one oversized one."""
+    return {
+        CH_WORKER1: [b"C" * (FRAME_BUF_SIZE + 4)],
+        CH_WORKER2: [b"hello"],
+        CH_KILL_DELAY: [400],
+    }
+
+
+def naive_inputs() -> dict:
+    """Inputs that never open the window (both requests are short)."""
+    return {
+        CH_WORKER1: [b"hi"],
+        CH_WORKER2: [b"there"],
+        CH_KILL_DELAY: [1],
+    }
+
+
+def attack_realized(vm: VM) -> bool:
+    """Code injection succeeded: the attacker's shell command ran."""
+    return vm.world.executed("/bin/sh")
+
+
+# ---------------------------------------------------------------------------
+# the spec
+
+
+def libsafe_spec() -> ProgramSpec:
+    module = build_module()
+    probe = VM(module)
+    evil_address = probe.function_address("evil")
+    attack = AttackGroundTruth(
+        attack_id="libsafe-2.0-16",
+        name="Libsafe stack-overflow-check bypass",
+        vuln_type=VulnSiteType.MEMORY_OP,
+        site_location=("intercept.c", 165),
+        racy_variable="dying",
+        subtle_inputs=exploit_inputs(evil_address),
+        naive_inputs=naive_inputs(),
+        racing_order="write-first",
+        predicate=attack_realized,
+        description=(
+            "Race on the 'dying' flag bypasses stack_check(); an unchecked "
+            "strcpy() overwrites the handler slot and injects code."
+        ),
+        reference="paper Figure 1 / Table 4 row Libsafe-2.0-16",
+        subtle_input_summary="Loops with strcpy()",
+    )
+    return ProgramSpec(
+        name="libsafe",
+        module_factory=build_module,
+        detector="tsan",
+        entry="main",
+        workload_inputs=workload_inputs(),
+        detect_seeds=range(12),
+        verify_seeds=range(10),
+        max_steps=60_000,
+        attacks=[attack],
+        paper_loc="3.4K",
+        paper_raw_reports=3,
+        paper_remaining_reports=3,
+        paper_adhoc_syncs=0,
+    )

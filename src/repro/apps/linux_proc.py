@@ -1,0 +1,171 @@
+"""Model of the Linux-2.6.29 privilege-escalation race (paper Table 4).
+
+A credential-handling race in the exec/setuid paths: installing the
+credentials of a setuid-root binary transiently raises the task's effective
+capability before the kernel drops it back for the unprivileged caller.  A
+concurrent ``setuid(0)``-style syscall whose permission check reads the
+capability field without synchronization can observe the transient value,
+pass the check, and commit root credentials for the attacker's process —
+after which the attacker execs a shell as root.  ("We needed to call extra
+system calls to get a root shell out of this race", section 3.1 — here the
+follow-up ``execve`` is that extra input.)
+
+Kernel target: analyzed with the SKI-style explorer.
+"""
+
+from __future__ import annotations
+
+from repro.apps.support import add_benign_counters, add_publish_races
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.types import I32, I64, I8, U64, ptr
+from repro.ir.verifier import verify_module
+from repro.owl.vuln_sites import VulnSiteType
+from repro.runtime.interpreter import VM
+from repro.spec import AttackGroundTruth, ProgramSpec
+
+#: input channels (Table 4: "Syscall parameters")
+CH_CAP_WINDOW = 55    # how long the transient capability stays raised
+CH_CHECK_DELAY = 56   # when the attacker's setuid check reads the capability
+
+
+def build_into(b: IRBuilder) -> dict:
+    module = b.module
+    task_struct = b.struct("task_struct", [
+        ("cap_effective", I64),
+        ("uid", I64),
+    ])
+    task = b.global_var("current_task", task_struct)
+    root_cred = b.global_var("root_cred", I32, 0)  # uid 0 credential blob
+
+    # ------------------------------------------------------------------
+    # install_exec_creds: the transient raise (fs/exec.c)
+
+    b.set_location("fs/exec.c", 1170)
+    b.begin_function("install_exec_creds", I32, [("arg", ptr(I8))],
+                     source_file="fs/exec.c")
+    cap_slot = b.field(task, "cap_effective", line=1174)
+    b.store(1, cap_slot, line=1174)                   # transiently privileged
+    window = b.call("input_int", [b.i64(CH_CAP_WINDOW)], line=1175)
+    b.call("io_delay", [window], line=1175)           # binary loading IO
+    b.store(0, cap_slot, line=1177)                   # dropped again
+    b.ret(b.i32(0), line=1178)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # sys_setuid: capability check then commit (kernel/sys.c)
+
+    b.set_location("kernel/sys.c", 600)
+    b.begin_function("sys_setuid", I32, [("arg", ptr(I8))],
+                     source_file="kernel/sys.c")
+    delay = b.call("input_int", [b.i64(CH_CHECK_DELAY)], line=604)
+    b.call("io_delay", [delay], line=604)
+    cap = b.load(b.field(task, "cap_effective", line=605), line=605)  # racy
+    allowed = b.icmp("ne", cap, 0, line=605)
+    b.cond_br(allowed, "commit", "denied", line=605)
+    b.at("commit")
+    b.call("commit_creds", [b.cast("bitcast", root_cred, ptr(I8), line=607)],
+           line=607)                                   # <- vulnerable site
+    shell = b.global_string("root_shell", "/bin/sh")
+    b.call("execve", [b.cast("bitcast", shell, ptr(I8), line=608),
+                      b.null(), b.null()], line=608)   # the root shell
+    b.ret(b.i32(0), line=609)
+    b.at("denied")
+    b.ret(b.i32(1), line=610)
+    b.end_function()
+
+    return {"task": task, "task_struct": task_struct}
+
+
+def build_module(noise: bool = True) -> Module:
+    module = Module("linux_proc")
+    b = IRBuilder(module)
+    handles = build_into(b)
+    extra = []
+    if noise:
+        producer, consumer = add_publish_races(b, 8, "kernel_workqueue.c",
+                                               first_line=7000)
+        counters = add_benign_counters(b, 3, "kernel_proc_stat.c",
+                                       first_line=9000)
+        extra = [producer, consumer, counters, counters]
+    b.begin_function("main", I32, [], source_file="init.c")
+    line = 950
+    task = handles["task"]
+    b.store(0, b.field(task, "cap_effective", line=line), line=line)
+    b.store(1000, b.field(task, "uid", line=line), line=line)
+    names = ["install_exec_creds", "sys_setuid"] + extra
+    threads = []
+    for name in names:
+        target = module.get_function(name)
+        threads.append(b.call("thread_create", [target, b.null()], line=line + 1))
+        line += 1
+    for handle in threads:
+        b.call("thread_join", [handle], line=line + 1)
+        line += 1
+    b.ret(b.i32(0), line=line + 1)
+    b.end_function()
+    verify_module(module)
+    return module
+
+
+# ---------------------------------------------------------------------------
+# inputs and predicates
+
+
+def workload_inputs() -> dict:
+    """Ordinary exec + setuid traffic: check fires long after the drop."""
+    return {CH_CAP_WINDOW: [3], CH_CHECK_DELAY: [400]}
+
+
+def exploit_inputs() -> dict:
+    """Syscall parameters landing the check inside the raised window."""
+    return {CH_CAP_WINDOW: [200], CH_CHECK_DELAY: [60]}
+
+
+def naive_inputs() -> dict:
+    return {CH_CAP_WINDOW: [1], CH_CHECK_DELAY: [4000]}
+
+
+def attack_realized(vm: VM) -> bool:
+    """Root credentials committed and a shell exec'd as root."""
+    return vm.world.got_root_shell()
+
+
+# ---------------------------------------------------------------------------
+# the spec
+
+
+def linux_proc_attack() -> AttackGroundTruth:
+    return AttackGroundTruth(
+        attack_id="linux-2.6.29-privesc",
+        name="Linux credential race privilege escalation",
+        vuln_type=VulnSiteType.PRIVILEGE_OP,
+        site_location=("kernel/sys.c", 607),
+        racy_variable="current_task.cap_effective",
+        subtle_inputs=exploit_inputs(),
+        naive_inputs=naive_inputs(),
+        racing_order="write-first",
+        predicate=attack_realized,
+        description=(
+            "sys_setuid's capability check reads a transiently raised "
+            "cap_effective from a concurrent exec; commit_creds then "
+            "installs root credentials for the attacker."
+        ),
+        reference="paper Table 4 row Linux-2.6.29",
+        subtle_input_summary="Syscall parameters",
+    )
+
+
+def linux_proc_spec(noise: bool = True) -> ProgramSpec:
+    return ProgramSpec(
+        name="linux_proc",
+        module_factory=lambda: build_module(noise=noise),
+        detector="ski",
+        entry="main",
+        workload_inputs=workload_inputs(),
+        detect_seeds=range(16),
+        verify_seeds=range(8),
+        max_steps=100_000,
+        attacks=[linux_proc_attack()],
+        paper_loc="2.8M",
+    )

@@ -1,0 +1,218 @@
+"""Model of the Linux uselib()/msync() NULL-function-pointer attack
+(paper Figure 2, Table 4 row Linux-2.6.10).
+
+``msync_interval`` checks ``file->f_op && file->f_op->fsync`` and then makes
+the indirect call ``file->f_op->fsync(...)``; a concurrent ``do_munmap``
+(reached from the ``uselib()`` system call) sets ``file->f_op = NULL``.
+Because a disk-IO operation sits between the check and the call, attackers
+can craft syscall parameters that stretch the window, land the NULL store
+inside it, and steer the kernel into dereferencing (and calling through)
+a NULL function pointer — the springboard for arbitrary code execution from
+user space (attackers map the zero page and the kernel jumps into it).
+
+This is a *kernel* target: the spec uses the SKI-style schedule explorer,
+with each in-flight system call modeled as one kernel thread.
+"""
+
+from __future__ import annotations
+
+from repro.apps.support import add_adhoc_sync_workers, add_benign_counters, add_publish_races
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.types import FunctionType, I32, I64, I8, U64, ptr
+from repro.ir.verifier import verify_module
+from repro.owl.vuln_sites import VulnSiteType
+from repro.runtime.errors import FaultKind
+from repro.runtime.interpreter import VM
+from repro.spec import AttackGroundTruth, ProgramSpec
+
+#: input channels (the "syscall parameters" of Table 4)
+CH_MSYNC_WINDOW = 51   # IO length between the f_op check and the fsync call
+CH_MUNMAP_DELAY = 52   # when the uselib()-driven do_munmap fires
+
+
+def build_into(b: IRBuilder) -> dict:
+    module = b.module
+    fop_struct = b.struct("file_operations", [
+        ("fsync", U64),
+    ])
+    file_struct = b.struct("file", [
+        ("f_op", U64),
+    ])
+    vma_struct = b.struct("vm_area_struct", [
+        ("vm_file", U64),
+    ])
+    the_file = b.global_var("shared_file", file_struct)
+    the_vma = b.global_var("shared_vma", vma_struct)
+    the_fops = b.global_var("generic_fops", fop_struct)
+
+    # the real fsync implementation generic_fops.fsync points at
+    b.set_location("fs/buffer.c", 300)
+    b.begin_function("file_fsync", I32, [("file", ptr(I8))],
+                     source_file="fs/buffer.c")
+    b.ret(b.i32(0), line=301)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # msync_interval (Figure 2 left column)
+
+    b.set_location("mm/msync.c", 610)
+    b.begin_function("msync_interval", I32, [("vma", ptr(vma_struct))],
+                     source_file="mm/msync.c")
+    file_addr = b.load(b.field(b.arg("vma"), "vm_file", line=620), line=620)
+    file = b.cast("inttoptr", file_addr, ptr(file_struct), line=620)
+    fop_slot = b.field(file, "f_op", line=621)
+    fop_checked = b.load(fop_slot, line=621)               # the racy read
+    has_fop = b.icmp("ne", fop_checked, 0, line=621)
+    b.cond_br(has_fop, "do_sync", "out", line=621)
+    b.at("do_sync")
+    window = b.call("input_int", [b.i64(CH_MSYNC_WINDOW)], line=622)
+    b.call("io_delay", [window], line=622)                 # disk IO in between
+    fop_used = b.load(fop_slot, line=624)                  # re-read (the &&)
+    fop = b.cast("inttoptr", fop_used, ptr(fop_struct), line=624)
+    fsync_addr = b.load(b.field(fop, "fsync", line=624), line=624)
+    fsync = b.cast("inttoptr", fsync_addr,
+                   ptr(FunctionType(I32, [ptr(I8)])), line=624)
+    err = b.call(fsync, [b.cast("bitcast", file, ptr(I8), line=624)],
+                 line=624)                                  # <- vulnerable site
+    b.ret(err, line=625)
+    b.at("out")
+    b.ret(b.i32(0), line=626)
+    b.end_function()
+
+    # sys_msync: the syscall entry driving msync_interval
+    b.begin_function("sys_msync", I32, [("arg", ptr(I8))],
+                     source_file="mm/msync.c")
+    b.call("msync_interval", [the_vma], line=700)
+    b.ret(b.i32(0), line=701)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # do_munmap (Figure 2 right column), reached from sys_uselib
+
+    b.set_location("mm/mmap.c", 730)
+    b.begin_function("do_munmap", I32, [("file", ptr(file_struct))],
+                     source_file="mm/mmap.c")
+    b.store(0, b.field(b.arg("file"), "f_op", line=735), line=735)  # f_op=NULL
+    b.ret(b.i32(0), line=736)
+    b.end_function()
+
+    b.begin_function("sys_uselib", I32, [("arg", ptr(I8))],
+                     source_file="fs/exec.c")
+    delay = b.call("input_int", [b.i64(CH_MUNMAP_DELAY)], line=740)
+    b.call("io_delay", [delay], line=740)          # swap IO shaped by attacker
+    b.call("do_munmap", [the_file], line=741)
+    b.ret(b.i32(0), line=742)
+    b.end_function()
+
+    return {"file": the_file, "vma": the_vma, "fops": the_fops,
+            "file_struct": file_struct, "fop_struct": fop_struct}
+
+
+def setup_main_body(b: IRBuilder, handles: dict, line: int = 900) -> int:
+    module = b.module
+    fops = handles["fops"]
+    the_file = handles["file"]
+    the_vma = handles["vma"]
+    fsync_addr = b.cast("ptrtoint", module.get_function("file_fsync"), I64,
+                        line=line)
+    b.store(fsync_addr, b.field(fops, "fsync", line=line), line=line)
+    fops_addr = b.cast("ptrtoint", fops, I64, line=line + 1)
+    b.store(fops_addr, b.field(the_file, "f_op", line=line + 1), line=line + 1)
+    file_addr = b.cast("ptrtoint", the_file, I64, line=line + 2)
+    b.store(file_addr, b.field(the_vma, "vm_file", line=line + 2), line=line + 2)
+    return line + 3
+
+
+def build_module(noise: bool = True) -> Module:
+    module = Module("linux_uselib")
+    b = IRBuilder(module)
+    handles = build_into(b)
+    extra = []
+    if noise:
+        setter, waiter = add_adhoc_sync_workers(b, 4, "kernel_sched.c",
+                                                first_line=8000)
+        producer, consumer = add_publish_races(b, 12, "kernel_rcu.c",
+                                               first_line=7000)
+        counters = add_benign_counters(b, 4, "kernel_stat.c", first_line=9000)
+        extra = [setter, waiter, producer, consumer, counters, counters]
+    b.begin_function("main", I32, [], source_file="init.c")
+    line = setup_main_body(b, handles, line=900)
+    names = ["sys_msync", "sys_uselib"] + extra
+    threads = []
+    for name in names:
+        target = module.get_function(name)
+        threads.append(b.call("thread_create", [target, b.null()], line=line))
+        line += 1
+    for handle in threads:
+        b.call("thread_join", [handle], line=line)
+        line += 1
+    b.ret(b.i32(0), line=line)
+    b.end_function()
+    verify_module(module)
+    return module
+
+
+# ---------------------------------------------------------------------------
+# inputs and predicates
+
+
+def workload_inputs() -> dict:
+    """Ordinary msync/uselib traffic: the munmap lands after the sync."""
+    return {CH_MSYNC_WINDOW: [4], CH_MUNMAP_DELAY: [600]}
+
+
+def exploit_inputs() -> dict:
+    """Syscall parameters stretching the check-to-use IO window (section
+    3.1: "attackers could craft inputs with subtle timings for this IO
+    operation and thus enlarged the time window")."""
+    return {CH_MSYNC_WINDOW: [250], CH_MUNMAP_DELAY: [60]}
+
+
+def naive_inputs() -> dict:
+    return {CH_MSYNC_WINDOW: [1], CH_MUNMAP_DELAY: [5000]}
+
+
+def attack_realized(vm: VM) -> bool:
+    """The kernel dereferenced/called through the NULLed f_op."""
+    return any(fault.kind is FaultKind.NULL_DEREF for fault in vm.faults)
+
+
+# ---------------------------------------------------------------------------
+# the spec
+
+
+def linux_uselib_attack() -> AttackGroundTruth:
+    return AttackGroundTruth(
+        attack_id="linux-2.6.10-uselib",
+        name="Linux uselib()/msync() NULL function pointer dereference",
+        vuln_type=VulnSiteType.NULL_PTR_DEREF,
+        site_location=("mm/msync.c", 624),
+        racy_variable="shared_file.f_op",
+        subtle_inputs=exploit_inputs(),
+        naive_inputs=naive_inputs(),
+        racing_order="read-first",
+        predicate=attack_realized,
+        description=(
+            "do_munmap NULLs file->f_op between msync_interval's check and "
+            "its fsync indirect call; the kernel jumps through NULL, "
+            "enabling arbitrary code execution from user space."
+        ),
+        reference="OSVDB 12791, paper Figure 2 / Table 4 row Linux-2.6.10",
+        subtle_input_summary="Syscall parameters",
+    )
+
+
+def linux_uselib_spec(noise: bool = True) -> ProgramSpec:
+    return ProgramSpec(
+        name="linux_uselib",
+        module_factory=lambda: build_module(noise=noise),
+        detector="ski",
+        entry="main",
+        workload_inputs=workload_inputs(),
+        detect_seeds=range(16),
+        verify_seeds=range(8),
+        max_steps=120_000,
+        attacks=[linux_uselib_attack()],
+        paper_loc="2.8M",
+    )

@@ -1,0 +1,299 @@
+"""Model of the two MySQL concurrency attacks (paper Table 4).
+
+**MySQL-5.0.27, bug 24988 — "FLUSH PRIVILEGES" privilege escalation.**
+``acl_reload`` rebuilds the in-memory ACL entries while connection threads
+keep checking permissions against them, without synchronization.  The
+rebuild writes each entry field by field (user id first, privilege mask
+second); during the window a low-privilege user's id sits next to the
+*previous* occupant's privilege mask — the superuser's.  A concurrent
+``check_access`` then grants the attacker full privileges.  The paper
+triggered this corruption "with only 18 repeated executions" of the
+``flush privileges;`` query.
+
+**MySQL-5.1.35 — "SET PASSWORD" double free.**
+Two concurrent ``SET PASSWORD`` statements race on the global password
+buffer pointer: both load the same old buffer, both swap in their new one,
+and both free the old — a double free.
+"""
+
+from __future__ import annotations
+
+from repro.apps.support import add_adhoc_sync_workers, add_benign_counters, add_publish_races
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.types import ArrayType, I32, I64, I8, U64, ptr
+from repro.ir.verifier import verify_module
+from repro.owl.vuln_sites import VulnSiteType
+from repro.runtime.errors import FaultKind
+from repro.runtime.interpreter import VM
+from repro.spec import AttackGroundTruth, ProgramSpec
+
+#: input channels
+CH_FLUSH_WINDOW = 41    # IO delay between the two entry-field stores
+CH_CHECK_USER = 42      # which user id the connection authenticates as
+CH_SETPW_WINDOW = 43    # IO delay between password-pointer load and free
+CH_SETPW_STAGGER = 44   # per-handler start offset (decorrelates the handlers)
+
+SUPERUSER_ID = 1
+ATTACKER_ID = 2
+PRIV_ALL = 1
+PRIV_NONE = 0
+
+
+def build_into(b: IRBuilder) -> dict:
+    module = b.module
+    entry_struct = b.struct("acl_entry", [
+        ("user_id", I64),
+        ("priv", I64),
+    ])
+    acl = b.global_var("acl_entries", ArrayType(entry_struct, 2),
+                       [[SUPERUSER_ID, PRIV_ALL], [ATTACKER_ID, PRIV_NONE]])
+    password_ptr = b.global_var("password_buf", U64, 0)
+
+    # ------------------------------------------------------------------
+    # acl_reload: FLUSH PRIVILEGES re-sorts the ACL (sql_acl.cc)
+
+    b.set_location("sql_acl.cc", 1200)
+    b.begin_function("acl_reload", I32, [("arg", ptr(I8))],
+                     source_file="sql_acl.cc")
+    base = b.cast("bitcast", acl, ptr(entry_struct), line=1203)
+    # The reload re-sorts entries: the attacker moves into slot 0 (where the
+    # superuser's privilege mask still sits) and the superuser into slot 1.
+    slot0 = b.index(base, 0, line=1204)
+    b.store(ATTACKER_ID, b.field(slot0, "user_id", line=1204), line=1204)
+    window = b.call("input_int", [b.i64(CH_FLUSH_WINDOW)], line=1205)
+    b.call("io_delay", [window], line=1205)          # table scan I/O
+    b.store(PRIV_NONE, b.field(slot0, "priv", line=1206), line=1206)
+    slot1 = b.index(base, 1, line=1207)
+    b.store(SUPERUSER_ID, b.field(slot1, "user_id", line=1207), line=1207)
+    b.store(PRIV_ALL, b.field(slot1, "priv", line=1208), line=1208)
+    b.ret(b.i32(0), line=1210)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # check_access: connection-thread permission lookup (sql_parse.cc)
+
+    b.set_location("sql_parse.cc", 970)
+    b.begin_function("check_access", I64, [("user", I64)],
+                     source_file="sql_parse.cc")
+    base = b.cast("bitcast", acl, ptr(entry_struct), line=975)
+    index = b.local(I64, "i", 0, line=976)
+    b.br("scan", line=976)
+    b.at("scan")
+    i = b.load(index, line=976)
+    more = b.icmp("slt", i, 2, line=976)
+    b.cond_br(more, "probe", "miss", line=976)
+    b.at("probe")
+    entry = b.index(base, i, line=978)
+    uid = b.load(b.field(entry, "user_id", line=978), line=978)
+    match = b.icmp("eq", uid, b.arg("user"), line=978)
+    b.cond_br(match, "hit", "advance", line=978)
+    b.at("hit")
+    priv = b.load(b.field(entry, "priv", line=980), line=980)   # racy read
+    b.ret(priv, line=980)
+    b.at("advance")
+    b.store(b.add(i, 1, line=981), index, line=981)
+    b.br("scan", line=981)
+    b.at("miss")
+    b.ret(b.i64(PRIV_NONE), line=982)
+    b.end_function()
+
+    # connection handler: authenticate, then act with granted privileges
+    b.begin_function("connection_handler", I32, [("arg", ptr(I8))],
+                     source_file="sql_parse.cc")
+    user = b.call("input_int", [b.i64(CH_CHECK_USER)], line=990)
+    granted = b.call("check_access", [user], line=991)
+    is_all = b.icmp("eq", granted, PRIV_ALL, line=992)
+    b.cond_br(is_all, "admin", "plain", line=992)
+    b.at("admin")
+    b.call("setuid", [b.i32(0)], line=993)            # <- vulnerable site
+    grant_stmt = b.global_string(
+        "grant_stmt", "UPDATE mysql.user SET Super_priv='Y'",
+    )
+    b.call("eval", [b.cast("bitcast", grant_stmt, ptr(I8), line=994)], line=994)
+    b.br("plain", line=994)
+    b.at("plain")
+    b.ret(b.i32(0), line=995)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # SET PASSWORD handler (sql_acl.cc change_password path)
+
+    b.begin_function("set_password_handler", I32, [("arg", ptr(I8))],
+                     source_file="sql_acl.cc")
+    stagger = b.call("input_int", [b.i64(CH_SETPW_STAGGER)], line=1449)
+    b.call("io_delay", [stagger], line=1449)
+    new_buf = b.call("malloc", [32], line=1450)
+    old = b.load(password_ptr, line=1451)              # racy read
+    window = b.call("input_int", [b.i64(CH_SETPW_WINDOW)], line=1452)
+    b.call("io_delay", [window], line=1452)
+    b.store(b.cast("ptrtoint", new_buf, I64, line=1453), password_ptr,
+            line=1453)                                 # racy write
+    was_set = b.icmp("ne", old, 0, line=1454)
+    b.cond_br(was_set, "release", "out", line=1454)
+    b.at("release")
+    b.call("free", [b.cast("inttoptr", old, ptr(I8), line=1455)],
+           line=1455)                                  # <- vulnerable site
+    b.br("out", line=1455)
+    b.at("out")
+    b.ret(b.i32(0), line=1456)
+    b.end_function()
+
+    return {"acl": acl, "entry_struct": entry_struct,
+            "password_ptr": password_ptr}
+
+
+def setup_main_body(b: IRBuilder, handles: dict, line: int = 60) -> int:
+    password_ptr = handles["password_ptr"]
+    initial = b.call("malloc", [32], line=line)
+    b.store(b.cast("ptrtoint", initial, I64, line=line), password_ptr, line=line)
+    return line + 1
+
+
+def build_module(noise: bool = True) -> Module:
+    module = Module("mysql")
+    b = IRBuilder(module)
+    handles = build_into(b)
+    extra_threads = []
+    if noise:
+        # MySQL's Table 3 row: 6 adhoc synchronizations; plus publish-pattern
+        # hand-offs (eliminated by the race verifier) and benign counters.
+        setter, waiter = add_adhoc_sync_workers(b, 6, "mysys.c", first_line=8000)
+        producer, consumer = add_publish_races(b, 14, "sql_cache.cc",
+                                               first_line=7000)
+        counters = add_benign_counters(b, 3, "sql_stat.cc", first_line=9000)
+        extra_threads = [setter, waiter, producer, consumer, counters, counters]
+    b.begin_function("main", I32, [], source_file="mysqld.cc")
+    line = setup_main_body(b, handles, line=60)
+    names = [
+        "acl_reload", "connection_handler", "connection_handler",
+        "set_password_handler", "set_password_handler",
+    ] + extra_threads
+    handles_list = []
+    for name in names:
+        target = module.get_function(name)
+        handles_list.append(b.call("thread_create", [target, b.null()], line=line))
+        line += 1
+    for handle in handles_list:
+        b.call("thread_join", [handle], line=line)
+        line += 1
+    b.ret(b.i32(0), line=line)
+    b.end_function()
+    verify_module(module)
+    return module
+
+
+# ---------------------------------------------------------------------------
+# inputs and predicates
+
+
+def workload_inputs() -> dict:
+    """Benchmark traffic: ordinary users, small windows."""
+    return {
+        CH_FLUSH_WINDOW: [8],
+        CH_CHECK_USER: [ATTACKER_ID, ATTACKER_ID],
+        CH_SETPW_WINDOW: [4],
+        CH_SETPW_STAGGER: [1, 500],
+    }
+
+
+def flush_exploit_inputs() -> dict:
+    """FLUSH PRIVILEGES with the connection authenticating mid-reload."""
+    return {
+        CH_FLUSH_WINDOW: [200],
+        CH_CHECK_USER: [ATTACKER_ID, ATTACKER_ID],
+        CH_SETPW_WINDOW: [1],
+        CH_SETPW_STAGGER: [1, 500],
+    }
+
+
+def setpw_exploit_inputs() -> dict:
+    """Two concurrent SET PASSWORD statements with stretched windows."""
+    return {
+        CH_FLUSH_WINDOW: [1],
+        CH_CHECK_USER: [ATTACKER_ID, ATTACKER_ID],
+        CH_SETPW_WINDOW: [200],
+        CH_SETPW_STAGGER: [1, 1],
+    }
+
+
+def naive_inputs() -> dict:
+    return {
+        CH_FLUSH_WINDOW: [1],
+        CH_CHECK_USER: [ATTACKER_ID, ATTACKER_ID],
+        CH_SETPW_WINDOW: [1],
+        CH_SETPW_STAGGER: [1, 500],
+    }
+
+
+def flush_attack_realized(vm: VM) -> bool:
+    """The non-admin connection got superuser: session uid became root and
+    the privileged statement executed."""
+    return vm.world.euid == 0 and vm.world.executed("Super_priv")
+
+
+def setpw_attack_realized(vm: VM) -> bool:
+    return any(fault.kind is FaultKind.DOUBLE_FREE for fault in vm.faults)
+
+
+# ---------------------------------------------------------------------------
+# the specs
+
+
+def mysql_flush_attack() -> AttackGroundTruth:
+    return AttackGroundTruth(
+        attack_id="mysql-24988",
+        name="MySQL FLUSH PRIVILEGES access-permission corruption",
+        vuln_type=VulnSiteType.PRIVILEGE_OP,
+        site_location=("sql_parse.cc", 993),
+        racy_variable="acl_entries",
+        subtle_inputs=flush_exploit_inputs(),
+        naive_inputs=naive_inputs(),
+        racing_order="write-first",
+        predicate=flush_attack_realized,
+        description=(
+            "acl_reload rebuilds ACL entries field by field; a concurrent "
+            "check_access reads the attacker's id next to the superuser's "
+            "leftover privilege mask and grants full access."
+        ),
+        reference="MySQL bug 24988, paper Table 4 row MySQL-5.0.27",
+        subtle_input_summary="FLUSH PRIVILEGES",
+    )
+
+
+def mysql_setpw_attack() -> AttackGroundTruth:
+    return AttackGroundTruth(
+        attack_id="mysql-setpassword",
+        name="MySQL SET PASSWORD double free",
+        vuln_type=VulnSiteType.MEMORY_OP,
+        site_location=("sql_acl.cc", 1455),
+        racy_variable="password_buf",
+        subtle_inputs=setpw_exploit_inputs(),
+        naive_inputs=naive_inputs(),
+        racing_order="read-first",
+        predicate=setpw_attack_realized,
+        description=(
+            "Two SET PASSWORD handlers load the same old password buffer "
+            "and both free it after swapping in their own."
+        ),
+        reference="paper Table 4 row MySQL-5.1.35",
+        subtle_input_summary="SET PASSWORD",
+    )
+
+
+def mysql_spec(noise: bool = True) -> ProgramSpec:
+    return ProgramSpec(
+        name="mysql",
+        module_factory=lambda: build_module(noise=noise),
+        detector="tsan",
+        entry="main",
+        workload_inputs=workload_inputs(),
+        detect_seeds=range(12),
+        verify_seeds=range(8),
+        max_steps=150_000,
+        attacks=[mysql_flush_attack(), mysql_setpw_attack()],
+        paper_loc="1.5M",
+        paper_raw_reports=1123,
+        paper_remaining_reports=18,
+        paper_adhoc_syncs=6,
+    )

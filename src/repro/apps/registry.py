@@ -1,0 +1,244 @@
+"""Combined program specs and the target registry.
+
+The paper evaluates *programs*, not individual bugs: its Apache target
+carries three attacks (bugs 25520, 46215, and the 2.0.48 double free) and
+its Linux target two (the uselib NULL function pointer and the 2.6.29
+privilege escalation).  ``apache_spec`` and ``linux_spec`` build those
+combined modules — all attack code paths plus the target's benign noise —
+so the pipeline's per-program counters line up with Tables 2 and 3.
+
+``all_specs`` returns the six evaluated programs in the tables' order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.apps import apache_balancer, apache_log, apache_php
+from repro.apps import linux_proc, linux_uselib
+from repro.apps.support import add_adhoc_sync_workers, add_benign_counters, add_publish_races
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.types import I32, I8, ptr
+from repro.ir.verifier import verify_module
+from repro.spec import ProgramSpec
+
+
+def build_apache_module(noise: bool = True) -> Module:
+    """One httpd: mod_log + mod_proxy_balancer + mod_php + benign noise."""
+    module = Module("apache")
+    b = IRBuilder(module)
+    log_handles = apache_log.build_into(b)
+    balancer_handles = apache_balancer.build_into(b)
+    php_handles = apache_php.build_into(b)
+    extra: List[str] = []
+    if noise:
+        # Table 3 row Apache: 7 adhoc synchronizations.
+        setter, waiter = add_adhoc_sync_workers(b, 7, "worker.c", first_line=8000)
+        producer, consumer = add_publish_races(b, 16, "apr_pools.c",
+                                               first_line=7000)
+        counters = add_benign_counters(b, 3, "scoreboard.c", first_line=9000)
+        extra = [setter, waiter, producer, consumer, counters, counters]
+    b.begin_function("main", I32, [], source_file="httpd_main.c")
+    line = apache_log.setup_main_body(b, log_handles, line=2000)
+    line = apache_balancer.setup_main_body(b, balancer_handles, line=line)
+    line = apache_php.setup_main_body(b, php_handles, line=line)
+    threads = []
+
+    def spawn(name: str, arg=None) -> None:
+        nonlocal line
+        target = module.get_function(name)
+        argument = arg if arg is not None else b.null()
+        threads.append(b.call("thread_create", [target, argument], line=line))
+        line += 1
+
+    one = b.cast("inttoptr", b.i64(apache_log.CH_LOG_MSG1), ptr(I8), line=line)
+    two = b.cast("inttoptr", b.i64(apache_log.CH_LOG_MSG2), ptr(I8), line=line)
+    spawn("log_worker", one)
+    spawn("log_worker", two)
+    for _ in range(3):
+        spawn("completion")
+    spawn("dispatcher")
+    spawn("php_handler")
+    spawn("php_handler")
+    for name in extra:
+        spawn(name)
+    for handle in threads:
+        b.call("thread_join", [handle], line=line)
+        line += 1
+    b.call("flush_log", [log_handles["log_global"]], line=line)
+    b.ret(b.i32(0), line=line + 1)
+    b.end_function()
+    verify_module(module)
+    return module
+
+
+def apache_workload_inputs() -> Dict:
+    inputs = {}
+    inputs.update(apache_log.workload_inputs())
+    inputs.update(apache_balancer.workload_inputs())
+    inputs.update(apache_php.workload_inputs())
+    return inputs
+
+
+def _merge_over_workload(specific: Dict) -> Dict:
+    """An attack's inputs on top of the combined workload baseline."""
+    inputs = apache_workload_inputs()
+    inputs.update(specific)
+    return inputs
+
+
+def apache_spec(noise: bool = True) -> ProgramSpec:
+    attacks = []
+    for attack, module_inputs in (
+        (apache_log.apache_log_attack(), apache_log),
+        (apache_balancer.apache_balancer_attack(), apache_balancer),
+        (apache_php.apache_php_attack(), apache_php),
+    ):
+        attack.subtle_inputs = _merge_over_workload(attack.subtle_inputs)
+        attack.naive_inputs = _merge_over_workload(attack.naive_inputs)
+        attacks.append(attack)
+    return ProgramSpec(
+        name="apache",
+        module_factory=lambda: build_apache_module(noise=noise),
+        detector="tsan",
+        entry="main",
+        workload_inputs=apache_workload_inputs(),
+        detect_seeds=range(12),
+        verify_seeds=range(8),
+        max_steps=200_000,
+        attacks=attacks,
+        paper_loc="290K",
+        paper_raw_reports=715,
+        paper_remaining_reports=10,
+        paper_adhoc_syncs=7,
+    )
+
+
+def build_linux_module(noise: bool = True) -> Module:
+    """One kernel: uselib/msync race + credential race + kernel noise."""
+    module = Module("linux")
+    b = IRBuilder(module)
+    uselib_handles = linux_uselib.build_into(b)
+    linux_proc.build_into(b)
+    extra: List[str] = []
+    if noise:
+        # Table 3 row Linux: 8 adhoc synchronizations.
+        setter, waiter = add_adhoc_sync_workers(b, 8, "kernel_sched.c",
+                                                first_line=8000)
+        producer, consumer = add_publish_races(b, 20, "kernel_rcu.c",
+                                               first_line=7000)
+        counters = add_benign_counters(b, 4, "kernel_stat.c", first_line=9000)
+        extra = [setter, waiter, producer, consumer, counters, counters]
+    b.begin_function("main", I32, [], source_file="init.c")
+    line = linux_uselib.setup_main_body(b, uselib_handles, line=900)
+    task = module.get_global("current_task")
+    b.store(0, b.field(task, "cap_effective", line=line), line=line)
+    b.store(1000, b.field(task, "uid", line=line), line=line)
+    line += 1
+    threads = []
+    names = ["sys_msync", "sys_uselib", "install_exec_creds", "sys_setuid"]
+    names += extra
+    for name in names:
+        target = module.get_function(name)
+        threads.append(b.call("thread_create", [target, b.null()], line=line))
+        line += 1
+    for handle in threads:
+        b.call("thread_join", [handle], line=line)
+        line += 1
+    b.ret(b.i32(0), line=line)
+    b.end_function()
+    verify_module(module)
+    return module
+
+
+def linux_workload_inputs() -> Dict:
+    inputs = {}
+    inputs.update(linux_uselib.workload_inputs())
+    inputs.update(linux_proc.workload_inputs())
+    return inputs
+
+
+def linux_spec(noise: bool = True) -> ProgramSpec:
+    def merge(specific: Dict) -> Dict:
+        inputs = linux_workload_inputs()
+        inputs.update(specific)
+        return inputs
+
+    attacks = []
+    for attack in (linux_uselib.linux_uselib_attack(),
+                   linux_proc.linux_proc_attack()):
+        attack.subtle_inputs = merge(attack.subtle_inputs)
+        attack.naive_inputs = merge(attack.naive_inputs)
+        attacks.append(attack)
+    return ProgramSpec(
+        name="linux",
+        module_factory=lambda: build_linux_module(noise=noise),
+        detector="ski",
+        entry="main",
+        workload_inputs=linux_workload_inputs(),
+        detect_seeds=range(16),
+        verify_seeds=range(8),
+        max_steps=250_000,
+        attacks=attacks,
+        paper_loc="2.8M",
+        paper_raw_reports=24641,
+        paper_remaining_reports=1718,
+        paper_adhoc_syncs=8,
+    )
+
+
+def all_specs() -> List[ProgramSpec]:
+    """The six evaluated programs, in the paper's table order."""
+    from repro.apps.chrome import chrome_spec
+    from repro.apps.libsafe import libsafe_spec
+    from repro.apps.memcached import memcached_spec
+    from repro.apps.mysql import mysql_spec
+    from repro.apps.ssdb import ssdb_spec
+
+    return [
+        apache_spec(),
+        chrome_spec(),
+        libsafe_spec(),
+        linux_spec(),
+        memcached_spec(),
+        mysql_spec(),
+        ssdb_spec(),
+    ]
+
+
+_FACTORIES: Dict[str, Callable[[], ProgramSpec]] = {}
+
+
+def spec_by_name(name: str) -> ProgramSpec:
+    """Look up any spec — combined or focused — by its name."""
+    if not _FACTORIES:
+        from repro.apps.apache_balancer import apache_balancer_spec
+        from repro.apps.apache_log import apache_log_spec
+        from repro.apps.apache_php import apache_php_spec
+        from repro.apps.chrome import chrome_spec
+        from repro.apps.libsafe import libsafe_spec
+        from repro.apps.linux_proc import linux_proc_spec
+        from repro.apps.linux_uselib import linux_uselib_spec
+        from repro.apps.memcached import memcached_spec
+        from repro.apps.mysql import mysql_spec
+        from repro.apps.ssdb import ssdb_spec
+
+        _FACTORIES.update({
+            "apache": apache_spec,
+            "apache_log": apache_log_spec,
+            "apache_balancer": apache_balancer_spec,
+            "apache_php": apache_php_spec,
+            "chrome": chrome_spec,
+            "libsafe": libsafe_spec,
+            "linux": linux_spec,
+            "linux_uselib": linux_uselib_spec,
+            "linux_proc": linux_proc_spec,
+            "memcached": memcached_spec,
+            "mysql": mysql_spec,
+            "ssdb": ssdb_spec,
+        })
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise KeyError("unknown program spec %r" % name) from None

@@ -1,0 +1,252 @@
+"""Model of the SSDB use-after-free concurrency attack (paper Figure 6).
+
+CVE-2016-1000324, the previously unknown attack OWL found.  During server
+shutdown, ``~BinlogQueue()`` frees the database object and sets ``db = NULL``
+(ssdb.cpp:200) while the log-clean thread is still running.  The clean thread
+checks ``logs->db`` at line 359; if the destructor runs *between* that check
+and the use inside ``del_range`` (the ``db->Write(...)`` virtual call at
+line 347, a function-pointer dereference), the thread dereferences freed
+memory — a use-after-free that "could cause log corruption or program crash
+if the memory area was reused".
+
+The model mirrors the figure's line numbers.  Alongside the vulnerable race
+the program carries ten publish-pattern races (binlog jobs handed between
+threads through racy pointers) which the race verifier cannot catch in the
+racing moment — reproducing SSDB's Table 3 row: 12 raw reports, 0 adhoc
+syncs, 10 eliminated by the race verifier, 2 remaining.
+"""
+
+from __future__ import annotations
+
+from repro.apps.support import add_publish_races
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.ir.types import FunctionType, I32, I64, I8, U64, VOID, ptr
+from repro.ir.verifier import verify_module
+from repro.owl.vuln_sites import VulnSiteType
+from repro.runtime.errors import FaultKind
+from repro.runtime.interpreter import VM
+from repro.spec import AttackGroundTruth, ProgramSpec
+
+#: input channels
+CH_WRITE_DELAY = 3     # IO delay inside del_range's db->Write (the window)
+CH_SHUTDOWN_DELAY = 4  # how long main serves before invoking the destructor
+
+CLEAN_ITERATIONS = 6
+
+
+def build_module() -> Module:
+    module = Module("ssdb")
+    b = IRBuilder(module)
+
+    binlog_struct = b.struct("BinlogQueue", [
+        ("thread_quit", I32),
+        ("db", U64),
+        ("start", I64),
+        ("end", I64),
+    ])
+    db_struct = b.struct("SSDB_DB", [
+        ("write_fn", U64),
+        ("records", I64),
+    ])
+    logs_global = b.global_var("binlog_queue", binlog_struct)
+
+    # ------------------------------------------------------------------
+    # the leveldb-backed Write implementation (target of db->Write)
+
+    b.set_location("ssdb.cpp", 100)
+    b.begin_function("db_write", I32, [("db", ptr(I8))], source_file="ssdb.cpp")
+    db = b.cast("bitcast", b.arg("db"), ptr(db_struct), line=101)
+    records = b.field(db, "records", line=102)
+    value = b.load(records, line=102)
+    b.store(b.add(value, 1, line=102), records, line=102)
+    b.ret(b.i32(0), line=103)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # del_range (Figure 6, lines 341-351)
+
+    b.set_location("ssdb.cpp", 341)
+    b.begin_function("del_range", I32,
+                     [("logs", ptr(binlog_struct)), ("start", I64), ("end", I64)],
+                     source_file="ssdb.cpp")
+    cursor = b.local(I64, "cursor", b.arg("start"), line=342)
+    b.br("while_cond", line=342)
+    b.at("while_cond")
+    current = b.load(cursor, line=342)
+    more = b.icmp("sle", current, b.arg("end"), line=342)
+    b.cond_br(more, "body", "out", line=342)
+    b.at("body")
+    delay = b.call("input_int", [b.i64(CH_WRITE_DELAY)], line=345)
+    b.call("io_delay", [delay], line=345)               # disk IO before the write
+    db_field = b.field(b.arg("logs"), "db", line=346)
+    db_value = b.load(db_field, line=346)
+    db_ptr = b.cast("inttoptr", db_value, ptr(db_struct), line=346)
+    write_slot = b.field(db_ptr, "write_fn", line=347)
+    write_fn = b.load(write_slot, line=347)             # use-after-free read
+    callee = b.cast(
+        "inttoptr", write_fn, ptr(FunctionType(I32, [ptr(I8)])), line=347,
+    )
+    b.call(callee, [b.cast("bitcast", db_ptr, ptr(I8), line=347)],
+           line=347)                                    # <- vulnerable site
+    b.store(b.add(current, 1, line=350), cursor, line=350)
+    b.br("while_cond", line=350)
+    b.at("out")
+    b.ret(b.i32(0), line=351)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # log_clean_thread_func (Figure 6, lines 355-380)
+
+    b.begin_function("log_clean_thread_func", I32, [("arg", ptr(I8))],
+                     source_file="ssdb.cpp")
+    logs = b.cast("bitcast", b.arg("arg"), ptr(binlog_struct), name="logs", line=356)
+    rounds = b.local(I64, "rounds", 0, line=357)
+    b.br("while_head", line=358)
+    b.at("while_head")
+    quit_field = b.field(logs, "thread_quit", line=358)
+    quit = b.load(quit_field, line=358)
+    keep_going = b.icmp("eq", quit, 0, line=358)
+    b.cond_br(keep_going, "check_db", "out", line=358)
+    b.at("check_db")
+    db_field = b.field(logs, "db", line=359)
+    db_value = b.load(db_field, line=359)               # the racy read
+    is_null = b.icmp("eq", db_value, 0, line=359)
+    b.cond_br(is_null, "out", "work", line=359)
+    b.at("work")
+    start = b.load(b.field(logs, "start", line=370), line=370)
+    end = b.load(b.field(logs, "end", line=370), line=370)
+    b.call("del_range", [logs, start, end], line=371)
+    done = b.load(rounds, line=375)
+    b.store(b.add(done, 1, line=375), rounds, line=375)
+    enough = b.icmp("sge", b.load(rounds, line=375), CLEAN_ITERATIONS, line=375)
+    b.cond_br(enough, "out", "while_head", line=375)
+    b.at("out")
+    b.ret(b.i32(0), line=380)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # ~BinlogQueue (Figure 6, lines 190-201)
+
+    b.begin_function("binlog_queue_destructor", VOID, [("logs", ptr(binlog_struct))],
+                     source_file="ssdb.cpp")
+    db_field = b.field(b.arg("logs"), "db", line=195)
+    db_value = b.load(db_field, line=195)
+    db_raw = b.cast("inttoptr", db_value, ptr(I8), line=195)
+    b.call("free", [db_raw], line=195)
+    b.store(0, db_field, line=200)                      # db = NULL (the racy write)
+    b.ret_void(line=201)
+    b.end_function()
+
+    # ------------------------------------------------------------------
+    # binlog job hand-off: ten publish-pattern races (eliminated by the
+    # race verifier; they model SSDB's remaining 10 raw reports)
+
+    producer, consumer = add_publish_races(b, 10, "binlog.cpp", first_line=7000)
+
+    # ------------------------------------------------------------------
+    # main: server startup, serving, shutdown
+
+    b.begin_function("main", I32, [], source_file="serv.cpp")
+    db_raw = b.call("malloc", [db_struct.size()], line=500)
+    db = b.cast("bitcast", db_raw, ptr(db_struct), line=500)
+    write_addr = b.cast("ptrtoint", module.get_function("db_write"), U64, line=501)
+    b.store(write_addr, b.field(db, "write_fn", line=501), line=501)
+    b.store(0, b.field(db, "records", line=501), line=501)
+    db_as_int = b.cast("ptrtoint", db_raw, U64, line=502)
+    b.store(db_as_int, b.field(logs_global, "db", line=502), line=502)
+    b.store(0, b.field(logs_global, "thread_quit", line=502), line=502)
+    b.store(1, b.field(logs_global, "start", line=503), line=503)
+    b.store(2, b.field(logs_global, "end", line=503), line=503)
+
+    clean = module.get_function("log_clean_thread_func")
+    logs_raw = b.cast("bitcast", logs_global, ptr(I8), line=504)
+    t_clean = b.call("thread_create", [clean, logs_raw], line=505)
+    t_prod = b.call("thread_create", [module.get_function(producer), b.null()],
+                    line=506)
+    t_cons = b.call("thread_create", [module.get_function(consumer), b.null()],
+                    line=507)
+    shutdown_delay = b.call("input_int", [b.i64(CH_SHUTDOWN_DELAY)], line=508)
+    b.call("io_delay", [shutdown_delay], line=508)
+    b.call("binlog_queue_destructor", [logs_global], line=509)  # shutdown
+    b.call("thread_join", [t_clean], line=510)
+    b.call("thread_join", [t_prod], line=511)
+    b.call("thread_join", [t_cons], line=512)
+    b.ret(b.i32(0), line=513)
+    b.end_function()
+
+    verify_module(module)
+    return module
+
+
+# ---------------------------------------------------------------------------
+# inputs and predicates
+
+
+def workload_inputs() -> dict:
+    """The testing workload: quick writes, shutdown after serving.
+
+    The attack stays latent here — the shutdown normally lands after the
+    clean thread has finished — but the racy accesses still execute in every
+    run, so the happens-before detector reports them.
+    """
+    return {CH_WRITE_DELAY: [5], CH_SHUTDOWN_DELAY: [4000]}
+
+
+def exploit_inputs() -> dict:
+    """Subtle inputs: stretch the IO window inside db->Write so the
+    destructor lands between the line-359 check and the line-347 use."""
+    return {CH_WRITE_DELAY: [160], CH_SHUTDOWN_DELAY: [60]}
+
+
+def naive_inputs() -> dict:
+    """Shutdown long after the clean thread finished: no window at all."""
+    return {CH_WRITE_DELAY: [1], CH_SHUTDOWN_DELAY: [30_000]}
+
+
+def attack_realized(vm: VM) -> bool:
+    """The use-after-free (or the NULL deref through the freed pointer)."""
+    return any(
+        fault.kind in (FaultKind.USE_AFTER_FREE, FaultKind.NULL_DEREF)
+        for fault in vm.faults
+    )
+
+
+# ---------------------------------------------------------------------------
+# the spec
+
+
+def ssdb_spec() -> ProgramSpec:
+    attack = AttackGroundTruth(
+        attack_id="ssdb-cve-2016-1000324",
+        name="SSDB BinlogQueue use-after-free",
+        vuln_type=VulnSiteType.NULL_PTR_DEREF,
+        site_location=("ssdb.cpp", 347),
+        racy_variable="binlog_queue.db",
+        subtle_inputs=exploit_inputs(),
+        naive_inputs=naive_inputs(),
+        racing_order="read-first",
+        predicate=attack_realized,
+        description=(
+            "~BinlogQueue frees db and NULLs the pointer while "
+            "log_clean_thread_func is between its check (line 359) and the "
+            "db->Write function-pointer dereference (line 347)."
+        ),
+        reference="CVE-2016-1000324, paper Figure 6 / section 8.4",
+        subtle_input_summary="Server shutdown during log compaction",
+    )
+    return ProgramSpec(
+        name="ssdb",
+        module_factory=build_module,
+        detector="tsan",
+        entry="main",
+        workload_inputs=workload_inputs(),
+        detect_seeds=range(14),
+        verify_seeds=range(8),
+        max_steps=80_000,
+        attacks=[attack],
+        paper_loc="67K",
+        paper_raw_reports=12,
+        paper_remaining_reports=2,
+        paper_adhoc_syncs=0,
+    )

@@ -1,0 +1,156 @@
+"""Command-line interface: ``owl <command>``.
+
+Commands:
+
+- ``owl detect <program>`` — run the full pipeline on one target and print
+  the per-stage counters, vulnerable input hints, and verified attacks.
+- ``owl exploit <attack-id>`` — drive one of the ten exploit scripts.
+- ``owl exploits`` — drive all ten.
+- ``owl export <program> <path>`` — run the pipeline and save JSON results.
+- ``owl study`` — print the section-3 study findings.
+- ``owl list`` — list available targets and attack ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_list(_args) -> int:
+    from repro.exploits import list_exploits
+
+    print("targets:")
+    for name in ("apache", "apache_log", "apache_balancer", "apache_php",
+                 "chrome", "libsafe", "linux", "linux_uselib", "linux_proc",
+                 "memcached", "mysql", "ssdb"):
+        print("  %s" % name)
+    print("attacks:")
+    for spec_name, attack_id in list_exploits():
+        print("  %-28s (in %s)" % (attack_id, spec_name))
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    from repro import OwlPipeline, spec_by_name
+    from repro.owl.hints import format_full_report
+
+    spec = spec_by_name(args.program)
+    pipeline = OwlPipeline(spec)
+    result = pipeline.run()
+    counters = result.counters
+    print("== OWL pipeline: %s ==" % spec.name)
+    print("race reports (R.R.):            %d" % counters.raw_reports)
+    print("adhoc syncs annotated (A.S.):   %d" % counters.adhoc_syncs)
+    print("reports after annotation:       %d" % counters.after_annotation)
+    print("race verifier eliminated:       %d" % counters.verifier_eliminated)
+    print("remaining reports (R.):         %d" % counters.remaining)
+    print("vulnerability reports:          %d" % counters.vulnerability_reports)
+    print("report reduction:               %.1f%%" % (
+        100.0 * counters.reduction_ratio))
+    for vulnerability in result.vulnerabilities:
+        print()
+        print(format_full_report(vulnerability))
+    print()
+    realized = result.realized_attacks()
+    print("verified attacks: %d" % len(realized))
+    for attack in realized:
+        label = attack.ground_truth.attack_id if attack.ground_truth else "unknown"
+        print("  %s: %s" % (label, attack.verification.describe()))
+    return 0
+
+
+def _cmd_exploit(args) -> int:
+    from repro.exploits import exploit_by_id
+
+    outcome = exploit_by_id(args.attack_id, max_repetitions=args.repetitions)
+    print(outcome.describe())
+    return 0 if outcome.success else 1
+
+
+def _cmd_exploits(args) -> int:
+    from repro.exploits import run_all_exploits
+
+    outcomes = run_all_exploits(max_repetitions=args.repetitions)
+    failures = 0
+    for outcome in outcomes:
+        print(outcome.describe())
+        if not outcome.success:
+            failures += 1
+    under_20 = sum(1 for o in outcomes if o.success and o.repetitions < 20)
+    print()
+    print("%d/%d exploited; %d under 20 repetitions (paper: 8/10)" % (
+        len(outcomes) - failures, len(outcomes), under_20))
+    return 0 if failures == 0 else 1
+
+
+def _cmd_export(args) -> int:
+    from repro import OwlPipeline, spec_by_name
+    from repro.owl.export import save_result
+
+    spec = spec_by_name(args.program)
+    result = OwlPipeline(spec).run()
+    save_result(result, args.path)
+    print("wrote %s (%d vulnerability reports, %d realized attacks)" % (
+        args.path, result.counters.vulnerability_reports,
+        len(result.realized_attacks()),
+    ))
+    return 0
+
+
+def _cmd_study(_args) -> int:
+    from repro.study import (
+        finding1_severity, finding2_spread, finding3_repetitions,
+        finding4_bug_types, finding5_burial,
+    )
+
+    for title, finding in (
+        ("Finding I: severity", finding1_severity()),
+        ("Finding II: spread", finding2_spread()),
+        ("Finding III: repetitions", finding3_repetitions()),
+        ("Finding IV: bug types", finding4_bug_types()),
+        ("Finding V: report burial", finding5_burial()),
+    ):
+        print("== %s ==" % title)
+        for key, value in finding.items():
+            print("  %s: %s" % (key, value))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="owl",
+        description="OWL (DSN 2018) reproduction: directed concurrency "
+                    "attack detection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list targets and attacks").set_defaults(
+        func=_cmd_list)
+    detect = sub.add_parser("detect", help="run the OWL pipeline on a target")
+    detect.add_argument("program")
+    detect.set_defaults(func=_cmd_detect)
+    exploit = sub.add_parser("exploit", help="run one exploit script")
+    exploit.add_argument("attack_id")
+    exploit.add_argument("--repetitions", type=int, default=50)
+    exploit.set_defaults(func=_cmd_exploit)
+    exploits = sub.add_parser("exploits", help="run all ten exploit scripts")
+    exploits.add_argument("--repetitions", type=int, default=50)
+    exploits.set_defaults(func=_cmd_exploits)
+    export = sub.add_parser("export", help="run the pipeline, save JSON")
+    export.add_argument("program")
+    export.add_argument("path")
+    export.set_defaults(func=_cmd_export)
+    sub.add_parser("study", help="print the study findings").set_defaults(
+        func=_cmd_study)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

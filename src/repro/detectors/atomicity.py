@@ -1,0 +1,121 @@
+"""A CTrigger-style atomicity-violation detector.
+
+The paper positions atomicity-violation detection as a complementary front
+end: "OWL can also integrate with other bug detection tools (e.g., process
+races and atomicity bugs [CTrigger]) to detect concurrency attacks caused
+by such bugs" (section 7.2), and names the integration future work
+(section 8.3).  This module implements that integration.
+
+Detection follows the classic unserializable-interleaving taxonomy (Lu et
+al. / CTrigger): for two consecutive accesses by one thread to the same
+location with a remote access interleaved between them, the patterns
+
+- R-W-R  (non-repeatable read),
+- W-W-R  (the reader sees a half-done update),
+- R-W-W  (lost local update),
+- W-R-W  (the remote read observes a dirty intermediate value)
+
+are unserializable.  Each finding is emitted as a standard
+:class:`repro.detectors.report.RaceReport` (detector tag ``"ctrigger"``,
+pattern recorded in ``tags``), so OWL's verifiers and Algorithm 1 consume
+atomicity violations exactly like data races — the integration contract of
+section 6.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.detectors.report import AccessRecord, RaceReport, ReportSet
+from repro.ir.module import Module
+from repro.runtime.events import AccessEvent, TraceObserver
+from repro.runtime.interpreter import VM, ExecutionResult
+from repro.runtime.scheduler import RandomScheduler
+
+#: (first local, remote, second local) access patterns that are
+#: unserializable; True = write, False = read.
+UNSERIALIZABLE_PATTERNS = {
+    (False, True, False): "R-W-R (non-repeatable read)",
+    (True, True, False): "W-W-R (reads half-done update)",
+    (False, True, True): "R-W-W (lost update)",
+    (True, False, True): "W-R-W (dirty intermediate read)",
+}
+
+
+class _LocationHistory:
+    """Per-address: last access per thread + last access overall."""
+
+    __slots__ = ("per_thread", "last")
+
+    def __init__(self):
+        self.per_thread: Dict[int, AccessRecord] = {}
+        self.last: Optional[AccessRecord] = None
+
+
+class AtomicityDetector(TraceObserver):
+    """Flags unserializable interleavings on shared locations."""
+
+    name = "ctrigger"
+    PATTERN_TAG = "atomicity-pattern"
+
+    def __init__(self, reports: Optional[ReportSet] = None):
+        self.reports = reports if reports is not None else ReportSet()
+        self._history: Dict[int, _LocationHistory] = {}
+
+    def on_access(self, event: AccessEvent) -> None:
+        if event.is_atomic:
+            return
+        record = AccessRecord(
+            event.instruction, event.thread_id, event.is_write, event.value,
+            event.call_stack, event.address, step=event.step,
+        )
+        history = self._history.get(event.address)
+        if history is None:
+            history = _LocationHistory()
+            self._history[event.address] = history
+        previous_local = history.per_thread.get(event.thread_id)
+        last = history.last
+        if (
+            previous_local is not None
+            and last is not None
+            and last.thread_id != event.thread_id
+            and last.step > previous_local.step
+        ):
+            pattern_key = (previous_local.is_write, last.is_write,
+                           record.is_write)
+            pattern = UNSERIALIZABLE_PATTERNS.get(pattern_key)
+            if pattern is not None:
+                self._report(previous_local, last, record, pattern,
+                             event.variable)
+        history.per_thread[event.thread_id] = record
+        history.last = record
+
+    def _report(self, local_first: AccessRecord, remote: AccessRecord,
+                local_second: AccessRecord, pattern: str,
+                variable: Optional[str]) -> None:
+        # The report pairs the remote access with the *reading* side so
+        # Algorithm 1 has a racy load to start from where possible.
+        local = local_second if not local_second.is_write else local_first
+        report = RaceReport(remote, local, variable=variable,
+                            detector=self.name)
+        report.tags[self.PATTERN_TAG] = pattern
+        self.reports.add(report)
+
+
+def run_atomicity(
+    module: Module,
+    entry: str = "main",
+    inputs: Optional[Dict] = None,
+    seeds: Sequence[int] = range(10),
+    max_steps: int = 200_000,
+) -> Tuple[ReportSet, List[ExecutionResult]]:
+    """Run the atomicity detector over several schedules; merged reports."""
+    reports = ReportSet()
+    results: List[ExecutionResult] = []
+    for seed in seeds:
+        vm = VM(module, scheduler=RandomScheduler(seed), inputs=inputs,
+                max_steps=max_steps, seed=seed)
+        vm.add_observer(AtomicityDetector(reports=reports))
+        vm.start(entry)
+        results.append(vm.run())
+    return reports, results

@@ -1,0 +1,246 @@
+"""A happens-before data race detector in the spirit of ThreadSanitizer.
+
+The detector attaches to the VM as a trace observer and maintains FastTrack-
+style shadow state: per-thread vector clocks, per-sync-object clocks, and per
+byte of shared memory the last-write epoch plus the read epochs since.  Two
+accesses race when they touch the same byte, at least one writes, and neither
+happens-before the other.
+
+Reports carry both call stacks.  A corrupted-address *watch list* implements
+the paper's section 6.3 detector modification: once a race is found on an
+address, every subsequent read of it is recorded (with its call stack) into
+the report, and a write "sanitizes" the address.  This gives Algorithm 1 a
+racy *load* to start from even for write-write races.
+
+OWL's adhoc-sync annotations (section 5.1) are honoured exactly like TSan
+markups: an annotated flag write acts as a release, the annotated read as an
+acquire, and the annotated pair itself is not reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.detectors.annotations import AnnotationSet
+from repro.detectors.report import AccessRecord, RaceReport, ReportSet
+from repro.detectors.vectorclock import VectorClock
+from repro.ir.module import Module
+from repro.runtime.events import (
+    AccessEvent,
+    SyncEvent,
+    ThreadLifecycleEvent,
+    TraceObserver,
+)
+from repro.runtime.interpreter import VM, ExecutionResult
+from repro.runtime.scheduler import RandomScheduler, Scheduler
+
+
+class _ByteShadow:
+    """Shadow state for one byte of shared memory."""
+
+    __slots__ = ("last_write", "reads")
+
+    def __init__(self):
+        # (thread_id, clock, AccessRecord) of the most recent write.
+        self.last_write: Optional[Tuple[int, int, AccessRecord]] = None
+        # (thread_id, instruction uid) -> (clock, AccessRecord) for reads
+        # since the last write.  Keyed per instruction, not just per thread,
+        # so one write racing with several distinct racy loads yields one
+        # report per static pair (the Figure 6 store races with both the
+        # line-359 check and the line-346 use).
+        self.reads: Dict[Tuple[int, int], Tuple[int, AccessRecord]] = {}
+
+
+class TSanDetector(TraceObserver):
+    """The happens-before engine; one instance per VM execution."""
+
+    name = "tsan"
+
+    def __init__(self, annotations: Optional[AnnotationSet] = None,
+                 reports: Optional[ReportSet] = None):
+        self.annotations = annotations or AnnotationSet()
+        self.reports = reports if reports is not None else ReportSet()
+        self._thread_clocks: Dict[int, VectorClock] = {}
+        self._sync_clocks: Dict[int, VectorClock] = {}
+        self._final_clocks: Dict[int, VectorClock] = {}
+        self._shadow: Dict[int, _ByteShadow] = {}
+        #: watched corrupted addresses -> reports collecting read stacks
+        self._watches: Dict[int, List[RaceReport]] = {}
+        self.access_count = 0
+
+    # ------------------------------------------------------------------
+    # clock helpers
+
+    def _clock_of(self, thread_id: int) -> VectorClock:
+        clock = self._thread_clocks.get(thread_id)
+        if clock is None:
+            clock = VectorClock({thread_id: 1})
+            self._thread_clocks[thread_id] = clock
+        return clock
+
+    # ------------------------------------------------------------------
+    # observer hooks
+
+    def on_thread(self, event: ThreadLifecycleEvent) -> None:
+        if event.kind == ThreadLifecycleEvent.CREATE:
+            parent = self._clock_of(event.thread_id)
+            child = self._clock_of(event.other_thread_id)
+            child.join(parent)
+            parent.tick(event.thread_id)
+        elif event.kind == ThreadLifecycleEvent.EXIT:
+            self._final_clocks[event.thread_id] = self._clock_of(event.thread_id).copy()
+        elif event.kind == ThreadLifecycleEvent.JOIN:
+            final = self._final_clocks.get(event.other_thread_id)
+            if final is not None:
+                self._clock_of(event.thread_id).join(final)
+
+    def on_sync(self, event: SyncEvent) -> None:
+        clock = self._clock_of(event.thread_id)
+        if event.kind == SyncEvent.ACQUIRE:
+            published = self._sync_clocks.get(event.address)
+            if published is not None:
+                clock.join(published)
+        else:  # release
+            clock.tick(event.thread_id)
+            self._sync_clocks[event.address] = clock.copy()
+
+    def on_access(self, event: AccessEvent) -> None:
+        self.access_count += 1
+        annotated_release = event.is_write and self.annotations.is_release(
+            event.instruction
+        )
+        annotated_acquire = (not event.is_write) and self.annotations.is_acquire(
+            event.instruction
+        )
+        if annotated_acquire:
+            # Acquire the clock published by the annotated flag write.
+            self.on_sync(SyncEvent(
+                event.thread_id, event.step, SyncEvent.ACQUIRE, event.address,
+            ))
+        if event.is_atomic:
+            kind = SyncEvent.RELEASE if event.is_write else SyncEvent.ACQUIRE
+            self.on_sync(SyncEvent(event.thread_id, event.step, kind, event.address))
+            return
+        clock = self._clock_of(event.thread_id)
+        record = AccessRecord(
+            event.instruction, event.thread_id, event.is_write, event.value,
+            event.call_stack, event.address, step=event.step,
+        )
+        own_clock = clock.get(event.thread_id)
+        # Service watches before race checking: a racy write that *creates* a
+        # watch (below) must not immediately sanitize it, and the racy read
+        # that constitutes a report is not also a "subsequent" read.
+        self._service_watches(event, record)
+        for offset in range(event.size):
+            self._check_byte(event.address + offset, record, clock, own_clock,
+                             event.variable)
+        if annotated_release:
+            # Publish this thread's clock on the flag address (TSan markup).
+            self.on_sync(SyncEvent(
+                event.thread_id, event.step, SyncEvent.RELEASE, event.address,
+            ))
+
+    # ------------------------------------------------------------------
+    # race checking
+
+    def _annotated_pair(self, a: AccessRecord, b: AccessRecord) -> bool:
+        """Whether both sides belong to the same annotated adhoc sync."""
+        instructions = {a.instruction, b.instruction}
+        for annotation in self.annotations:
+            if instructions == {annotation.read_instruction,
+                                annotation.write_instruction}:
+                return True
+        return False
+
+    def _check_byte(self, address: int, record: AccessRecord, clock: VectorClock,
+                    own_clock: int, variable: Optional[str]) -> None:
+        shadow = self._shadow.get(address)
+        if shadow is None:
+            shadow = _ByteShadow()
+            self._shadow[address] = shadow
+        write = shadow.last_write
+        if (
+            write is not None
+            and write[0] != record.thread_id
+            and not clock.ordered_with(write[0], write[1])
+            and not self._annotated_pair(write[2], record)
+        ):
+            self._report(write[2], record, variable)
+        if record.is_write:
+            for (thread_id, _uid), (read_clock, read_record) in shadow.reads.items():
+                if (
+                    thread_id != record.thread_id
+                    and not clock.ordered_with(thread_id, read_clock)
+                    and not self._annotated_pair(read_record, record)
+                ):
+                    self._report(read_record, record, variable)
+            shadow.last_write = (record.thread_id, own_clock, record)
+            shadow.reads = {}
+        else:
+            key = (record.thread_id, record.instruction.uid or 0)
+            shadow.reads[key] = (own_clock, record)
+
+    def _report(self, prior: AccessRecord, current: AccessRecord,
+                variable: Optional[str]) -> None:
+        report = RaceReport(prior, current, variable=variable, detector=self.name)
+        if self.reports.add(report):
+            self._watch(report)
+        else:
+            # Already known statically: still feed the watch list.
+            for known in self.reports:
+                if known.static_key == report.static_key:
+                    self._watch(known)
+                    break
+
+    # ------------------------------------------------------------------
+    # corrupted-address watch list (paper section 6.3)
+
+    def _watch(self, report: RaceReport) -> None:
+        self._watches.setdefault(report.address, [])
+        if report not in self._watches[report.address]:
+            self._watches[report.address].append(report)
+
+    def _service_watches(self, event: AccessEvent, record: AccessRecord) -> None:
+        watchers = self._watches.get(event.address)
+        if not watchers:
+            return
+        if event.is_write:
+            # A write sanitizes the corrupted value; stop watching.
+            self._watches.pop(event.address, None)
+            return
+        for report in watchers:
+            if record.instruction is not report.first.instruction and \
+                    record.instruction is not report.second.instruction:
+                report.subsequent_reads.append(record)
+
+
+def run_tsan(
+    module: Module,
+    entry: str = "main",
+    inputs: Optional[Dict] = None,
+    seeds: Sequence[int] = range(10),
+    annotations: Optional[AnnotationSet] = None,
+    max_steps: int = 200_000,
+    scheduler_factory=None,
+    entry_args: Sequence[int] = (),
+) -> Tuple[ReportSet, List[ExecutionResult]]:
+    """Run the detector over several schedules and merge the reports.
+
+    Each seed is one program execution under a random schedule — the
+    equivalent of repeatedly running a TSan-instrumented binary on the same
+    testing workload.
+    """
+    reports = ReportSet()
+    results: List[ExecutionResult] = []
+    for seed in seeds:
+        scheduler: Scheduler = (
+            scheduler_factory(seed) if scheduler_factory is not None
+            else RandomScheduler(seed)
+        )
+        vm = VM(module, scheduler=scheduler, inputs=inputs, max_steps=max_steps,
+                seed=seed)
+        detector = TSanDetector(annotations=annotations, reports=reports)
+        vm.add_observer(detector)
+        vm.start(entry, entry_args)
+        results.append(vm.run())
+    return reports, results

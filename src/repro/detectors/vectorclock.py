@@ -1,0 +1,47 @@
+"""Vector clocks for happens-before race detection."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class VectorClock:
+    """A sparse vector clock mapping thread id -> logical clock."""
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: Dict[int, int] = None):
+        self._clocks: Dict[int, int] = dict(clocks) if clocks else {}
+
+    def get(self, thread_id: int) -> int:
+        return self._clocks.get(thread_id, 0)
+
+    def tick(self, thread_id: int) -> None:
+        self._clocks[thread_id] = self._clocks.get(thread_id, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum, in place."""
+        for thread_id, clock in other._clocks.items():
+            if clock > self._clocks.get(thread_id, 0):
+                self._clocks[thread_id] = clock
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clocks)
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """self <= other pointwise (self's knowledge is contained in other's)."""
+        return all(
+            clock <= other._clocks.get(thread_id, 0)
+            for thread_id, clock in self._clocks.items()
+        )
+
+    def ordered_with(self, thread_id: int, clock: int) -> bool:
+        """Whether the event (thread_id, clock) happens-before this clock."""
+        return clock <= self._clocks.get(thread_id, 0)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._clocks.items())
+
+    def __repr__(self) -> str:
+        inner = ", ".join("t%d:%d" % kv for kv in sorted(self._clocks.items()))
+        return "<VC %s>" % inner

@@ -1,0 +1,110 @@
+"""LLVM-like typed SSA intermediate representation.
+
+This package is the substrate that stands in for LLVM bitcode in the OWL
+reproduction (paper section 6.1 operates on "a program's LLVM bitcode in SSA
+form").  It provides:
+
+- a small type system (:mod:`repro.ir.types`),
+- SSA values, constants and globals (:mod:`repro.ir.values`),
+- the instruction set (:mod:`repro.ir.instructions`),
+- functions, basic blocks and modules (:mod:`repro.ir.function`,
+  :mod:`repro.ir.module`),
+- a builder DSL used to write the model target programs
+  (:mod:`repro.ir.builder`),
+- CFG analyses: dominators, postdominators, control dependence and natural
+  loops (:mod:`repro.ir.cfg`),
+- a textual printer producing Figure-5-style instruction renderings
+  (:mod:`repro.ir.printer`), and
+- a structural verifier (:mod:`repro.ir.verifier`).
+"""
+
+from repro.ir.types import (
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VoidType,
+    I1,
+    I8,
+    I32,
+    I64,
+    U64,
+    VOID,
+    ptr,
+)
+from repro.ir.values import (
+    Argument,
+    Constant,
+    ConstantInt,
+    GlobalVariable,
+    NullPointer,
+    SourceLocation,
+    Value,
+)
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Ret,
+    Store,
+)
+from repro.ir.function import BasicBlock, ExternalFunction, Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import format_instruction, print_function, print_module
+from repro.ir.cfg import ControlFlowInfo
+from repro.ir.verifier import IRVerificationError, verify_module
+
+__all__ = [
+    "ArrayType",
+    "FunctionType",
+    "IntType",
+    "PointerType",
+    "StructType",
+    "Type",
+    "VoidType",
+    "I1",
+    "I8",
+    "I32",
+    "I64",
+    "U64",
+    "VOID",
+    "ptr",
+    "Argument",
+    "Constant",
+    "ConstantInt",
+    "GlobalVariable",
+    "NullPointer",
+    "SourceLocation",
+    "Value",
+    "Alloca",
+    "BinOp",
+    "Br",
+    "Call",
+    "Cast",
+    "GetElementPtr",
+    "ICmp",
+    "Instruction",
+    "Load",
+    "Ret",
+    "Store",
+    "BasicBlock",
+    "ExternalFunction",
+    "Function",
+    "Module",
+    "IRBuilder",
+    "format_instruction",
+    "print_function",
+    "print_module",
+    "ControlFlowInfo",
+    "IRVerificationError",
+    "verify_module",
+]

@@ -1,0 +1,345 @@
+"""A fluent builder for constructing IR modules.
+
+The model target programs (``repro.apps``) are written against this DSL.  It
+keeps track of the current insertion block and a current source location so
+programs can mirror the line numbers quoted in the paper's figures::
+
+    b = IRBuilder(Module("libsafe"))
+    dying = b.global_var("dying", I32)
+    f = b.begin_function("stack_check", I32, [("addr", ptr(I8))],
+                         source_file="util.c")
+    value = b.load(dying, line=145)
+    ...
+    b.end_function()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.ir.function import BasicBlock, ExternalFunction, Function
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Ret,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.stdlib import STDLIB_PROTOTYPES
+from repro.ir.types import (
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    I1,
+    I8,
+    I32,
+    I64,
+    VOID,
+)
+from repro.ir.values import (
+    Argument,
+    ConstantInt,
+    GlobalVariable,
+    NullPointer,
+    SourceLocation,
+    Value,
+)
+
+ParamSpec = Tuple[str, Type]
+
+
+class IRBuilder:
+    """Incrementally builds functions inside a :class:`Module`."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.function: Optional[Function] = None
+        self.block: Optional[BasicBlock] = None
+        self._current_file = "<unknown>"
+        self._current_line = 0
+
+    # ------------------------------------------------------------------
+    # module-level pieces
+
+    def struct(self, name: str, fields: Sequence[Tuple[str, Type]]) -> StructType:
+        return self.module.add_struct(StructType(name, fields))
+
+    def global_var(self, name: str, value_type: Type, initializer=None) -> GlobalVariable:
+        return self.module.add_global(GlobalVariable(name, value_type, initializer))
+
+    def global_string(self, name: str, text: str) -> GlobalVariable:
+        data = text.encode() + b"\x00"
+        return self.global_var(name, ArrayType(I8, len(data)), data)
+
+    def extern(self, name: str) -> ExternalFunction:
+        """Declare (or fetch) a stdlib external by name."""
+        if name in self.module.externals:
+            return self.module.externals[name]
+        return self.module.declare_external(name, STDLIB_PROTOTYPES[name])
+
+    def declare(self, name: str, ftype: FunctionType) -> ExternalFunction:
+        return self.module.declare_external(name, ftype)
+
+    # ------------------------------------------------------------------
+    # function / block management
+
+    def begin_function(
+        self,
+        name: str,
+        return_type: Type,
+        params: Sequence[ParamSpec] = (),
+        source_file: Optional[str] = None,
+    ) -> Function:
+        if self.function is not None:
+            raise ValueError(
+                "begin_function(%r) while %r is still open" % (name, self.function.name)
+            )
+        param_names = [p[0] for p in params]
+        param_types = [p[1] for p in params]
+        ftype = FunctionType(return_type, param_types)
+        function = Function(
+            name, ftype, param_names, source_file=source_file or self._current_file
+        )
+        self.module.add_function(function)
+        self.function = function
+        if source_file:
+            self._current_file = source_file
+        self.block = function.add_block("entry")
+        return function
+
+    def end_function(self) -> Function:
+        if self.function is None:
+            raise ValueError("end_function() with no open function")
+        function = self.function
+        for block in function.blocks:
+            if block.terminator is None:
+                raise ValueError(
+                    "block %s.%s lacks a terminator" % (function.name, block.name)
+                )
+        self.function = None
+        self.block = None
+        return function
+
+    def add_block(self, name: str) -> BasicBlock:
+        """Create a block in the current function without moving insertion."""
+        return self._require_function().add_block(name)
+
+    def at(self, block: Union[str, BasicBlock]) -> BasicBlock:
+        """Move the insertion point to ``block`` (by name or object)."""
+        function = self._require_function()
+        if isinstance(block, str):
+            block = function.get_block(block)
+        if block.function is not function:
+            raise ValueError("block %s belongs to another function" % block.name)
+        self.block = block
+        return block
+
+    def block_here(self, name: str) -> BasicBlock:
+        """Create a block and position the builder at it."""
+        return self.at(self.add_block(name))
+
+    def arg(self, name: str) -> Argument:
+        for argument in self._require_function().arguments:
+            if argument.name == name:
+                return argument
+        raise KeyError(
+            "function %s has no parameter %r" % (self._require_function().name, name)
+        )
+
+    # ------------------------------------------------------------------
+    # source locations
+
+    def set_location(self, filename: Optional[str] = None, line: Optional[int] = None):
+        if filename is not None:
+            self._current_file = filename
+        if line is not None:
+            self._current_line = line
+
+    def _place(self, instruction: Instruction, line: Optional[int]) -> Instruction:
+        if line is not None:
+            self._current_line = line
+        instruction.location = SourceLocation(self._current_file, self._current_line)
+        self._require_block().append(instruction)
+        return instruction
+
+    # ------------------------------------------------------------------
+    # constants
+
+    def const(self, type_: IntType, value: int) -> ConstantInt:
+        return ConstantInt(type_, value)
+
+    def i1(self, value: int) -> ConstantInt:
+        return ConstantInt(I1, value)
+
+    def i8(self, value: int) -> ConstantInt:
+        return ConstantInt(I8, value)
+
+    def i32(self, value: int) -> ConstantInt:
+        return ConstantInt(I32, value)
+
+    def i64(self, value: int) -> ConstantInt:
+        return ConstantInt(I64, value)
+
+    def null(self, pointee: Optional[Type] = None) -> NullPointer:
+        return NullPointer(PointerType(pointee) if pointee is not None else None)
+
+    # ------------------------------------------------------------------
+    # instructions
+
+    def alloca(self, type_: Type, name: str = "", line: Optional[int] = None) -> Alloca:
+        return self._place(Alloca(type_, name=name), line)
+
+    def load(self, pointer: Value, name: str = "", line: Optional[int] = None,
+             atomic: bool = False) -> Load:
+        return self._place(Load(pointer, name=name, atomic=atomic), line)
+
+    def store(self, value: Union[Value, int], pointer: Value,
+              line: Optional[int] = None, atomic: bool = False) -> Store:
+        value = self._coerce(value, pointer.type.pointee)
+        return self._place(Store(value, pointer, atomic=atomic), line)
+
+    def binop(self, op: str, lhs: Value, rhs: Union[Value, int], name: str = "",
+              line: Optional[int] = None) -> BinOp:
+        rhs = self._coerce(rhs, lhs.type)
+        return self._place(BinOp(op, lhs, rhs, name=name), line)
+
+    def add(self, lhs, rhs, name="", line=None):
+        return self.binop("add", lhs, rhs, name=name, line=line)
+
+    def sub(self, lhs, rhs, name="", line=None):
+        return self.binop("sub", lhs, rhs, name=name, line=line)
+
+    def mul(self, lhs, rhs, name="", line=None):
+        return self.binop("mul", lhs, rhs, name=name, line=line)
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Union[Value, int], name: str = "",
+             line: Optional[int] = None) -> ICmp:
+        rhs = self._coerce(rhs, lhs.type)
+        return self._place(ICmp(predicate, lhs, rhs, name=name), line)
+
+    def br(self, target: Union[str, BasicBlock], line: Optional[int] = None) -> Br:
+        return self._place(Br(None, self._resolve_block(target)), line)
+
+    def cond_br(self, condition: Value, true_target, false_target,
+                line: Optional[int] = None) -> Br:
+        return self._place(
+            Br(condition, self._resolve_block(true_target),
+               self._resolve_block(false_target)),
+            line,
+        )
+
+    def call(self, callee, args: Sequence[Union[Value, int]] = (), name: str = "",
+             line: Optional[int] = None) -> Call:
+        if isinstance(callee, str):
+            callee = self._resolve_callee(callee)
+        coerced = self._coerce_args(callee, list(args))
+        return self._place(Call(callee, coerced, name=name), line)
+
+    def ret(self, value: Optional[Union[Value, int]] = None,
+            line: Optional[int] = None) -> Ret:
+        function = self._require_function()
+        if value is not None:
+            value = self._coerce(value, function.ftype.return_type)
+        return self._place(Ret(value), line)
+
+    def ret_void(self, line: Optional[int] = None) -> Ret:
+        return self.ret(None, line=line)
+
+    def field(self, base: Value, field_name: str, name: str = "",
+              line: Optional[int] = None) -> GetElementPtr:
+        return self._place(GetElementPtr(base, field=field_name, name=name), line)
+
+    def index(self, base: Value, index: Union[Value, int], name: str = "",
+              line: Optional[int] = None) -> GetElementPtr:
+        index = self._coerce(index, I64)
+        return self._place(GetElementPtr(base, index=index, name=name), line)
+
+    def cast(self, kind: str, value: Value, to_type: Type, name: str = "",
+             line: Optional[int] = None) -> Cast:
+        return self._place(Cast(kind, value, to_type, name=name), line)
+
+    def atomicrmw(self, op: str, pointer: Value, value: Union[Value, int],
+                  name: str = "", line: Optional[int] = None) -> AtomicRMW:
+        value = self._coerce(value, pointer.type.pointee)
+        return self._place(AtomicRMW(op, pointer, value, name=name), line)
+
+    # ------------------------------------------------------------------
+    # composite helpers
+
+    def local(self, type_: Type, name: str, init: Optional[Union[Value, int]] = None,
+              line: Optional[int] = None) -> Alloca:
+        """An alloca with optional initial store, like a C local declaration."""
+        slot = self.alloca(type_, name=name, line=line)
+        if init is not None:
+            self.store(init, slot, line=line)
+        return slot
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _require_function(self) -> Function:
+        if self.function is None:
+            raise ValueError("no function is open; call begin_function() first")
+        return self.function
+
+    def _require_block(self) -> BasicBlock:
+        if self.block is None:
+            raise ValueError("no insertion block; call at() or block_here() first")
+        return self.block
+
+    def _resolve_block(self, target: Union[str, BasicBlock]) -> BasicBlock:
+        if isinstance(target, str):
+            function = self._require_function()
+            try:
+                return function.get_block(target)
+            except KeyError:
+                return function.add_block(target)
+        return target
+
+    def _resolve_callee(self, name: str):
+        if name in self.module.functions:
+            return self.module.functions[name]
+        if name in self.module.externals:
+            return self.module.externals[name]
+        if name in STDLIB_PROTOTYPES:
+            return self.extern(name)
+        raise KeyError("unknown callee %r" % name)
+
+    def _coerce(self, value: Union[Value, int], expected: Type) -> Value:
+        if isinstance(value, Value):
+            return value
+        if isinstance(value, int):
+            if isinstance(expected, IntType):
+                return ConstantInt(expected, value)
+            if isinstance(expected, PointerType):
+                if value == 0:
+                    return NullPointer(expected)
+                raise TypeError("only 0 may be coerced to a pointer, got %d" % value)
+            return ConstantInt(I64, value)
+        raise TypeError("cannot use %r as an operand" % (value,))
+
+    def _coerce_args(self, callee, args: List[Union[Value, int]]) -> List[Value]:
+        ftype = getattr(callee, "ftype", None)
+        if ftype is None and isinstance(callee.type, PointerType):
+            pointee = callee.type.pointee
+            if isinstance(pointee, FunctionType):
+                ftype = pointee
+        coerced: List[Value] = []
+        for position, arg in enumerate(args):
+            if ftype is not None and position < len(ftype.param_types):
+                expected = ftype.param_types[position]
+            else:
+                expected = I64
+            coerced.append(self._coerce(arg, expected))
+        return coerced

@@ -1,0 +1,401 @@
+"""The IR instruction set.
+
+The instruction mix matches what ``clang -O0`` emits and what OWL's analyses
+consume: locals live in :class:`Alloca` slots accessed through
+:class:`Load`/:class:`Store` (so there are no phi nodes), control flow uses
+conditional/unconditional :class:`Br`, and address arithmetic uses
+:class:`GetElementPtr`.  Instructions are SSA values; Algorithm 1 (paper
+section 6.1) propagates corruption through instruction operands.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ir.types import (
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+    I1,
+    I64,
+)
+from repro.ir.values import SourceLocation, UNKNOWN_LOCATION, Value
+
+
+class Instruction(Value):
+    """Base class for all instructions.
+
+    Attributes:
+        operands: the value operands, in a fixed per-opcode order.
+        block: the owning :class:`repro.ir.function.BasicBlock`.
+        location: source position (``file:line``).
+        uid: module-unique integer id, assigned when the function is added to
+            a module; used by reports ("%632" in paper Figure 5).
+    """
+
+    opcode = "instr"
+
+    def __init__(self, type_: Type, operands: Sequence[Value], name: str = ""):
+        super().__init__(type_, name=name)
+        self.operands: List[Value] = list(operands)
+        self.block = None
+        self.location: SourceLocation = UNKNOWN_LOCATION
+        self.uid: Optional[int] = None
+
+    @property
+    def function(self):
+        """The owning function, or None if detached."""
+        return self.block.function if self.block is not None else None
+
+    def is_terminator(self) -> bool:
+        return False
+
+    def is_branch(self) -> bool:
+        return False
+
+    def is_call(self) -> bool:
+        return False
+
+    def short_name(self) -> str:
+        if self.name:
+            return "%%%s" % self.name
+        if self.uid is not None:
+            return "%%%d" % self.uid
+        return "%?"
+
+    def describe(self) -> str:
+        """One-line description used in reports and exceptions."""
+        parts = [self.opcode]
+        parts.extend(op.short_name() for op in self.operands)
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return "<%s %s at %s>" % (type(self).__name__, self.describe(), self.location)
+
+
+class Alloca(Instruction):
+    """Stack allocation of one value of ``allocated_type`` in the current frame."""
+
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: Type, name: str = ""):
+        super().__init__(PointerType(allocated_type), [], name=name)
+        self.allocated_type = allocated_type
+
+    def describe(self) -> str:
+        return "alloca %s" % self.allocated_type
+
+
+class Load(Instruction):
+    """Read a value of the pointee type from a pointer operand."""
+
+    opcode = "load"
+
+    def __init__(self, pointer: Value, name: str = "", atomic: bool = False):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError("load requires a pointer operand, got %s" % pointer.type)
+        super().__init__(pointer.type.pointee, [pointer], name=name)
+        self.atomic = atomic
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    def describe(self) -> str:
+        flavor = "load atomic" if self.atomic else "load"
+        return "%s %s, %s" % (flavor, self.type, self.pointer.short_name())
+
+
+class Store(Instruction):
+    """Write ``value`` through ``pointer``.  Produces no SSA value."""
+
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value, atomic: bool = False):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError("store requires a pointer operand, got %s" % pointer.type)
+        super().__init__(VOID, [value, pointer])
+        self.atomic = atomic
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+    def describe(self) -> str:
+        flavor = "store atomic" if self.atomic else "store"
+        return "%s %s, %s" % (flavor, self.value.short_name(), self.pointer.short_name())
+
+
+BINARY_OPS = {
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+}
+
+
+class BinOp(Instruction):
+    """Integer arithmetic / bitwise operation."""
+
+    opcode = "binop"
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = ""):
+        if op not in BINARY_OPS:
+            raise ValueError("unknown binary op %r" % op)
+        super().__init__(lhs.type, [lhs, rhs], name=name)
+        self.op = op
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def describe(self) -> str:
+        return "%s %s, %s" % (self.op, self.lhs.short_name(), self.rhs.short_name())
+
+
+ICMP_PREDICATES = {"eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"}
+
+
+class ICmp(Instruction):
+    """Integer / pointer comparison producing an ``i1``."""
+
+    opcode = "icmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in ICMP_PREDICATES:
+            raise ValueError("unknown icmp predicate %r" % predicate)
+        super().__init__(I1, [lhs, rhs], name=name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def describe(self) -> str:
+        return "icmp %s %s, %s" % (
+            self.predicate, self.lhs.short_name(), self.rhs.short_name(),
+        )
+
+
+class Br(Instruction):
+    """Conditional or unconditional branch terminator."""
+
+    opcode = "br"
+
+    def __init__(self, condition: Optional[Value], true_block, false_block=None):
+        operands = [] if condition is None else [condition]
+        super().__init__(VOID, operands)
+        if condition is not None and false_block is None:
+            raise ValueError("conditional branch requires two targets")
+        self.condition = condition
+        self.true_block = true_block
+        self.false_block = false_block
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def is_branch(self) -> bool:
+        return True
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.condition is not None
+
+    def successors(self) -> List:
+        if self.is_conditional:
+            return [self.true_block, self.false_block]
+        return [self.true_block]
+
+    def describe(self) -> str:
+        if self.is_conditional:
+            return "br %s %s %s" % (
+                self.condition.short_name(), self.true_block.name, self.false_block.name,
+            )
+        return "br %s" % self.true_block.name
+
+
+class Call(Instruction):
+    """Direct, external, or indirect (function-pointer) call.
+
+    ``callee`` is a :class:`repro.ir.function.Function`, an
+    :class:`repro.ir.function.ExternalFunction`, or an arbitrary pointer-typed
+    :class:`Value` for indirect calls (paper Figure 2's
+    ``file->f_op->fsync(...)`` is an indirect call through a racy pointer).
+    """
+
+    opcode = "call"
+
+    def __init__(self, callee, args: Sequence[Value], name: str = ""):
+        return_type = self._callee_return_type(callee)
+        super().__init__(return_type, list(args), name=name)
+        self.callee = callee
+
+    @staticmethod
+    def _callee_return_type(callee) -> Type:
+        ftype = getattr(callee, "ftype", None)
+        if isinstance(ftype, FunctionType):
+            return ftype.return_type
+        if isinstance(callee.type, PointerType) and isinstance(
+            callee.type.pointee, FunctionType
+        ):
+            return callee.type.pointee.return_type
+        raise TypeError("callee %r is not callable" % (callee,))
+
+    def is_call(self) -> bool:
+        return True
+
+    @property
+    def is_indirect(self) -> bool:
+        from repro.ir.function import ExternalFunction, Function
+
+        return not isinstance(self.callee, (Function, ExternalFunction))
+
+    def callee_name(self) -> str:
+        from repro.ir.function import ExternalFunction, Function
+
+        if isinstance(self.callee, (Function, ExternalFunction)):
+            return self.callee.name
+        return "<indirect>"
+
+    def describe(self) -> str:
+        args = ", ".join(op.short_name() for op in self.operands)
+        return "call %s(%s)" % (self.callee_name(), args)
+
+
+class Ret(Instruction):
+    """Return from the current function."""
+
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(VOID, [] if value is None else [value])
+        self.value = value
+
+    def is_terminator(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        if self.value is None:
+            return "ret void"
+        return "ret %s" % self.value.short_name()
+
+
+class GetElementPtr(Instruction):
+    """Address computation: struct field access and array indexing.
+
+    ``gep base, field=<name>`` resolves a struct field;
+    ``gep base, index=<value>`` indexes into an array or does pointer
+    arithmetic scaled by the element size.
+    """
+
+    opcode = "gep"
+
+    def __init__(
+        self,
+        base: Value,
+        field: Optional[str] = None,
+        index: Optional[Value] = None,
+        name: str = "",
+    ):
+        if not isinstance(base.type, PointerType):
+            raise TypeError("gep requires a pointer base, got %s" % base.type)
+        if (field is None) == (index is None):
+            raise ValueError("gep takes exactly one of field= or index=")
+        pointee = base.type.pointee
+        if field is not None:
+            if not isinstance(pointee, StructType):
+                raise TypeError("field gep requires pointer-to-struct, got %s" % base.type)
+            result_type = PointerType(pointee.field_type(field))
+            operands = [base]
+        else:
+            if isinstance(pointee, ArrayType):
+                element = pointee.element
+            else:
+                element = pointee
+            result_type = PointerType(element)
+            operands = [base, index]
+        super().__init__(result_type, operands, name=name)
+        self.field = field
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Optional[Value]:
+        return self.operands[1] if len(self.operands) > 1 else None
+
+    def describe(self) -> str:
+        if self.field is not None:
+            return "gep %s, .%s" % (self.base.short_name(), self.field)
+        return "gep %s, [%s]" % (self.base.short_name(), self.index.short_name())
+
+
+CAST_KINDS = {"bitcast", "ptrtoint", "inttoptr", "trunc", "zext", "sext"}
+
+
+class Cast(Instruction):
+    """Value reinterpretation between integer and pointer types."""
+
+    opcode = "cast"
+
+    def __init__(self, kind: str, value: Value, to_type: Type, name: str = ""):
+        if kind not in CAST_KINDS:
+            raise ValueError("unknown cast kind %r" % kind)
+        super().__init__(to_type, [value], name=name)
+        self.kind = kind
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    def describe(self) -> str:
+        return "%s %s to %s" % (self.kind, self.value.short_name(), self.type)
+
+
+RMW_OPS = {"add", "sub", "xchg", "and", "or", "xor"}
+
+
+class AtomicRMW(Instruction):
+    """Atomic read-modify-write; returns the old value.
+
+    Used by "fixed" variants of the model programs (e.g. the corrected Apache
+    balancer busy counter) to show the races disappearing under the detector.
+    """
+
+    opcode = "atomicrmw"
+
+    def __init__(self, op: str, pointer: Value, value: Value, name: str = ""):
+        if op not in RMW_OPS:
+            raise ValueError("unknown atomicrmw op %r" % op)
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError("atomicrmw requires a pointer operand")
+        super().__init__(pointer.type.pointee, [pointer, value], name=name)
+        self.op = op
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[1]
+
+    def describe(self) -> str:
+        return "atomicrmw %s %s, %s" % (
+            self.op, self.pointer.short_name(), self.value.short_name(),
+        )

@@ -1,0 +1,57 @@
+"""Textual rendering of IR, matching the style of the paper's Figure 5.
+
+``format_instruction`` renders a single instruction as::
+
+    %632: br %631 if.end13 if.then11 (intercept.c:164)
+
+which is the format OWL's vulnerable-input-hint reports quote.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """Render one instruction with its uid and source location."""
+    uid = instruction.uid if instruction.uid is not None else 0
+    return "%%%d: %s (%s)" % (uid, instruction.describe(), instruction.location)
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = ["%s:" % block.name]
+    for instruction in block.instructions:
+        lines.append("  " + format_instruction(instruction))
+    return "\n".join(lines)
+
+
+def print_function(function: Function) -> str:
+    params = ", ".join(
+        "%s %%%s" % (arg.type, arg.name) for arg in function.arguments
+    )
+    lines = [
+        "define %s @%s(%s) ; %s"
+        % (function.ftype.return_type, function.name, params, function.source_file)
+    ]
+    for block in function.blocks:
+        lines.append(print_block(block))
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    lines: List[str] = ["; module %s" % module.name]
+    for struct in module.structs.values():
+        fields = ", ".join("%s %s" % (t, n) for n, t in struct.fields)
+        lines.append("%s = type { %s }" % (struct, fields))
+    for variable in module.globals.values():
+        lines.append("@%s = global %s" % (variable.name, variable.value_type))
+    for external in module.externals.values():
+        lines.append("declare %s @%s" % (external.ftype, external.name))
+    for function in module.functions.values():
+        lines.append("")
+        lines.append(print_function(function))
+    return "\n".join(lines)

@@ -1,0 +1,242 @@
+"""Type system for the IR.
+
+The type system mirrors the subset of LLVM types the OWL analyses need:
+integers of various widths, pointers, fixed-size arrays, named structs,
+function types and ``void``.  Sizes are byte-exact (packed structs, no
+padding) because the runtime memory model is byte addressable and the
+reproduced exploits depend on adjacency of struct fields (e.g. the Apache
+bug-25520 one-byte overflow of ``buf->outbuf`` into the neighbouring file
+descriptor field, paper Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+POINTER_SIZE = 8
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def size(self) -> int:
+        """Size of a value of this type in bytes."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class VoidType(Type):
+    """The type of functions that return nothing."""
+
+    def size(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "void"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+
+class IntType(Type):
+    """A fixed-width integer type such as ``i32`` or ``u64``."""
+
+    def __init__(self, bits: int, signed: bool = True):
+        if bits <= 0 or bits % 8 != 0 and bits != 1:
+            raise ValueError("integer width must be 1 or a multiple of 8, got %d" % bits)
+        self.bits = bits
+        self.signed = signed
+
+    def size(self) -> int:
+        return max(1, self.bits // 8)
+
+    @property
+    def min_value(self) -> int:
+        if not self.signed:
+            return 0
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_value(self) -> int:
+        if not self.signed:
+            return (1 << self.bits) - 1
+        return (1 << (self.bits - 1)) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap an arbitrary Python int into this type's range (two's complement)."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if self.signed and value > self.max_value:
+            value -= 1 << self.bits
+        return value
+
+    def __str__(self) -> str:
+        prefix = "i" if self.signed else "u"
+        return "%s%d" % (prefix, self.bits)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IntType)
+            and other.bits == self.bits
+            and other.signed == self.signed
+        )
+
+    def __hash__(self) -> int:
+        return hash(("int", self.bits, self.signed))
+
+
+class PointerType(Type):
+    """A pointer to a value of ``pointee`` type."""
+
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    def size(self) -> int:
+        return POINTER_SIZE
+
+    def __str__(self) -> str:
+        return "%s*" % self.pointee
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+
+class ArrayType(Type):
+    """A fixed-size array ``[count x element]``."""
+
+    def __init__(self, element: Type, count: int):
+        if count < 0:
+            raise ValueError("array count must be non-negative")
+        self.element = element
+        self.count = count
+
+    def size(self) -> int:
+        return self.element.size() * self.count
+
+    def __str__(self) -> str:
+        return "[%d x %s]" % (self.count, self.element)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and other.element == self.element
+            and other.count == self.count
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element, self.count))
+
+
+class StructType(Type):
+    """A named struct with ordered, named fields (packed layout)."""
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, Type]]):
+        self.name = name
+        self.fields: List[Tuple[str, Type]] = list(fields)
+        names = [field_name for field_name, _ in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate field name in struct %s" % name)
+
+    def size(self) -> int:
+        return sum(field_type.size() for _, field_type in self.fields)
+
+    def field_offset(self, field_name: str) -> int:
+        """Byte offset of ``field_name`` from the start of the struct."""
+        offset = 0
+        for name, field_type in self.fields:
+            if name == field_name:
+                return offset
+            offset += field_type.size()
+        raise KeyError("struct %s has no field %r" % (self.name, field_name))
+
+    def field_type(self, field_name: str) -> Type:
+        for name, field_type in self.fields:
+            if name == field_name:
+                return field_type
+        raise KeyError("struct %s has no field %r" % (self.name, field_name))
+
+    def field_index(self, field_name: str) -> int:
+        for index, (name, _) in enumerate(self.fields):
+            if name == field_name:
+                return index
+        raise KeyError("struct %s has no field %r" % (self.name, field_name))
+
+    def field_at_offset(self, offset: int) -> Optional[str]:
+        """Name of the field containing byte ``offset``, or ``None``."""
+        position = 0
+        for name, field_type in self.fields:
+            if position <= offset < position + field_type.size():
+                return name
+            position += field_type.size()
+        return None
+
+    def layout(self) -> List[Tuple[str, int, int]]:
+        """Return ``(name, offset, size)`` for every field."""
+        result = []
+        offset = 0
+        for name, field_type in self.fields:
+            result.append((name, offset, field_type.size()))
+            offset += field_type.size()
+        return result
+
+    def __str__(self) -> str:
+        return "%%struct.%s" % self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+
+class FunctionType(Type):
+    """The type of a function: return type plus parameter types."""
+
+    def __init__(self, return_type: Type, param_types: Sequence[Type], varargs: bool = False):
+        self.return_type = return_type
+        self.param_types: List[Type] = list(param_types)
+        self.varargs = varargs
+
+    def size(self) -> int:
+        return POINTER_SIZE
+
+    def __str__(self) -> str:
+        params = ", ".join(str(t) for t in self.param_types)
+        if self.varargs:
+            params = params + ", ..." if params else "..."
+        return "%s (%s)" % (self.return_type, params)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionType)
+            and other.return_type == self.return_type
+            and other.param_types == self.param_types
+            and other.varargs == self.varargs
+        )
+
+    def __hash__(self) -> int:
+        return hash(("func", self.return_type, tuple(self.param_types), self.varargs))
+
+
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+U8 = IntType(8, signed=False)
+U32 = IntType(32, signed=False)
+U64 = IntType(64, signed=False)
+
+
+def ptr(pointee: Type) -> PointerType:
+    """Shorthand for :class:`PointerType`."""
+    return PointerType(pointee)

@@ -1,0 +1,133 @@
+"""SSA values: the base :class:`Value`, constants, globals and arguments.
+
+Every producer of a runtime value in the IR is a :class:`Value`.  SSA
+instructions (defined in :mod:`repro.ir.instructions`) are themselves values,
+mirroring LLVM's design; OWL's Algorithm 1 relies on this to propagate the
+corrupted-instruction set through operand membership.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.types import IntType, PointerType, Type, I8, ptr
+
+
+class SourceLocation:
+    """A ``file:line`` source position attached to instructions.
+
+    The model target programs mirror the line numbers quoted in the paper
+    (e.g. ``intercept.c:164`` for the Libsafe control dependency), so OWL's
+    reports can be compared against paper Figures 4 and 5 directly.
+    """
+
+    __slots__ = ("filename", "line")
+
+    def __init__(self, filename: str, line: int):
+        self.filename = filename
+        self.line = line
+
+    def __str__(self) -> str:
+        return "%s:%d" % (self.filename, self.line)
+
+    def __repr__(self) -> str:
+        return "SourceLocation(%r, %d)" % (self.filename, self.line)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and other.filename == self.filename
+            and other.line == self.line
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.filename, self.line))
+
+
+UNKNOWN_LOCATION = SourceLocation("<unknown>", 0)
+
+
+class Value:
+    """Anything that can appear as an instruction operand."""
+
+    def __init__(self, type_: Type, name: str = ""):
+        self.type = type_
+        self.name = name
+
+    def short_name(self) -> str:
+        """A compact printable name used by the IR printer."""
+        return "%%%s" % self.name if self.name else "%?"
+
+    def __repr__(self) -> str:
+        return "<%s %s %s>" % (type(self).__name__, self.type, self.short_name())
+
+
+class Constant(Value):
+    """Base class for compile-time constants."""
+
+    def __init__(self, type_: Type, value):
+        super().__init__(type_, name="")
+        self.value = value
+
+    def short_name(self) -> str:
+        return str(self.value)
+
+
+class ConstantInt(Constant):
+    """An integer constant, wrapped into its type's range."""
+
+    def __init__(self, type_: IntType, value: int):
+        if not isinstance(type_, IntType):
+            raise TypeError("ConstantInt requires an IntType, got %s" % type_)
+        super().__init__(type_, type_.wrap(int(value)))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConstantInt)
+            and other.type == self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cint", self.type, self.value))
+
+
+class NullPointer(Constant):
+    """The null pointer constant for a given pointer type."""
+
+    def __init__(self, type_: Optional[PointerType] = None):
+        super().__init__(type_ or ptr(I8), 0)
+
+    def short_name(self) -> str:
+        return "null"
+
+
+class GlobalVariable(Value):
+    """A module-level variable.
+
+    ``value_type`` is the type of the stored value; the global itself, like in
+    LLVM, has pointer-to-``value_type`` type.  ``initializer`` may be an int,
+    bytes (for string data), a nested list matching an array/struct layout, or
+    ``None`` for zero initialization.
+    """
+
+    def __init__(self, name: str, value_type: Type, initializer=None):
+        super().__init__(PointerType(value_type), name=name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.module = None
+
+    def short_name(self) -> str:
+        return "@%s" % self.name
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, type_: Type, name: str, index: int):
+        super().__init__(type_, name=name)
+        self.index = index
+        self.function = None
+
+    def short_name(self) -> str:
+        return "%%%s" % self.name

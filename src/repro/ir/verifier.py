@@ -1,0 +1,158 @@
+"""Structural well-formedness checks for IR modules.
+
+The verifier catches builder mistakes early so the interpreter and the static
+analyses can assume invariants: every block ends in exactly one terminator,
+operands are defined before use (SSA dominance), branch targets belong to the
+same function, and call arities match.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir.cfg import cfg_for
+from repro.ir.function import ExternalFunction, Function
+from repro.ir.instructions import Br, Call, Instruction, Ret
+from repro.ir.module import Module
+from repro.ir.types import FunctionType, PointerType, VoidType
+from repro.ir.values import Argument, Constant, GlobalVariable, Value
+
+
+class IRVerificationError(Exception):
+    """Raised when a module violates a structural invariant."""
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in the module, raising on the first error."""
+    for function in module.functions.values():
+        verify_function(function, module)
+
+
+def verify_function(function: Function, module: Module) -> None:
+    if not function.blocks:
+        raise IRVerificationError("function %s has no body" % function.name)
+    _check_terminators(function)
+    _check_branch_targets(function)
+    _check_ssa_dominance(function)
+    _check_calls(function, module)
+
+
+def _check_terminators(function: Function) -> None:
+    for block in function.blocks:
+        if block.terminator is None:
+            raise IRVerificationError(
+                "block %s.%s does not end in a terminator" % (function.name, block.name)
+            )
+        for instruction in block.instructions[:-1]:
+            if instruction.is_terminator():
+                raise IRVerificationError(
+                    "terminator in the middle of block %s.%s"
+                    % (function.name, block.name)
+                )
+
+
+def _check_branch_targets(function: Function) -> None:
+    blocks = set(function.blocks)
+    for block in function.blocks:
+        terminator = block.terminator
+        if isinstance(terminator, Br):
+            for target in terminator.successors():
+                if target not in blocks:
+                    raise IRVerificationError(
+                        "branch in %s.%s targets foreign block %s"
+                        % (function.name, block.name, target.name)
+                    )
+        elif isinstance(terminator, Ret):
+            returns_void = isinstance(function.ftype.return_type, VoidType)
+            if returns_void and terminator.value is not None:
+                raise IRVerificationError(
+                    "void function %s returns a value" % function.name
+                )
+            if not returns_void and terminator.value is None:
+                raise IRVerificationError(
+                    "non-void function %s returns nothing" % function.name
+                )
+
+
+def _is_global_scope_value(value: Value) -> bool:
+    return isinstance(value, (Constant, GlobalVariable, Function, ExternalFunction))
+
+
+def _check_ssa_dominance(function: Function) -> None:
+    """Every instruction operand must be defined in a dominating position."""
+    cfg = cfg_for(function)
+    arguments: Set[Value] = set(function.arguments)
+    definition_index = {}
+    for block in function.blocks:
+        for position, instruction in enumerate(block.instructions):
+            definition_index[instruction] = (block, position)
+    for block in function.blocks:
+        for position, instruction in enumerate(block.instructions):
+            for operand in instruction.operands:
+                if _is_global_scope_value(operand) or operand in arguments:
+                    continue
+                if isinstance(operand, Argument):
+                    raise IRVerificationError(
+                        "%s.%s uses argument of another function"
+                        % (function.name, block.name)
+                    )
+                if not isinstance(operand, Instruction):
+                    raise IRVerificationError(
+                        "unexpected operand kind %r in %s" % (operand, function.name)
+                    )
+                defined = definition_index.get(operand)
+                if defined is None:
+                    raise IRVerificationError(
+                        "%s uses %s defined in another function"
+                        % (function.name, operand.describe())
+                    )
+                def_block, def_position = defined
+                if def_block is block:
+                    if def_position >= position:
+                        raise IRVerificationError(
+                            "use before definition of %s in %s.%s"
+                            % (operand.short_name(), function.name, block.name)
+                        )
+                elif not cfg.dominates(def_block, block):
+                    raise IRVerificationError(
+                        "definition of %s in %s.%s does not dominate use in %s.%s"
+                        % (
+                            operand.short_name(), function.name, def_block.name,
+                            function.name, block.name,
+                        )
+                    )
+
+
+def _check_calls(function: Function, module: Module) -> None:
+    for instruction in function.instructions():
+        if not isinstance(instruction, Call):
+            continue
+        callee = instruction.callee
+        ftype = getattr(callee, "ftype", None)
+        if ftype is None:
+            pointee = callee.type.pointee if isinstance(callee.type, PointerType) else None
+            if not isinstance(pointee, FunctionType):
+                raise IRVerificationError(
+                    "indirect call through non-function pointer in %s" % function.name
+                )
+            ftype = pointee
+        expected = len(ftype.param_types)
+        actual = len(instruction.operands)
+        if ftype.varargs:
+            if actual < expected:
+                raise IRVerificationError(
+                    "call to %s in %s passes %d args, needs at least %d"
+                    % (instruction.callee_name(), function.name, actual, expected)
+                )
+        elif actual != expected:
+            raise IRVerificationError(
+                "call to %s in %s passes %d args, expected %d"
+                % (instruction.callee_name(), function.name, actual, expected)
+            )
+        if isinstance(callee, (Function, ExternalFunction)) and callee.module not in (
+            None, module,
+        ):
+            raise IRVerificationError(
+                "call to %s from another module in %s"
+                % (instruction.callee_name(), function.name)
+            )

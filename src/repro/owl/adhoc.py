@@ -1,0 +1,125 @@
+"""The static adhoc-synchronization detector (paper section 5.1).
+
+"Developers use semaphore-like adhoc synchronizations, where one thread is
+busy waiting on a shared variable until another thread sets this variable to
+be 'true'.  This type of adhoc synchronizations couldn't be recognized by
+TSan or SKI and caused many false positives.
+
+OWL uses static analysis to detect these synchronizations in two steps.
+First, by taking the race reports from detectors, it sees if the 'read'
+instruction is in a loop.  Then, it conducts a intra-procedural forward data
+and control dependency analysis [...] If OWL encounters a branch instruction
+in the propagation chain, it checks if this branch instruction can break out
+of the loop.  Last, it checks if the 'write' instruction of the instruction
+assigns a constant to the variable.  If so, OWL tags this report as an
+'adhoc sync'."
+
+Compared to SyncFinder's whole-program static search, this leverages the
+runtime information in the race reports — "ours are much simpler and more
+precise".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.analysis.depgraph import forward_dependent_instructions
+from repro.detectors.annotations import AdhocSyncAnnotation, AnnotationSet
+from repro.detectors.report import RaceReport
+from repro.ir.cfg import Loop, cfg_for
+from repro.ir.function import ExternalFunction, Function
+from repro.ir.instructions import Alloca, Br, Call, Instruction, Load, Store
+from repro.ir.values import Constant
+
+#: externals a busy-wait loop may call without ceasing to be a pure spin
+_SPIN_FRIENDLY_CALLS = {"usleep", "io_delay", "thread_yield"}
+
+
+class AdhocSyncDetector:
+    """Tags race reports that are really adhoc synchronizations."""
+
+    TAG = "adhoc-sync"
+
+    def analyze_report(self, report: RaceReport) -> Optional[AdhocSyncAnnotation]:
+        """The three-step test from section 5.1; None when not an adhoc sync."""
+        read = self._read_instruction(report)
+        write = self._write_instruction(report)
+        if read is None or write is None:
+            return None
+        function = read.function
+        if function is None:
+            return None
+        # Step 1: the read instruction must be inside a busy-wait loop.  A
+        # semaphore-like adhoc sync spins doing nothing but re-checking the
+        # flag; a loop with real side effects (calls, shared stores) is a
+        # worker loop, not a synchronization — e.g. SSDB's log-clean loop
+        # re-checks ``logs->db`` but also calls del_range, and OWL correctly
+        # treats its race as vulnerable rather than benign (Table 3: SSDB has
+        # zero adhoc syncs despite the Figure 6 "adhoc synchronization").
+        cfg = cfg_for(function)
+        loop = cfg.loop_containing(read.block)
+        if loop is None or not self._is_busy_wait_loop(loop):
+            return None
+        # Step 2: forward data/control dependence from the read must reach a
+        # branch that can break out of that loop.
+        dependent = forward_dependent_instructions([read], function)
+        breaking_branch = None
+        for instruction in dependent:
+            if (
+                isinstance(instruction, Br)
+                and instruction.is_conditional
+                and cfg.branch_exits_loop(instruction, loop)
+            ):
+                breaking_branch = instruction
+                break
+        if breaking_branch is None:
+            return None
+        # Step 3: the racing write must store a constant (the flag set).
+        if not isinstance(write, Store) or not isinstance(write.value, Constant):
+            return None
+        return AdhocSyncAnnotation(read, write, variable=report.variable)
+
+    def analyze(self, reports: Iterable[RaceReport]) -> AnnotationSet:
+        """Tag adhoc-sync reports; returns annotations for the re-run."""
+        annotations = AnnotationSet()
+        for report in reports:
+            annotation = self.analyze_report(report)
+            if annotation is not None:
+                report.tags[self.TAG] = annotation
+                annotations.add(annotation)
+        return annotations
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_busy_wait_loop(loop: Loop) -> bool:
+        """Whether the loop only spins: no shared stores, no real calls."""
+        for block in loop.blocks:
+            for instruction in block.instructions:
+                if isinstance(instruction, Call):
+                    callee = instruction.callee
+                    if isinstance(callee, ExternalFunction) and (
+                        callee.name in _SPIN_FRIENDLY_CALLS
+                    ):
+                        continue
+                    return False
+                if isinstance(instruction, Store):
+                    # Stores to the loop's own locals (alloca slots, e.g. a
+                    # retry counter) are fine; stores elsewhere are work.
+                    if not isinstance(instruction.pointer, Alloca):
+                        return False
+        return True
+
+    @staticmethod
+    def _read_instruction(report: RaceReport) -> Optional[Instruction]:
+        for access in report.accesses():
+            if isinstance(access.instruction, Load):
+                return access.instruction
+        return None
+
+    @staticmethod
+    def _write_instruction(report: RaceReport) -> Optional[Instruction]:
+        for access in report.accesses():
+            if access.is_write:
+                return access.instruction
+        return None

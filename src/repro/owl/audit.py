@@ -1,0 +1,153 @@
+"""Audit-scope reduction for runtime defense tools (paper section 7.2).
+
+"We can leverage anomaly detection and intrusion detection tools to audit
+only the vulnerable program paths identified by OWL, then these runtime
+detection tools can greatly reduce the amount of program paths that need to
+be audited and improve performance."
+
+:class:`AuditScope` turns OWL's vulnerability reports into exactly that
+artifact: the set of functions, branch sites and vulnerable sites a runtime
+monitor needs to watch, plus the fraction of the program it can skip.
+:class:`AuditingObserver` is a reference runtime monitor built on the scope:
+attached to a VM, it records only events inside the scope and raises an
+alarm when a vulnerable site executes after its corrupted branch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.owl.vuln_analysis import VulnerabilityReport
+from repro.runtime.events import ExternalCallEvent, TraceObserver
+
+
+class AuditScope:
+    """The program slice a defense tool must audit."""
+
+    def __init__(self, module: Module,
+                 vulnerabilities: Iterable[VulnerabilityReport]):
+        self.module = module
+        self.vulnerabilities = list(vulnerabilities)
+        self.functions: Set[str] = set()
+        self.site_uids: Set[int] = set()
+        self.branch_uids: Set[int] = set()
+        self.site_locations: Set[Tuple[str, int]] = set()
+        for vulnerability in self.vulnerabilities:
+            site = vulnerability.site
+            if site.function is not None:
+                self.functions.add(site.function.name)
+            if site.uid is not None:
+                self.site_uids.add(site.uid)
+            self.site_locations.add(
+                (site.location.filename, site.location.line))
+            for branch in vulnerability.branches:
+                if branch.uid is not None:
+                    self.branch_uids.add(branch.uid)
+                if branch.function is not None:
+                    self.functions.add(branch.function.name)
+            for frame in vulnerability.call_stack:
+                self.functions.add(frame[0])
+
+    # ------------------------------------------------------------------
+
+    def covers_instruction(self, instruction: Instruction) -> bool:
+        return (instruction.uid or -1) in self.site_uids or (
+            instruction.uid or -1) in self.branch_uids
+
+    def covers_function(self, name: str) -> bool:
+        return name in self.functions
+
+    def audited_fraction(self) -> float:
+        """Fraction of the program's functions the monitor must watch."""
+        total = len(self.module.functions)
+        if total == 0:
+            return 0.0
+        audited = sum(
+            1 for name in self.module.functions if name in self.functions
+        )
+        return audited / total
+
+    def skipped_functions(self) -> List[str]:
+        return sorted(
+            name for name in self.module.functions
+            if name not in self.functions
+        )
+
+    def describe(self) -> str:
+        return (
+            "audit scope: %d/%d functions (%.0f%% skipped), %d sites, "
+            "%d branches" % (
+                len(self.functions & set(self.module.functions)),
+                len(self.module.functions),
+                100 * (1 - self.audited_fraction()),
+                len(self.site_uids), len(self.branch_uids),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return "<AuditScope %s>" % self.describe()
+
+
+class AuditAlarm:
+    """A vulnerable site executed inside the audited slice."""
+
+    def __init__(self, instruction: Instruction, thread_id: int, step: int,
+                 call_stack):
+        self.instruction = instruction
+        self.thread_id = thread_id
+        self.step = step
+        self.call_stack = call_stack
+
+    def __repr__(self) -> str:
+        return "<AuditAlarm %s t%d step=%d>" % (
+            self.instruction.location, self.thread_id, self.step,
+        )
+
+
+class AuditingObserver(TraceObserver):
+    """A reference runtime monitor restricted to OWL's audit scope.
+
+    Counts how many trace events fall inside versus outside the scope (the
+    section 7.2 performance argument) and raises an alarm whenever an
+    audited vulnerable site executes.
+    """
+
+    def __init__(self, scope: AuditScope):
+        self.scope = scope
+        self.alarms: List[AuditAlarm] = []
+        self.events_audited = 0
+        self.events_skipped = 0
+
+    def _current_function(self, call_stack) -> Optional[str]:
+        return call_stack[-1][0] if call_stack else None
+
+    def on_access(self, event) -> None:
+        function = self._current_function(event.call_stack)
+        if function is not None and self.scope.covers_function(function):
+            self.events_audited += 1
+            if self.scope.covers_instruction(event.instruction):
+                self.alarms.append(AuditAlarm(
+                    event.instruction, event.thread_id, event.step,
+                    event.call_stack,
+                ))
+        else:
+            self.events_skipped += 1
+
+    def on_external_call(self, event: ExternalCallEvent) -> None:
+        function = self._current_function(event.call_stack)
+        if function is not None and self.scope.covers_function(function):
+            self.events_audited += 1
+            if event.instruction is not None and self.scope.covers_instruction(
+                    event.instruction):
+                self.alarms.append(AuditAlarm(
+                    event.instruction, event.thread_id, event.step,
+                    event.call_stack,
+                ))
+        else:
+            self.events_skipped += 1
+
+    def skip_ratio(self) -> float:
+        total = self.events_audited + self.events_skipped
+        return self.events_skipped / total if total else 0.0

@@ -1,0 +1,54 @@
+"""Report formatting: call stacks (Figure 4) and input hints (Figure 5).
+
+The paper shows OWL's Libsafe output as::
+
+    libsafe_strcpy (intercept.c:151)
+    stack_check (util.c:164)
+
+    ---- Ctrl Dependent Vulnerability----
+    [ 632 ]
+    %632: br %631 if.end13 if.then11 (intercept.c:164)
+    Vulnerable Site Location: (intercept.c:165)
+
+These formatters reproduce that layout from our report objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.ir.printer import format_instruction
+from repro.owl.vuln_analysis import DependenceKind, VulnerabilityReport
+
+
+def format_call_stack(call_stack: Iterable) -> str:
+    """Figure-4-style call stack: innermost frame first."""
+    lines: List[str] = []
+    for function, filename, line in reversed(list(call_stack)):
+        lines.append("%s (%s:%d)" % (function, filename, line))
+    return "\n".join(lines)
+
+
+def format_vulnerability_report(report: VulnerabilityReport) -> str:
+    """Figure-5-style vulnerable input hint."""
+    if report.kind is DependenceKind.CTRL_DEP:
+        header = "---- Ctrl Dependent Vulnerability----"
+    else:
+        header = "---- Data Dependent Vulnerability----"
+    lines = [header]
+    uids = " ".join(str(branch.uid or 0) for branch in report.branches)
+    lines.append("[ %s ]" % uids)
+    for branch in report.branches:
+        lines.append(format_instruction(branch))
+    lines.append("Vulnerable Site Location: (%s)" % report.site.location)
+    lines.append("Vulnerable Site Type: %s" % report.site_type.value)
+    return "\n".join(lines)
+
+
+def format_full_report(report: VulnerabilityReport) -> str:
+    """Call stack plus input hint, the complete developer-facing report."""
+    sections = []
+    if report.call_stack:
+        sections.append(format_call_stack(report.call_stack))
+    sections.append(format_vulnerability_report(report))
+    return "\n\n".join(sections)

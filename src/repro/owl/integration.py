@@ -1,0 +1,47 @@
+"""Detector integration (paper section 6.3).
+
+OWL integrates two race detector front ends: TSan for applications and SKI
+for kernels.  The contract Algorithm 1 needs from either is (a) a *load*
+instruction reading the corrupted memory and (b) that instruction's call
+stack.  Both requirements are satisfied here:
+
+- the shared happens-before engine already watches corrupted addresses and
+  records subsequent reads with full call stacks (the modified SKI policy);
+- :func:`usable_reports` filters to reports that can supply a load, which is
+  the "we modified the detectors to add the first load instruction for these
+  reports" behaviour for write-write races.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.detectors.annotations import AnnotationSet
+from repro.detectors.report import RaceReport, ReportSet
+from repro.detectors.ski import run_ski
+from repro.detectors.tsan import run_tsan
+from repro.runtime.interpreter import ExecutionResult
+from repro.spec import ProgramSpec
+
+
+def run_detector(
+    spec: ProgramSpec,
+    annotations: Optional[AnnotationSet] = None,
+) -> Tuple[ReportSet, List[ExecutionResult]]:
+    """Run the spec's front-end detector over its configured schedules."""
+    if spec.detector == "ski":
+        return run_ski(
+            spec.build(), entry=spec.entry, inputs=spec.workload_inputs,
+            seeds=spec.detect_seeds, annotations=annotations,
+            max_steps=spec.max_steps,
+        )
+    return run_tsan(
+        spec.build(), entry=spec.entry, inputs=spec.workload_inputs,
+        seeds=spec.detect_seeds, annotations=annotations,
+        max_steps=spec.max_steps,
+    )
+
+
+def usable_reports(reports) -> List[RaceReport]:
+    """Reports that satisfy Algorithm 1's input contract (a racy load)."""
+    return [report for report in reports if report.read_access() is not None]

@@ -1,0 +1,258 @@
+"""The end-to-end OWL pipeline (paper Figure 3).
+
+Stages, with the counters that reproduce Tables 2 and 3:
+
+1. **detect** — the front-end race detector over the testing workload
+   (R.R., "Race Reports").
+2. **schedule reduction** — static adhoc-sync detection over the reports,
+   annotation, and a detector re-run (A.S., "Adhoc Synchronizations").
+3. **race verification** — thread-specific-breakpoint verification of each
+   remaining report; unverifiable reports are eliminated (R.V.E.), the rest
+   remain (R.).
+4. **input reduction** — Algorithm 1 over each remaining report, producing
+   vulnerable-input-hint reports (Table 2's "# OWL's reports"); per-report
+   analysis time is tracked (A.C.).
+5. **vulnerability verification** — each hint is re-executed; hints whose
+   site matches a known attack use that attack's subtle inputs and racing
+   order (the "user intervention" of section 4.3).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.detectors.annotations import AnnotationSet
+from repro.detectors.report import RaceReport, ReportSet
+from repro.owl.adhoc import AdhocSyncDetector
+from repro.owl.integration import run_detector, usable_reports
+from repro.owl.race_verifier import DynamicRaceVerifier, RaceVerification
+from repro.owl.vuln_analysis import (
+    AnalysisOptions,
+    VulnerabilityAnalyzer,
+    VulnerabilityReport,
+)
+from repro.owl.vuln_verifier import DynamicVulnerabilityVerifier, VulnVerification
+from repro.spec import AttackGroundTruth, ProgramSpec
+
+
+class StageCounters:
+    """The Table 3 row for one program."""
+
+    def __init__(self):
+        self.raw_reports = 0                # R.R.
+        self.adhoc_syncs = 0                # A.S. (unique static)
+        self.after_annotation = 0
+        self.verifier_eliminated = 0        # R.V.E.
+        self.remaining = 0                  # R.
+        self.vulnerability_reports = 0      # Table 2 "# OWL's reports"
+        self.analysis_seconds_per_report = 0.0  # A.C.
+        self.total_seconds = 0.0
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of raw reports pruned before developers see them."""
+        if self.raw_reports == 0:
+            return 0.0
+        return 1.0 - (self.remaining / self.raw_reports)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "raw_reports": self.raw_reports,
+            "adhoc_syncs": self.adhoc_syncs,
+            "after_annotation": self.after_annotation,
+            "verifier_eliminated": self.verifier_eliminated,
+            "remaining": self.remaining,
+            "vulnerability_reports": self.vulnerability_reports,
+            "analysis_seconds_per_report": self.analysis_seconds_per_report,
+            "reduction_ratio": self.reduction_ratio,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            "<StageCounters raw=%d adhoc=%d eliminated=%d remaining=%d vulns=%d>"
+            % (
+                self.raw_reports, self.adhoc_syncs, self.verifier_eliminated,
+                self.remaining, self.vulnerability_reports,
+            )
+        )
+
+
+class DetectedAttack:
+    """A pipeline finding: a verified vulnerability, matched to ground truth."""
+
+    def __init__(self, vulnerability: VulnerabilityReport,
+                 verification: VulnVerification,
+                 ground_truth: Optional[AttackGroundTruth]):
+        self.vulnerability = vulnerability
+        self.verification = verification
+        self.ground_truth = ground_truth
+
+    @property
+    def realized(self) -> bool:
+        return self.verification.attack_realized
+
+    def __repr__(self) -> str:
+        label = self.ground_truth.attack_id if self.ground_truth else "unknown"
+        return "<DetectedAttack %s %s>" % (
+            label, "realized" if self.realized else "unrealized",
+        )
+
+
+class PipelineResult:
+    """Everything the pipeline produced for one program."""
+
+    def __init__(self, spec: ProgramSpec):
+        self.spec = spec
+        self.counters = StageCounters()
+        self.raw_reports: Optional[ReportSet] = None
+        self.annotations: Optional[AnnotationSet] = None
+        self.annotated_reports: Optional[ReportSet] = None
+        self.verifications: List[RaceVerification] = []
+        self.remaining_reports: List[RaceReport] = []
+        self.vulnerabilities: List[VulnerabilityReport] = []
+        self.attacks: List[DetectedAttack] = []
+
+    def realized_attacks(self) -> List[DetectedAttack]:
+        return [attack for attack in self.attacks if attack.realized]
+
+    def detected_ground_truths(self) -> List[AttackGroundTruth]:
+        seen = []
+        for attack in self.realized_attacks():
+            truth = attack.ground_truth
+            if truth is not None and truth not in seen:
+                seen.append(truth)
+        return seen
+
+    def __repr__(self) -> str:
+        return "<PipelineResult %s %r attacks=%d/%d realized>" % (
+            self.spec.name, self.counters,
+            len(self.realized_attacks()), len(self.attacks),
+        )
+
+
+class OwlPipeline:
+    """Runs the five OWL stages against one :class:`ProgramSpec`."""
+
+    def __init__(
+        self,
+        spec: ProgramSpec,
+        analysis_options: Optional[AnalysisOptions] = None,
+        verify_vulnerabilities: bool = True,
+    ):
+        self.spec = spec
+        self.analysis_options = analysis_options or AnalysisOptions()
+        self.verify_vulnerabilities = verify_vulnerabilities
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> PipelineResult:
+        result = PipelineResult(self.spec)
+        started = time.perf_counter()
+        self._stage_detect(result)
+        self._stage_schedule_reduction(result)
+        self._stage_race_verification(result)
+        self._stage_vulnerability_analysis(result)
+        if self.verify_vulnerabilities:
+            self._stage_vulnerability_verification(result)
+        result.counters.total_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # stage 1: concurrency error detection
+
+    def _stage_detect(self, result: PipelineResult) -> None:
+        reports, _ = run_detector(self.spec)
+        result.raw_reports = reports
+        result.counters.raw_reports = len(reports)
+
+    # ------------------------------------------------------------------
+    # stage 2: schedule reduction (section 5.1)
+
+    def _stage_schedule_reduction(self, result: PipelineResult) -> None:
+        detector = AdhocSyncDetector()
+        annotations = detector.analyze(result.raw_reports)
+        result.annotations = annotations
+        result.counters.adhoc_syncs = annotations.unique_static_count()
+        if len(annotations):
+            reports, _ = run_detector(self.spec, annotations=annotations)
+        else:
+            reports = result.raw_reports
+        result.annotated_reports = reports
+        result.counters.after_annotation = len(reports)
+
+    # ------------------------------------------------------------------
+    # stage 3: dynamic race verification (section 5.2)
+
+    def _stage_race_verification(self, result: PipelineResult) -> None:
+        verifier = DynamicRaceVerifier(
+            self.spec.build(), entry=self.spec.entry,
+            inputs=self.spec.workload_inputs, seeds=self.spec.verify_seeds,
+            max_steps=self.spec.max_steps,
+            vm_factory=lambda seed: self.spec.make_vm(seed),
+        )
+        result.verifications = verifier.verify_all(result.annotated_reports)
+        result.remaining_reports = [
+            verification.report for verification in result.verifications
+            if verification.verified
+        ]
+        result.counters.verifier_eliminated = (
+            result.counters.after_annotation - len(result.remaining_reports)
+        )
+        result.counters.remaining = len(result.remaining_reports)
+
+    # ------------------------------------------------------------------
+    # stage 4: static vulnerability analysis (section 6.1)
+
+    def _stage_vulnerability_analysis(self, result: PipelineResult) -> None:
+        analyzer = VulnerabilityAnalyzer(
+            self.spec.build(), options=self.analysis_options,
+        )
+        reports = usable_reports(result.remaining_reports)
+        elapsed = 0.0
+        vulnerabilities: List[VulnerabilityReport] = []
+        for report in reports:
+            start = time.perf_counter()
+            vulnerabilities.extend(analyzer.analyze_report(report))
+            elapsed += time.perf_counter() - start
+        result.vulnerabilities = self._dedup(vulnerabilities)
+        result.counters.vulnerability_reports = len(result.vulnerabilities)
+        result.counters.analysis_seconds_per_report = (
+            elapsed / len(reports) if reports else 0.0
+        )
+
+    @staticmethod
+    def _dedup(vulnerabilities: List[VulnerabilityReport]) -> List[VulnerabilityReport]:
+        seen = {}
+        for vulnerability in vulnerabilities:
+            seen.setdefault(vulnerability.dedup_key, vulnerability)
+        return list(seen.values())
+
+    # ------------------------------------------------------------------
+    # stage 5: dynamic vulnerability verification (section 6.2)
+
+    def _stage_vulnerability_verification(self, result: PipelineResult) -> None:
+        for vulnerability in result.vulnerabilities:
+            ground_truth = self.spec.attack_for_site(vulnerability.site.location)
+            inputs = (
+                ground_truth.subtle_inputs if ground_truth is not None
+                else self.spec.workload_inputs
+            )
+            verifier = DynamicVulnerabilityVerifier(
+                self.spec.build(), entry=self.spec.entry, inputs=inputs,
+                seeds=self.spec.verify_seeds, max_steps=self.spec.max_steps,
+                vm_factory=lambda seed, _inputs=inputs: self.spec.make_vm(
+                    seed, inputs=_inputs,
+                ),
+                attack_predicate=(
+                    ground_truth.predicate if ground_truth is not None else None
+                ),
+                racing_order=(
+                    (ground_truth.racing_order, "") if ground_truth is not None
+                    else None
+                ),
+            )
+            verification = verifier.verify(vulnerability)
+            result.attacks.append(
+                DetectedAttack(vulnerability, verification, ground_truth)
+            )

@@ -1,0 +1,453 @@
+"""The static vulnerability analyzer: Algorithm 1 (paper section 6.1).
+
+Given a racy *load* (the instruction reading corrupted memory) and its
+runtime call stack, the analyzer performs inter-procedural forward data- and
+control-flow propagation to decide whether the corruption can reach one of
+the five vulnerable site types, and collects the corrupted branches along the
+way as **vulnerable input hints**.
+
+The three design decisions the paper calls out are all here:
+
+1. *call-stack direction*: the traversal follows the bug's actual call stack
+   outward, popping one caller at a time and propagating through the call's
+   return value — instead of exploring the whole program
+   (``options.follow_callers`` / ``options.all_callers`` toggle this for the
+   ablation benchmarks);
+2. *virtual-register propagation, no pointer analysis*: corruption flows
+   through SSA operands, compensated by (a) starting from the detector's
+   runtime load and (b) resolving indirect calls from the call stack — plus
+   the one cheap must-alias rule for clang -O0 style local spills;
+3. *five vulnerable site types* from a registry that is extensible.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph
+from repro.detectors.report import AccessRecord, RaceReport
+from repro.ir.cfg import cfg_for
+from repro.ir.function import ExternalFunction, Function
+from repro.ir.instructions import Br, Call, Instruction, Load, Ret, Store
+from repro.ir.module import Module
+from repro.ir.values import Value
+from repro.owl.vuln_sites import DEFAULT_REGISTRY, VulnSiteRegistry, VulnSiteType
+
+CallStack = Tuple[Tuple[str, str, int], ...]
+
+
+class DependenceKind(enum.Enum):
+    """How the corruption reaches the vulnerable site (Algorithm 1's type)."""
+
+    DATA_DEP = "DATA_DEP"
+    CTRL_DEP = "CTRL_DEP"
+
+
+class AnalysisOptions:
+    """Feature switches; the defaults are full OWL, the others are ablations."""
+
+    def __init__(
+        self,
+        track_control_flow: bool = True,
+        interprocedural: bool = True,
+        follow_callers: bool = True,
+        all_callers: bool = False,
+        max_call_depth: int = 8,
+        instruction_budget: int = 500_000,
+    ):
+        self.track_control_flow = track_control_flow
+        self.interprocedural = interprocedural
+        self.follow_callers = follow_callers
+        self.all_callers = all_callers
+        self.max_call_depth = max_call_depth
+        self.instruction_budget = instruction_budget
+
+    @classmethod
+    def full(cls) -> "AnalysisOptions":
+        return cls()
+
+    @classmethod
+    def no_control_flow(cls) -> "AnalysisOptions":
+        """Livshits&Lam-style: data flow only (misses the Libsafe attack)."""
+        return cls(track_control_flow=False)
+
+    @classmethod
+    def intraprocedural(cls) -> "AnalysisOptions":
+        """Yamaguchi-style: no inter-procedural analysis."""
+        return cls(interprocedural=False, follow_callers=False)
+
+    @classmethod
+    def conseq_style(cls) -> "AnalysisOptions":
+        """ConSeq-style short-distance analysis: current function + callees."""
+        return cls(follow_callers=False)
+
+    @classmethod
+    def whole_program(cls) -> "AnalysisOptions":
+        """Undirected: explore every caller instead of the actual stack."""
+        return cls(all_callers=True)
+
+
+class VulnerabilityReport:
+    """One potential bug-to-attack propagation: a vulnerable input hint."""
+
+    def __init__(
+        self,
+        site: Instruction,
+        site_type: VulnSiteType,
+        kind: DependenceKind,
+        branches: Sequence[Br],
+        start: Instruction,
+        call_stack: CallStack,
+        source: Optional[RaceReport] = None,
+    ):
+        self.site = site
+        self.site_type = site_type
+        self.kind = kind
+        #: the corrupted branches controlling / reaching the site — the
+        #: concrete "vulnerable input hints" shown to developers (Figure 5).
+        self.branches: List[Br] = list(branches)
+        self.start = start
+        self.call_stack = call_stack
+        self.source = source
+
+    @property
+    def dedup_key(self) -> Tuple[int, str]:
+        return (self.site.uid or 0, self.kind.value)
+
+    def __repr__(self) -> str:
+        return "<Vulnerability %s %s at %s (%d branches)>" % (
+            self.kind.value, self.site_type.value, self.site.location,
+            len(self.branches),
+        )
+
+
+class _FrameWork:
+    """Bookkeeping for one DoDetect invocation."""
+
+    def __init__(self, function: Function, ctrl_dep: bool,
+                 inherited_branches: Tuple[Br, ...]):
+        self.function = function
+        self.ctrl_dep = ctrl_dep
+        self.inherited_branches = inherited_branches
+        self.local_corrupted_branches: List[Br] = []
+
+
+class VulnerabilityAnalyzer:
+    """Algorithm 1 over a module."""
+
+    def __init__(
+        self,
+        module: Module,
+        registry: VulnSiteRegistry = DEFAULT_REGISTRY,
+        options: Optional[AnalysisOptions] = None,
+    ):
+        self.module = module
+        self.registry = registry
+        self.options = options or AnalysisOptions()
+        self.call_graph = CallGraph(module)
+        self._reset()
+
+    def _reset(self) -> None:
+        self.corrupted: Set[Value] = set()
+        self.reports: Dict[Tuple[int, str], VulnerabilityReport] = {}
+        self._visited_callees: Set[Tuple[str, Tuple[int, ...], bool]] = set()
+        self._budget = self.options.instruction_budget
+        self.budget_exhausted = False
+
+    # ------------------------------------------------------------------
+    # entry points
+
+    def analyze_report(self, report: RaceReport) -> List[VulnerabilityReport]:
+        """Analyze a race report, starting from its corrupted load.
+
+        Uses the detector-integration contract of section 6.3: the report
+        must supply a load instruction reading the corrupted memory plus its
+        call stack (for write-write races, the first watched subsequent
+        read).
+        """
+        access = report.read_access()
+        if access is None:
+            return []
+        return self.analyze(access.instruction, access.call_stack, source=report)
+
+    def analyze(self, start: Instruction, call_stack: CallStack,
+                source: Optional[RaceReport] = None) -> List[VulnerabilityReport]:
+        """DetectAttack(prog, si, cs) from Algorithm 1."""
+        self._reset()
+        self._source = source
+        self._start = start
+        self._start_stack = call_stack
+        self.corrupted.add(start)
+        frames = self._resolve_stack_frames(start, call_stack)
+        ctrl_dep = False
+        carried_branches: Tuple[Br, ...] = ()
+        previous_returned_corrupted = False
+        for depth, (function, position) in enumerate(frames):
+            if depth > 0:
+                if not self.options.follow_callers and not self.options.all_callers:
+                    break
+                # Propagation through the return value of the popped call.
+                if previous_returned_corrupted and position is not None:
+                    self.corrupted.add(position)
+            returned = self._do_detect(
+                function, position, include_start=False,
+                ctrl_dep=ctrl_dep, inherited_branches=carried_branches, depth=0,
+            )
+            previous_returned_corrupted = returned
+        if self.options.all_callers:
+            self._explore_all_callers(frames)
+        return list(self.reports.values())
+
+    # ------------------------------------------------------------------
+    # call-stack resolution
+
+    def _resolve_stack_frames(
+        self, start: Instruction, call_stack: CallStack,
+    ) -> List[Tuple[Function, Optional[Instruction]]]:
+        """Turn a (function, file, line) stack into (function, position) frames.
+
+        Innermost first.  Position is the instruction the traversal resumes
+        *after*: the start instruction for the innermost frame, the call site
+        for each caller.
+        """
+        frames: List[Tuple[Function, Optional[Instruction]]] = []
+        inner_function = start.function
+        if inner_function is None:
+            return frames
+        frames.append((inner_function, start))
+        # Walk outward: the stack snapshot is outermost-first, so reverse it
+        # and skip the innermost entry (already handled).
+        outer_entries = list(call_stack[:-1])[::-1] if call_stack else []
+        callee_name = inner_function.name
+        for function_name, filename, line in outer_entries:
+            caller = self.module.functions.get(function_name)
+            if caller is None:
+                break
+            site = self._find_call_site(caller, callee_name, filename, line)
+            frames.append((caller, site))
+            callee_name = function_name
+        return frames
+
+    @staticmethod
+    def _find_call_site(caller: Function, callee_name: str, filename: str,
+                        line: int) -> Optional[Instruction]:
+        best: Optional[Instruction] = None
+        for instruction in caller.instructions():
+            if not isinstance(instruction, Call):
+                continue
+            loc = instruction.location
+            if loc.filename == filename and loc.line == line:
+                return instruction
+            if instruction.callee_name() == callee_name and best is None:
+                best = instruction
+        return best
+
+    # ------------------------------------------------------------------
+    # the DoDetect walk
+
+    def _do_detect(
+        self,
+        function: Function,
+        start: Optional[Instruction],
+        include_start: bool,
+        ctrl_dep: bool,
+        inherited_branches: Tuple[Br, ...],
+        depth: int,
+    ) -> bool:
+        """Walk ``function`` forward from ``start``; True if a corrupted
+        value can flow out through a return."""
+        work = _FrameWork(function, ctrl_dep, inherited_branches)
+        cfg = cfg_for(function)
+        instructions = self._succeeding_instructions(function, start, include_start)
+        returned_corrupted = False
+        for instruction in instructions:
+            if self._budget <= 0:
+                self.budget_exhausted = True
+                break
+            self._budget -= 1
+            ctrl_dep_flag = False
+            if self.options.track_control_flow:
+                for branch in work.local_corrupted_branches:
+                    if cfg.is_control_dependent(instruction, branch):
+                        ctrl_dep_flag = True
+                        break
+            in_ctrl_context = work.ctrl_dep or ctrl_dep_flag
+            if in_ctrl_context and self.options.track_control_flow:
+                # In a corrupted-control region a function-pointer dereference
+                # is itself a deref site even without data corruption: paper
+                # Figure 6's db->Write(...) "is a function pointer dereference
+                # [...] control dependent on the corrupted branch on line 359".
+                deref = self._pointer_corrupted(instruction) or (
+                    isinstance(instruction, Call) and instruction.is_indirect
+                )
+                site_type = self.registry.site_type(instruction, deref)
+                if site_type is None and self._is_pointer_assignment(instruction):
+                    # A pointer assignment under corrupted control is a site:
+                    # the Apache-46215 report says "a pointer assignment could
+                    # be control dependent on the corrupted branch of line
+                    # 1192" (mycandidate = worker at line 1195).
+                    site_type = VulnSiteType.NULL_PTR_DEREF
+                if site_type is not None:
+                    self._report_exploit(
+                        instruction, site_type, DependenceKind.CTRL_DEP, work, cfg,
+                    )
+            if isinstance(instruction, Call):
+                returned_corrupted |= self._handle_call(
+                    instruction, work, in_ctrl_context, depth, cfg,
+                )
+            else:
+                corrupted_operand = any(
+                    operand in self.corrupted for operand in instruction.operands
+                )
+                if not corrupted_operand and isinstance(instruction, Load):
+                    corrupted_operand = self._spilled_corruption(instruction)
+                if corrupted_operand:
+                    site_type = self.registry.site_type(
+                        instruction, self._pointer_corrupted(instruction),
+                    )
+                    if site_type is not None:
+                        self._report_exploit(
+                            instruction, site_type, DependenceKind.DATA_DEP, work, cfg,
+                        )
+                    self.corrupted.add(instruction)
+                    if (
+                        isinstance(instruction, Br)
+                        and instruction.is_conditional
+                        and instruction.condition in self.corrupted
+                    ):
+                        work.local_corrupted_branches.append(instruction)
+                if isinstance(instruction, Ret):
+                    if instruction.value is not None and (
+                        instruction.value in self.corrupted
+                    ):
+                        returned_corrupted = True
+                    elif in_ctrl_context:
+                        # A return reached only under corrupted control also
+                        # taints the caller's view of the result (Libsafe's
+                        # "return 0" bypass).
+                        returned_corrupted = True
+        return returned_corrupted
+
+    def _handle_call(self, instruction: Call, work: _FrameWork,
+                     in_ctrl_context: bool, depth: int, cfg) -> bool:
+        corrupted_args = [
+            index for index, argument in enumerate(instruction.operands)
+            if argument in self.corrupted
+        ]
+        callee = instruction.callee
+        callee_pointer_corrupted = (
+            instruction.is_indirect and callee in self.corrupted
+        )
+        if corrupted_args or callee_pointer_corrupted:
+            self.corrupted.add(instruction)
+            site_type = self.registry.site_type(instruction, callee_pointer_corrupted)
+            if site_type is not None:
+                self._report_exploit(
+                    instruction, site_type, DependenceKind.DATA_DEP, work, cfg,
+                )
+        returned_corrupted = False
+        if (
+            self.options.interprocedural
+            and isinstance(callee, Function)
+            and callee.is_internal()
+            and depth < self.options.max_call_depth
+        ):
+            signature = (callee.name, tuple(corrupted_args), in_ctrl_context)
+            if signature not in self._visited_callees:
+                self._visited_callees.add(signature)
+                for index in corrupted_args:
+                    if index < len(callee.arguments):
+                        self.corrupted.add(callee.arguments[index])
+                callee_returned = self._do_detect(
+                    callee, None, include_start=True,
+                    ctrl_dep=in_ctrl_context,
+                    inherited_branches=work.inherited_branches
+                    + tuple(work.local_corrupted_branches),
+                    depth=depth + 1,
+                )
+                if callee_returned:
+                    self.corrupted.add(instruction)
+                    returned_corrupted = False  # flows into *this* function
+        return returned_corrupted
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _succeeding_instructions(
+        self, function: Function, start: Optional[Instruction], include_start: bool,
+    ) -> List[Instruction]:
+        from repro.analysis.depgraph import instructions_after
+
+        if start is None or start.function is not function:
+            return list(function.instructions())
+        following = instructions_after(start)
+        if include_start:
+            return [start] + following
+        return following
+
+    @staticmethod
+    def _is_pointer_assignment(instruction: Instruction) -> bool:
+        from repro.ir.types import PointerType
+
+        return isinstance(instruction, Store) and isinstance(
+            instruction.value.type, PointerType,
+        )
+
+    def _pointer_corrupted(self, instruction: Instruction) -> bool:
+        pointer = self.registry.pointer_operand(instruction)
+        return pointer is not None and pointer in self.corrupted
+
+    def _spilled_corruption(self, load: Load) -> bool:
+        """clang -O0 must-alias rule: load from a pointer some corrupted
+        store wrote through (same SSA pointer value)."""
+        pointer = load.pointer
+        for value in self.corrupted:
+            if (
+                isinstance(value, Store)
+                and value.pointer is pointer
+                and value.value in self.corrupted
+            ):
+                return True
+        return False
+
+    def _report_exploit(self, instruction: Instruction, site_type: VulnSiteType,
+                        kind: DependenceKind, work: _FrameWork, cfg) -> None:
+        """ReportExploit(i, type): report once per (site, type)."""
+        key = (instruction.uid or 0, kind.value)
+        if key in self.reports:
+            return
+        controlling = [
+            branch for branch in work.local_corrupted_branches
+            if cfg.is_control_dependent(instruction, branch)
+        ]
+        branches = list(work.inherited_branches) + (
+            controlling or work.local_corrupted_branches
+        )
+        self.reports[key] = VulnerabilityReport(
+            instruction, site_type, kind, branches,
+            self._start, self._start_stack, source=self._source,
+        )
+
+    # ------------------------------------------------------------------
+    # whole-program ablation
+
+    def _explore_all_callers(self, frames) -> None:
+        """Undirected mode: walk every static caller, not the actual stack."""
+        seen: Set[str] = {function.name for function, _ in frames}
+        worklist = [function.name for function, _ in frames]
+        while worklist:
+            current = worklist.pop()
+            for caller_name in self.call_graph.callers_of(current):
+                if caller_name in seen:
+                    continue
+                seen.add(caller_name)
+                caller = self.module.functions.get(caller_name)
+                if caller is None:
+                    continue
+                for site in self.call_graph.sites_calling(current):
+                    if site.function is caller:
+                        self.corrupted.add(site)
+                self._do_detect(caller, None, include_start=True, ctrl_dep=False,
+                                inherited_branches=(), depth=0)
+                worklist.append(caller_name)

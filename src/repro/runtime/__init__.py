@@ -1,0 +1,80 @@
+"""The concurrent runtime: a VM executing IR modules under controllable schedules.
+
+This package substitutes for native multithreaded execution in the paper's
+evaluation.  It provides:
+
+- a byte-addressable shared memory with heap-lifetime tracking
+  (:mod:`repro.runtime.memory`),
+- threads, frames and call stacks (:mod:`repro.runtime.thread`),
+- pluggable schedulers — round-robin, seeded random, PCT, scripted —
+  (:mod:`repro.runtime.scheduler`); the schedule is the degree of freedom
+  that makes data races manifest, matching the paper's "runtime effects
+  (e.g., hardware timings)",
+- an instruction interpreter (:mod:`repro.runtime.interpreter`),
+- external-function semantics, including the security-sensitive operations
+  that constitute OWL's vulnerable sites (:mod:`repro.runtime.externals`),
+- an operating-system model tracking privilege and file state
+  (:mod:`repro.runtime.os_model`),
+- runtime fault detection — NULL dereference, use-after-free, double free,
+  buffer/field overflow — (:mod:`repro.runtime.errors`), and
+- an LLDB-like debugger with thread-specific breakpoints
+  (:mod:`repro.runtime.debugger`), the mechanism under OWL's dynamic race
+  and vulnerability verifiers (paper sections 5.2 and 6.2).
+"""
+
+from repro.runtime.errors import (
+    FaultEvent,
+    FaultKind,
+    RuntimeFault,
+    VMError,
+)
+from repro.runtime.events import (
+    AccessEvent,
+    AllocEvent,
+    ExternalCallEvent,
+    FreeEvent,
+    SyncEvent,
+    ThreadLifecycleEvent,
+    TraceObserver,
+)
+from repro.runtime.memory import Memory, MemoryBlock
+from repro.runtime.scheduler import (
+    PCTScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    ScriptedScheduler,
+)
+from repro.runtime.thread import Frame, ThreadContext, ThreadState
+from repro.runtime.os_model import OSWorld
+from repro.runtime.interpreter import VM, ExecutionResult
+from repro.runtime.debugger import Breakpoint, Debugger
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "RuntimeFault",
+    "VMError",
+    "AccessEvent",
+    "AllocEvent",
+    "ExternalCallEvent",
+    "FreeEvent",
+    "SyncEvent",
+    "ThreadLifecycleEvent",
+    "TraceObserver",
+    "Memory",
+    "MemoryBlock",
+    "PCTScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "ScriptedScheduler",
+    "Frame",
+    "ThreadContext",
+    "ThreadState",
+    "OSWorld",
+    "VM",
+    "ExecutionResult",
+    "Breakpoint",
+    "Debugger",
+]

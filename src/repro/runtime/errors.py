@@ -1,0 +1,72 @@
+"""Runtime faults: the consequences concurrency attacks manifest as.
+
+The paper's attacks end in memory corruption with security consequences:
+NULL function-pointer dereferences (Linux uselib, Figure 2), use-after-free
+(SSDB, Figure 6), buffer/field overflows (Apache bug 25520, Figure 7), double
+frees (Apache/MySQL, Table 4).  The VM detects these conditions and records
+them as :class:`FaultEvent`s; OWL's dynamic vulnerability verifier checks for
+them when deciding whether an attack was realized.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+
+class VMError(Exception):
+    """Base class for errors raised by the runtime itself (not the program)."""
+
+
+class FaultKind(enum.Enum):
+    """The kinds of runtime faults the VM detects."""
+
+    NULL_DEREF = "null-pointer-dereference"
+    USE_AFTER_FREE = "use-after-free"
+    DOUBLE_FREE = "double-free"
+    INVALID_FREE = "invalid-free"
+    BUFFER_OVERFLOW = "buffer-overflow"
+    FIELD_OVERFLOW = "field-overflow"
+    WILD_ACCESS = "wild-memory-access"
+    DIVISION_BY_ZERO = "division-by-zero"
+    STACK_SMASH = "stack-smash"
+    DEADLOCK = "deadlock"
+    STEP_LIMIT = "step-limit-exceeded"
+    ASSERTION = "assertion-failure"
+
+
+CallStack = Tuple[Tuple[str, str, int], ...]
+
+
+class FaultEvent:
+    """A detected runtime fault, recorded on the VM event log."""
+
+    def __init__(
+        self,
+        kind: FaultKind,
+        thread_id: int,
+        message: str,
+        address: Optional[int] = None,
+        call_stack: CallStack = (),
+        step: int = 0,
+    ):
+        self.kind = kind
+        self.thread_id = thread_id
+        self.message = message
+        self.address = address
+        self.call_stack = call_stack
+        self.step = step
+
+    def __repr__(self) -> str:
+        return "<Fault %s t%d @%s: %s>" % (
+            self.kind.value, self.thread_id,
+            hex(self.address) if self.address is not None else "-", self.message,
+        )
+
+
+class RuntimeFault(VMError):
+    """Raised inside the interpreter when a fault should abort execution."""
+
+    def __init__(self, event: FaultEvent):
+        super().__init__("%s: %s" % (event.kind.value, event.message))
+        self.event = event

@@ -1,0 +1,179 @@
+"""Execution-trace events and the observer interface.
+
+Detectors (TSan-like, SKI-like, lockset) attach to the VM as
+:class:`TraceObserver`s and receive one event per shared-memory access, sync
+operation, thread lifecycle change, allocation and external call.  This is
+the reproduction's equivalent of TSan's compiler instrumentation / SKI's
+hypervisor-level interception.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.ir.instructions import Instruction
+
+CallStack = Tuple[Tuple[str, str, int], ...]
+
+
+class TraceEvent:
+    """Base class for all trace events."""
+
+    __slots__ = ("thread_id", "step")
+
+    def __init__(self, thread_id: int, step: int):
+        self.thread_id = thread_id
+        self.step = step
+
+
+class AccessEvent(TraceEvent):
+    """A shared-memory read or write."""
+
+    __slots__ = (
+        "instruction", "address", "size", "is_write", "value", "is_atomic",
+        "call_stack", "variable",
+    )
+
+    def __init__(
+        self,
+        thread_id: int,
+        step: int,
+        instruction: Instruction,
+        address: int,
+        size: int,
+        is_write: bool,
+        value: int,
+        is_atomic: bool,
+        call_stack: CallStack,
+        variable: Optional[str] = None,
+    ):
+        super().__init__(thread_id, step)
+        self.instruction = instruction
+        self.address = address
+        self.size = size
+        self.is_write = is_write
+        self.value = value
+        self.is_atomic = is_atomic
+        self.call_stack = call_stack
+        self.variable = variable
+
+    def __repr__(self) -> str:
+        mode = "W" if self.is_write else "R"
+        return "<%s t%d %s 0x%x size=%d val=%d at %s>" % (
+            mode, self.thread_id, self.variable or "?", self.address, self.size,
+            self.value, self.instruction.location,
+        )
+
+
+class SyncEvent(TraceEvent):
+    """A synchronization operation creating happens-before edges."""
+
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+
+    __slots__ = ("kind", "address", "instruction")
+
+    def __init__(self, thread_id: int, step: int, kind: str, address: int,
+                 instruction: Optional[Instruction] = None):
+        super().__init__(thread_id, step)
+        self.kind = kind
+        self.address = address
+        self.instruction = instruction
+
+    def __repr__(self) -> str:
+        return "<Sync t%d %s 0x%x>" % (self.thread_id, self.kind, self.address)
+
+
+class ThreadLifecycleEvent(TraceEvent):
+    """Thread creation, start, join and exit."""
+
+    CREATE = "create"
+    START = "start"
+    EXIT = "exit"
+    JOIN = "join"
+
+    __slots__ = ("kind", "other_thread_id")
+
+    def __init__(self, thread_id: int, step: int, kind: str, other_thread_id: int):
+        super().__init__(thread_id, step)
+        self.kind = kind
+        self.other_thread_id = other_thread_id
+
+    def __repr__(self) -> str:
+        return "<Thread t%d %s t%d>" % (self.thread_id, self.kind, self.other_thread_id)
+
+
+class AllocEvent(TraceEvent):
+    """A heap allocation."""
+
+    __slots__ = ("address", "size")
+
+    def __init__(self, thread_id: int, step: int, address: int, size: int):
+        super().__init__(thread_id, step)
+        self.address = address
+        self.size = size
+
+
+class FreeEvent(TraceEvent):
+    """A heap free."""
+
+    __slots__ = ("address",)
+
+    def __init__(self, thread_id: int, step: int, address: int):
+        super().__init__(thread_id, step)
+        self.address = address
+
+
+class ExternalCallEvent(TraceEvent):
+    """A call into an external (runtime-implemented) function."""
+
+    __slots__ = ("name", "arguments", "instruction", "call_stack")
+
+    def __init__(
+        self,
+        thread_id: int,
+        step: int,
+        name: str,
+        arguments: Sequence[int],
+        instruction: Optional[Instruction],
+        call_stack: CallStack,
+    ):
+        super().__init__(thread_id, step)
+        self.name = name
+        self.arguments = tuple(arguments)
+        self.instruction = instruction
+        self.call_stack = call_stack
+
+    def __repr__(self) -> str:
+        return "<Ext t%d %s%r>" % (self.thread_id, self.name, self.arguments)
+
+
+class TraceObserver:
+    """Interface for components consuming the execution trace.
+
+    All hooks default to no-ops so observers override only what they need.
+    """
+
+    def on_access(self, event: AccessEvent) -> None:
+        pass
+
+    def on_sync(self, event: SyncEvent) -> None:
+        pass
+
+    def on_thread(self, event: ThreadLifecycleEvent) -> None:
+        pass
+
+    def on_alloc(self, event: AllocEvent) -> None:
+        pass
+
+    def on_free(self, event: FreeEvent) -> None:
+        pass
+
+    def on_external_call(self, event: ExternalCallEvent) -> None:
+        pass
+
+    def on_fault(self, event) -> None:
+        pass
+
+    def on_finish(self, vm) -> None:
+        pass

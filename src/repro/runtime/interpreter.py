@@ -1,0 +1,730 @@
+"""The instruction-stepping virtual machine.
+
+One :class:`VM` instance is one process execution: a module, a shared memory,
+an OS world, a set of threads and a scheduler.  Each scheduler step executes
+exactly one instruction of one thread, so every interleaving of shared-memory
+accesses is reachable by some scheduler — the property the paper's dynamic
+tools (TSan, SKI, the LLDB verifiers) rely on hardware timing for.
+
+Key behaviours:
+
+- shared-memory loads/stores on global and heap blocks emit
+  :class:`repro.runtime.events.AccessEvent`s to attached observers (stack
+  slots are thread-private in the model programs and stay silent, mirroring
+  TSan's escape-analysis-driven instrumentation);
+- indirect calls through a NULL or dangling function pointer raise the
+  corresponding fault — this is the Linux uselib attack's consequence
+  (paper Figure 2);
+- a debugger may be attached; it can halt individual threads at breakpoints
+  while the rest keep running (thread-specific breakpoints, paper
+  section 5.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.ir.function import ExternalFunction, Function
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Ret,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.types import IntType, PointerType
+from repro.ir.values import Argument, Constant, GlobalVariable, Value
+from repro.runtime import externals
+from repro.runtime.errors import FaultEvent, FaultKind, RuntimeFault
+from repro.runtime.events import (
+    AccessEvent,
+    AllocEvent,
+    ExternalCallEvent,
+    FreeEvent,
+    SyncEvent,
+    ThreadLifecycleEvent,
+    TraceObserver,
+)
+from repro.runtime.memory import Memory, MemoryBlock, store_initializer
+from repro.runtime.os_model import OSWorld
+from repro.runtime.scheduler import RoundRobinScheduler, Scheduler
+from repro.runtime.thread import Frame, ThreadContext, ThreadState
+
+MASK64 = (1 << 64) - 1
+
+#: Faults that corrupt state but let execution continue (attack material).
+NONFATAL_FAULTS = frozenset({FaultKind.FIELD_OVERFLOW})
+
+
+class ExecutionResult:
+    """Outcome of a (partial) run."""
+
+    FINISHED = "finished"
+    BREAKPOINT = "breakpoint"
+    DEADLOCK = "deadlock"
+    STEP_LIMIT = "step-limit"
+    FAULT = "fault"
+    EXITED = "exited"
+    KILLED = "killed"
+
+    def __init__(self, reason: str, vm: "VM"):
+        self.reason = reason
+        self.steps = vm.step
+        self.faults = list(vm.faults)
+        self.exit_code = vm.world.exit_code
+
+    def __repr__(self) -> str:
+        return "<ExecutionResult %s steps=%d faults=%d>" % (
+            self.reason, self.steps, len(self.faults),
+        )
+
+
+class VM:
+    """A process execution of an IR module."""
+
+    def __init__(
+        self,
+        module: Module,
+        scheduler: Optional[Scheduler] = None,
+        world: Optional[OSWorld] = None,
+        inputs: Optional[Dict] = None,
+        max_steps: int = 200_000,
+        seed: int = 0,
+        nonfatal_faults: frozenset = NONFATAL_FAULTS,
+    ):
+        self.module = module
+        self.scheduler = scheduler or RoundRobinScheduler()
+        self.world = world or OSWorld()
+        self.memory = Memory()
+        self.inputs: Dict = dict(inputs or {})
+        self._input_cursors: Dict = {}
+        self.max_steps = max_steps
+        self.rng = random.Random(seed)
+        self.nonfatal_faults = nonfatal_faults
+        self.step = 0
+        self.threads: Dict[int, ThreadContext] = {}
+        self._next_thread_id = 1
+        self.mutexes: Dict[int, Optional[int]] = {}
+        self.cond_waiters: Dict[int, List[int]] = {}
+        self.observers: List[TraceObserver] = []
+        self.faults: List[FaultEvent] = []
+        self.debugger = None  # set by Debugger.attach()
+        self._finished = False
+        self._result_reason: Optional[str] = None
+        self._function_addresses: Dict[str, int] = {}
+        self._functions_by_address: Dict[int, Union[Function, ExternalFunction]] = {}
+        self._global_addresses: Dict[str, int] = {}
+        self._setup_code_addresses()
+        self._setup_globals()
+
+    # ------------------------------------------------------------------
+    # setup
+
+    def _setup_code_addresses(self) -> None:
+        address = 0x1000
+        for name in list(self.module.functions) + list(self.module.externals):
+            self._function_addresses[name] = address
+            self._functions_by_address[address] = (
+                self.module.functions.get(name) or self.module.externals[name]
+            )
+            address += 16
+
+    def _setup_globals(self) -> None:
+        for variable in self.module.globals.values():
+            block = self.memory.allocate(
+                variable.value_type.size(), MemoryBlock.GLOBAL,
+                name=variable.name, value_type=variable.value_type,
+            )
+            self._global_addresses[variable.name] = block.base
+            store_initializer(self.memory, block, variable.value_type,
+                              variable.initializer)
+
+    # ------------------------------------------------------------------
+    # observers / events
+
+    def add_observer(self, observer: TraceObserver) -> None:
+        self.observers.append(observer)
+
+    def emit_access(self, thread: ThreadContext, instruction: Instruction,
+                    address: int, size: int, is_write: bool, value: int,
+                    is_atomic: bool = False) -> None:
+        block = self.memory.block_at(address)
+        if block is None or block.kind == MemoryBlock.STACK:
+            return
+        if not self.observers:
+            return
+        event = AccessEvent(
+            thread.thread_id, self.step, instruction, address, size, is_write,
+            value, is_atomic, thread.call_stack(), self.memory.describe(address),
+        )
+        for observer in self.observers:
+            observer.on_access(event)
+
+    def emit_range_access(self, thread: ThreadContext, instruction: Instruction,
+                          address: int, size: int, is_write: bool) -> None:
+        self.emit_access(thread, instruction, address, size, is_write, 0)
+
+    def emit_sync(self, thread: ThreadContext, kind: str, address: int,
+                  instruction: Optional[Instruction] = None) -> None:
+        event = SyncEvent(thread.thread_id, self.step, kind, address, instruction)
+        for observer in self.observers:
+            observer.on_sync(event)
+
+    def emit_alloc(self, thread: ThreadContext, block: MemoryBlock) -> None:
+        event = AllocEvent(thread.thread_id, self.step, block.base, block.size)
+        for observer in self.observers:
+            observer.on_alloc(event)
+
+    def emit_free(self, thread: ThreadContext, address: int) -> None:
+        event = FreeEvent(thread.thread_id, self.step, address)
+        for observer in self.observers:
+            observer.on_free(event)
+
+    def emit_join(self, joiner: ThreadContext, joined: ThreadContext) -> None:
+        event = ThreadLifecycleEvent(
+            joiner.thread_id, self.step, ThreadLifecycleEvent.JOIN, joined.thread_id,
+        )
+        for observer in self.observers:
+            observer.on_thread(event)
+
+    # ------------------------------------------------------------------
+    # faults
+
+    def record_fault(self, event: FaultEvent) -> None:
+        self.faults.append(event)
+        for observer in self.observers:
+            observer.on_fault(event)
+
+    def raise_fault(self, event: FaultEvent) -> None:
+        """Record a fault; abort the process unless it is non-fatal."""
+        self.record_fault(event)
+        if event.kind not in self.nonfatal_faults:
+            raise RuntimeFault(event)
+
+    # ------------------------------------------------------------------
+    # threads
+
+    def spawn_thread(self, function: Function, argument_values: Sequence[int],
+                     creator: Optional[ThreadContext] = None,
+                     name: Optional[str] = None) -> ThreadContext:
+        thread = ThreadContext(
+            self._next_thread_id,
+            name or function.name,
+            function,
+            list(argument_values),
+        )
+        self._next_thread_id += 1
+        self.threads[thread.thread_id] = thread
+        self.scheduler.on_thread_created(thread)
+        creator_id = creator.thread_id if creator is not None else 0
+        event = ThreadLifecycleEvent(
+            creator_id, self.step, ThreadLifecycleEvent.CREATE, thread.thread_id,
+        )
+        for observer in self.observers:
+            observer.on_thread(event)
+        return thread
+
+    def finish_thread(self, thread: ThreadContext, return_value: Optional[int]) -> None:
+        thread.state = ThreadState.FINISHED
+        thread.return_value = return_value
+        thread.frames = []
+        event = ThreadLifecycleEvent(
+            thread.thread_id, self.step, ThreadLifecycleEvent.EXIT, thread.thread_id,
+        )
+        for observer in self.observers:
+            observer.on_thread(event)
+        for waiter in self.threads.values():
+            if (
+                waiter.state == ThreadState.BLOCKED
+                and waiter.blocked_on == "join t%d" % thread.thread_id
+            ):
+                self.unblock(waiter.thread_id)
+
+    def unblock(self, thread_id: int) -> None:
+        thread = self.threads.get(thread_id)
+        if thread is not None and thread.state == ThreadState.BLOCKED:
+            thread.state = ThreadState.RUNNABLE
+            thread.blocked_on = None
+            thread.wake_step = None
+
+    # ------------------------------------------------------------------
+    # address helpers
+
+    def function_address(self, name: str) -> int:
+        return self._function_addresses[name]
+
+    def function_at(self, address: int) -> Optional[Union[Function, ExternalFunction]]:
+        return self._functions_by_address.get(address)
+
+    def global_address(self, name: str) -> int:
+        return self._global_addresses[name]
+
+    def next_input(self, channel: int):
+        values = self.inputs.get(channel)
+        if values is None:
+            return 0
+        if callable(values):
+            return values()
+        cursor = self._input_cursors.get(channel, 0)
+        if cursor >= len(values):
+            return values[-1] if values else 0
+        self._input_cursors[channel] = cursor + 1
+        return values[cursor]
+
+    # ------------------------------------------------------------------
+    # value evaluation
+
+    def evaluate(self, frame: Frame, operand: Value) -> int:
+        if isinstance(operand, Constant):
+            value = operand.value
+            if isinstance(operand.type, IntType):
+                return value & ((1 << operand.type.bits) - 1)
+            return value & MASK64
+        if isinstance(operand, GlobalVariable):
+            return self._global_addresses[operand.name]
+        if isinstance(operand, (Function, ExternalFunction)):
+            return self._function_addresses[operand.name]
+        if isinstance(operand, (Argument, Instruction)):
+            try:
+                return frame.registers[operand]
+            except KeyError:
+                raise RuntimeFault(FaultEvent(
+                    FaultKind.WILD_ACCESS, -1,
+                    "use of undefined value %s" % operand.short_name(),
+                )) from None
+        raise RuntimeFault(FaultEvent(
+            FaultKind.WILD_ACCESS, -1, "unsupported operand %r" % (operand,),
+        ))
+
+    # ------------------------------------------------------------------
+    # main loop
+
+    def start(self, entry: str = "main",
+              argument_values: Sequence[int] = ()) -> ThreadContext:
+        function = self.module.get_function(entry)
+        return self.spawn_thread(function, list(argument_values), name="main")
+
+    def runnable_threads(self) -> List[ThreadContext]:
+        self._wake_sleepers()
+        return [t for t in self.threads.values() if t.state == ThreadState.RUNNABLE]
+
+    def _wake_sleepers(self) -> None:
+        for thread in self.threads.values():
+            if (
+                thread.state == ThreadState.BLOCKED
+                and thread.wake_step is not None
+                and thread.wake_step <= self.step
+            ):
+                self.unblock(thread.thread_id)
+
+    def _retry_blocked(self) -> None:
+        """Poll blocked threads whose wait condition may have become true."""
+        for thread in self.threads.values():
+            if thread.state != ThreadState.BLOCKED or thread.blocked_on is None:
+                continue
+            reason = thread.blocked_on
+            if reason.startswith("mutex "):
+                address = int(reason.split()[1], 16)
+                if self.mutexes.get(address) is None:
+                    self.unblock(thread.thread_id)
+            elif reason.startswith("join t"):
+                target = self.threads.get(int(reason[6:]))
+                if target is not None and target.state == ThreadState.FINISHED:
+                    self.unblock(thread.thread_id)
+
+    def run(self, max_steps: Optional[int] = None) -> ExecutionResult:
+        """Run until completion, fault, deadlock, breakpoint or step limit."""
+        limit = self.step + max_steps if max_steps is not None else self.max_steps
+        while True:
+            if self._finished:
+                return ExecutionResult(self._result_reason or
+                                       ExecutionResult.FINISHED, self)
+            if self.step >= limit:
+                return ExecutionResult(ExecutionResult.STEP_LIMIT, self)
+            self._retry_blocked()
+            runnable = self.runnable_threads()
+            if not runnable:
+                outcome = self._handle_idle()
+                if outcome is not None:
+                    return outcome
+                continue
+            thread = self.scheduler.choose(runnable, self.step)
+            if self.debugger is not None:
+                instruction = thread.current_instruction()
+                if instruction is not None and self.debugger.check(thread, instruction):
+                    thread.state = ThreadState.HALTED
+                    return ExecutionResult(ExecutionResult.BREAKPOINT, self)
+            outcome = self.step_thread(thread)
+            if outcome is not None:
+                return outcome
+
+    def _handle_idle(self) -> Optional[ExecutionResult]:
+        alive = [t for t in self.threads.values() if t.state != ThreadState.FINISHED]
+        if not alive:
+            self._finished = True
+            return ExecutionResult(ExecutionResult.FINISHED, self)
+        halted = [t for t in alive if t.state == ThreadState.HALTED]
+        sleepers = [
+            t for t in alive
+            if t.state == ThreadState.BLOCKED and t.wake_step is not None
+        ]
+        if sleepers:
+            self.step = min(t.wake_step for t in sleepers)
+            self._wake_sleepers()
+            return None
+        if halted:
+            # All progress requires a halted thread: the livelock state the
+            # paper resolves by temporarily releasing a breakpoint (§5.2).
+            return ExecutionResult(ExecutionResult.BREAKPOINT, self)
+        event = FaultEvent(
+            FaultKind.DEADLOCK, alive[0].thread_id,
+            "deadlock: %s" % ", ".join(
+                "t%d on %s" % (t.thread_id, t.blocked_on) for t in alive
+            ),
+            step=self.step,
+        )
+        self.record_fault(event)
+        return ExecutionResult(ExecutionResult.DEADLOCK, self)
+
+    def step_thread(self, thread: ThreadContext) -> Optional[ExecutionResult]:
+        """Execute one instruction of ``thread``."""
+        instruction = thread.current_instruction()
+        if instruction is None:
+            # Fell off a block without terminator: verifier prevents this,
+            # but finish the thread defensively.
+            self.finish_thread(thread, None)
+            return None
+        self.step += 1
+        thread.steps_executed += 1
+        try:
+            self.execute(thread, instruction)
+        except externals.Block as block:
+            thread.state = ThreadState.BLOCKED
+            thread.blocked_on = block.reason
+            thread.wake_step = block.wake_step
+            return None
+        except externals.ProcessExit as exit_request:
+            self.world.exit_code = exit_request.code
+            self.world.process_killed = exit_request.killed
+            self._finished = True
+            self._result_reason = (
+                ExecutionResult.KILLED if exit_request.killed else ExecutionResult.EXITED
+            )
+            for observer in self.observers:
+                observer.on_finish(self)
+            return ExecutionResult(self._result_reason, self)
+        except RuntimeFault as fault:
+            if fault.event not in self.faults:
+                self.record_fault(fault.event)
+            self._finished = True
+            self._result_reason = ExecutionResult.FAULT
+            for observer in self.observers:
+                observer.on_finish(self)
+            return ExecutionResult(ExecutionResult.FAULT, self)
+        return None
+
+    # ------------------------------------------------------------------
+    # instruction execution
+
+    def execute(self, thread: ThreadContext, instruction: Instruction) -> None:
+        frame = thread.top
+        if isinstance(instruction, Alloca):
+            self._exec_alloca(thread, frame, instruction)
+        elif isinstance(instruction, Load):
+            self._exec_load(thread, frame, instruction)
+        elif isinstance(instruction, Store):
+            self._exec_store(thread, frame, instruction)
+        elif isinstance(instruction, BinOp):
+            self._exec_binop(thread, frame, instruction)
+        elif isinstance(instruction, ICmp):
+            self._exec_icmp(thread, frame, instruction)
+        elif isinstance(instruction, GetElementPtr):
+            self._exec_gep(thread, frame, instruction)
+        elif isinstance(instruction, Cast):
+            value = self._truncate(
+                self.evaluate(frame, instruction.value), instruction.type,
+            )
+            frame.registers[instruction] = value
+            self._maybe_type_block(instruction, value)
+            frame.index += 1
+        elif isinstance(instruction, AtomicRMW):
+            self._exec_atomicrmw(thread, frame, instruction)
+        elif isinstance(instruction, Br):
+            self._exec_br(thread, frame, instruction)
+        elif isinstance(instruction, Call):
+            self._exec_call(thread, frame, instruction)
+        elif isinstance(instruction, Ret):
+            self._exec_ret(thread, frame, instruction)
+        else:
+            raise RuntimeFault(FaultEvent(
+                FaultKind.WILD_ACCESS, thread.thread_id,
+                "unsupported instruction %s" % instruction.describe(),
+            ))
+
+    def _maybe_type_block(self, instruction: Cast, value: int) -> None:
+        """Casting a raw pointer to a struct pointer types the allocation.
+
+        This is the runtime equivalent of debug info: it gives heap blocks a
+        field layout so overflows crossing field boundaries are recorded as
+        field-overflow corruption (e.g. strcpy past ``vuln_frame.buf`` into
+        the adjacent handler slot, or Apache's log bytes into the fd field).
+        """
+        from repro.ir.types import StructType
+
+        pointee = (
+            instruction.type.pointee
+            if isinstance(instruction.type, PointerType) else None
+        )
+        if not isinstance(pointee, StructType) or value == 0:
+            return
+        block = self.memory.block_at(value)
+        if block is not None and not block.fields and block.base == value:
+            block.value_type = pointee
+            block.fields = pointee.layout()
+
+    @staticmethod
+    def _truncate(value: int, type_) -> int:
+        if isinstance(type_, IntType):
+            return value & ((1 << type_.bits) - 1)
+        return value & MASK64
+
+    def _exec_alloca(self, thread, frame, instruction: Alloca) -> None:
+        block = self.memory.allocate(
+            instruction.allocated_type.size(), MemoryBlock.STACK,
+            name="%s.%s" % (thread.top.function.name, instruction.name or "tmp"),
+            value_type=instruction.allocated_type, step=self.step,
+        )
+        frame.allocas.append(block)
+        frame.registers[instruction] = block.base
+        frame.index += 1
+
+    def _access_size(self, type_) -> int:
+        return max(1, type_.size())
+
+    def _exec_load(self, thread, frame, instruction: Load) -> None:
+        address = self.evaluate(frame, instruction.pointer)
+        size = self._access_size(instruction.type)
+        block, fault = self.memory.check_access(
+            address, size, False, thread.thread_id, self.step, thread.call_stack(),
+        )
+        if fault is not None:
+            self.raise_fault(fault)
+        value = self.memory.read_int(address, size, signed=False)
+        frame.registers[instruction] = value
+        self.emit_access(thread, instruction, address, size, False, value,
+                         is_atomic=instruction.atomic)
+        frame.index += 1
+
+    def _exec_store(self, thread, frame, instruction: Store) -> None:
+        address = self.evaluate(frame, instruction.pointer)
+        value = self.evaluate(frame, instruction.value)
+        size = self._access_size(instruction.value.type)
+        block, fault = self.memory.check_access(
+            address, size, True, thread.thread_id, self.step, thread.call_stack(),
+        )
+        if fault is not None:
+            self.raise_fault(fault)
+        self.memory.write_int(address, value, size)
+        self.emit_access(thread, instruction, address, size, True, value,
+                         is_atomic=instruction.atomic)
+        frame.index += 1
+
+    def _exec_binop(self, thread, frame, instruction: BinOp) -> None:
+        lhs = self.evaluate(frame, instruction.lhs)
+        rhs = self.evaluate(frame, instruction.rhs)
+        bits = instruction.type.bits if isinstance(instruction.type, IntType) else 64
+        mask = (1 << bits) - 1
+        op = instruction.op
+        if op in ("sdiv", "srem", "udiv", "urem") and rhs == 0:
+            self.raise_fault(FaultEvent(
+                FaultKind.DIVISION_BY_ZERO, thread.thread_id,
+                "division by zero at %s" % instruction.location,
+                call_stack=thread.call_stack(), step=self.step,
+            ))
+        signed_lhs = lhs - (1 << bits) if lhs >> (bits - 1) else lhs
+        signed_rhs = rhs - (1 << bits) if rhs >> (bits - 1) else rhs
+        if op == "add":
+            result = lhs + rhs
+        elif op == "sub":
+            result = lhs - rhs
+        elif op == "mul":
+            result = lhs * rhs
+        elif op == "udiv":
+            result = lhs // rhs
+        elif op == "urem":
+            result = lhs % rhs
+        elif op == "sdiv":
+            result = int(signed_lhs / signed_rhs) if signed_rhs else 0
+        elif op == "srem":
+            result = signed_lhs - int(signed_lhs / signed_rhs) * signed_rhs
+        elif op == "and":
+            result = lhs & rhs
+        elif op == "or":
+            result = lhs | rhs
+        elif op == "xor":
+            result = lhs ^ rhs
+        elif op == "shl":
+            result = lhs << (rhs % bits)
+        elif op == "lshr":
+            result = lhs >> (rhs % bits)
+        elif op == "ashr":
+            result = signed_lhs >> (rhs % bits)
+        else:
+            raise RuntimeFault(FaultEvent(
+                FaultKind.WILD_ACCESS, thread.thread_id, "bad binop %s" % op,
+            ))
+        frame.registers[instruction] = result & mask
+        frame.index += 1
+
+    def _exec_icmp(self, thread, frame, instruction: ICmp) -> None:
+        lhs = self.evaluate(frame, instruction.lhs)
+        rhs = self.evaluate(frame, instruction.rhs)
+        lhs_type = instruction.lhs.type
+        bits = lhs_type.bits if isinstance(lhs_type, IntType) else 64
+        predicate = instruction.predicate
+        if predicate.startswith("s"):
+            lhs = lhs - (1 << bits) if lhs >> (bits - 1) else lhs
+            rhs = rhs - (1 << bits) if rhs >> (bits - 1) else rhs
+        if predicate == "eq":
+            result = lhs == rhs
+        elif predicate == "ne":
+            result = lhs != rhs
+        elif predicate in ("slt", "ult"):
+            result = lhs < rhs
+        elif predicate in ("sle", "ule"):
+            result = lhs <= rhs
+        elif predicate in ("sgt", "ugt"):
+            result = lhs > rhs
+        else:  # sge / uge
+            result = lhs >= rhs
+        frame.registers[instruction] = 1 if result else 0
+        frame.index += 1
+
+    def _exec_gep(self, thread, frame, instruction: GetElementPtr) -> None:
+        base = self.evaluate(frame, instruction.base)
+        pointee = instruction.base.type.pointee
+        if instruction.field is not None:
+            offset = pointee.field_offset(instruction.field)
+        else:
+            index = self.evaluate(frame, instruction.index)
+            if index >> 63:  # negative index (two's complement)
+                index -= 1 << 64
+            element = instruction.type.pointee
+            offset = index * element.size()
+        frame.registers[instruction] = (base + offset) & MASK64
+        frame.index += 1
+
+    def _exec_atomicrmw(self, thread, frame, instruction: AtomicRMW) -> None:
+        address = self.evaluate(frame, instruction.pointer)
+        operand = self.evaluate(frame, instruction.value)
+        size = self._access_size(instruction.type)
+        block, fault = self.memory.check_access(
+            address, size, True, thread.thread_id, self.step, thread.call_stack(),
+        )
+        if fault is not None:
+            self.raise_fault(fault)
+        self.emit_sync(thread, SyncEvent.ACQUIRE, address, instruction)
+        old = self.memory.read_int(address, size, signed=False)
+        op = instruction.op
+        if op == "add":
+            new = old + operand
+        elif op == "sub":
+            new = old - operand
+        elif op == "xchg":
+            new = operand
+        elif op == "and":
+            new = old & operand
+        elif op == "or":
+            new = old | operand
+        else:  # xor
+            new = old ^ operand
+        self.memory.write_int(address, new, size)
+        self.emit_sync(thread, SyncEvent.RELEASE, address, instruction)
+        frame.registers[instruction] = old
+        frame.index += 1
+
+    def _exec_br(self, thread, frame, instruction: Br) -> None:
+        if instruction.is_conditional:
+            condition = self.evaluate(frame, instruction.condition)
+            target = instruction.true_block if condition else instruction.false_block
+        else:
+            target = instruction.true_block
+        frame.jump(target)
+
+    def _exec_call(self, thread, frame, instruction: Call) -> None:
+        callee = instruction.callee
+        if isinstance(callee, (Function, ExternalFunction)):
+            target = callee
+        else:
+            address = self.evaluate(frame, callee)
+            target = self.function_at(address)
+            if target is None:
+                kind = (FaultKind.NULL_DEREF if address == 0
+                        else FaultKind.WILD_ACCESS)
+                self.raise_fault(FaultEvent(
+                    kind, thread.thread_id,
+                    "indirect call through %s function pointer (0x%x) at %s" % (
+                        "NULL" if address == 0 else "dangling", address,
+                        instruction.location,
+                    ),
+                    address=address, call_stack=thread.call_stack(), step=self.step,
+                ))
+                frame.registers[instruction] = 0
+                frame.index += 1
+                return
+        argument_values = [self.evaluate(frame, op) for op in instruction.operands]
+        if isinstance(target, ExternalFunction):
+            self._exec_external(thread, frame, instruction, target, argument_values)
+        else:
+            callee_frame = Frame(target, call_site=instruction)
+            for parameter, value in zip(target.arguments, argument_values):
+                callee_frame.registers[parameter] = value
+            thread.frames.append(callee_frame)
+
+    def _exec_external(self, thread, frame, instruction: Call,
+                       target: ExternalFunction, argument_values: List[int]) -> None:
+        event = ExternalCallEvent(
+            thread.thread_id, self.step, target.name, argument_values,
+            instruction, thread.call_stack(),
+        )
+        for observer in self.observers:
+            observer.on_external_call(event)
+        impl = externals.lookup(target.name)
+        result = impl(self, thread, instruction, argument_values)
+        if thread.state == ThreadState.FINISHED:
+            return
+        if result is not None:
+            frame.registers[instruction] = self._truncate(result, instruction.type)
+        elif instruction.type.size() > 0:
+            frame.registers[instruction] = 0
+        frame.index += 1
+
+    def _exec_ret(self, thread, frame, instruction: Ret) -> None:
+        value = (
+            self.evaluate(frame, instruction.value)
+            if instruction.value is not None else None
+        )
+        for block in frame.allocas:
+            block.freed = True
+            block.free_step = self.step
+        thread.frames.pop()
+        if not thread.frames:
+            self.finish_thread(thread, value)
+            return
+        caller = thread.top
+        call_site = frame.call_site
+        if call_site is not None:
+            if value is not None:
+                caller.registers[call_site] = self._truncate(value, call_site.type)
+            elif call_site.type.size() > 0:
+                caller.registers[call_site] = 0
+            caller.index += 1

@@ -1,0 +1,230 @@
+"""Thread schedulers: the interleaving knob.
+
+In the paper, whether a race manifests depends on "runtime effects (e.g.,
+hardware timings)".  Here the interleaving is chosen per instruction by a
+:class:`Scheduler`.  The implementations:
+
+- :class:`RoundRobinScheduler` — deterministic quantum-based switching; the
+  "common case" schedule under which most races stay latent.
+- :class:`RandomScheduler` — uniform random choice each step from a seed;
+  the workhorse for detector runs and for the race verifier's re-executions.
+- :class:`PCTScheduler` — probabilistic concurrency testing (random priorities
+  plus d-1 priority-change points), a stronger bug-finding schedule.
+- :class:`ScriptedScheduler` — an explicit schedule script; used by the
+  dynamic vulnerability verifier to enforce the racing order (paper
+  section 6.2 "requires user intervention to decide the execution order of
+  the racing instructions") and by the exploit drivers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.runtime.thread import ThreadContext
+
+
+class Scheduler:
+    """Chooses which runnable thread executes the next instruction."""
+
+    def choose(self, runnable: List[ThreadContext], step: int) -> ThreadContext:
+        raise NotImplementedError
+
+    def on_thread_created(self, thread: ThreadContext) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class RoundRobinScheduler(Scheduler):
+    """Run each thread for ``quantum`` steps before switching."""
+
+    def __init__(self, quantum: int = 50):
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self._current_id: Optional[int] = None
+        self._remaining = quantum
+
+    def choose(self, runnable: List[ThreadContext], step: int) -> ThreadContext:
+        current = None
+        if self._current_id is not None:
+            for thread in runnable:
+                if thread.thread_id == self._current_id:
+                    current = thread
+                    break
+        if current is not None and self._remaining > 0:
+            self._remaining -= 1
+            return current
+        ordered = sorted(runnable, key=lambda t: t.thread_id)
+        if current is None:
+            chosen = ordered[0]
+        else:
+            index = next(
+                i for i, t in enumerate(ordered) if t.thread_id == current.thread_id
+            )
+            chosen = ordered[(index + 1) % len(ordered)]
+        self._current_id = chosen.thread_id
+        self._remaining = self.quantum - 1
+        return chosen
+
+    def reset(self) -> None:
+        self._current_id = None
+        self._remaining = self.quantum
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random choice each step, from a reproducible seed."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, runnable: List[ThreadContext], step: int) -> ThreadContext:
+        return runnable[self._rng.randrange(len(runnable))]
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class PCTScheduler(Scheduler):
+    """Probabilistic concurrency testing (Burckhardt et al.).
+
+    Each thread gets a random priority; at ``depth - 1`` random step indices
+    the running thread's priority drops below all others.  Guarantees a
+    lower-bound probability of hitting any bug of depth ``d``.
+    """
+
+    def __init__(self, seed: int = 0, depth: int = 3, expected_steps: int = 2000):
+        self.seed = seed
+        self.depth = depth
+        self.expected_steps = expected_steps
+        self.reset()
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._priorities = {}
+        self._next_priority = 1_000_000
+        self._change_points = set(
+            self._rng.randrange(max(1, self.expected_steps))
+            for _ in range(max(0, self.depth - 1))
+        )
+        self._low_water = 0
+
+    def _priority(self, thread: ThreadContext) -> int:
+        if thread.thread_id not in self._priorities:
+            self._priorities[thread.thread_id] = self._rng.randrange(1, self._next_priority)
+        return self._priorities[thread.thread_id]
+
+    def choose(self, runnable: List[ThreadContext], step: int) -> ThreadContext:
+        chosen = max(runnable, key=self._priority)
+        if step in self._change_points:
+            self._low_water -= 1
+            self._priorities[chosen.thread_id] = self._low_water
+            chosen = max(runnable, key=self._priority)
+        return chosen
+
+
+ScriptSegment = Tuple[Union[int, str], int]
+
+
+class ScriptedScheduler(Scheduler):
+    """Follow an explicit schedule script, then fall back to round-robin.
+
+    The script is a sequence of ``(thread, steps)`` segments where ``thread``
+    is a thread id or name.  If the scripted thread is not currently runnable
+    the scheduler waits on it by running other threads one step at a time
+    (lowest id first) — this is how a verifier expresses "let the write side
+    reach its breakpoint first".
+    """
+
+    def __init__(self, script: Sequence[ScriptSegment], fallback: Optional[Scheduler] = None):
+        self.script: List[ScriptSegment] = list(script)
+        self.fallback = fallback or RoundRobinScheduler()
+        self._segment = 0
+        self._remaining = self.script[0][1] if self.script else 0
+
+    def _matches(self, thread: ThreadContext, key: Union[int, str]) -> bool:
+        if isinstance(key, int):
+            return thread.thread_id == key
+        return thread.name == key
+
+    def choose(self, runnable: List[ThreadContext], step: int) -> ThreadContext:
+        while self._segment < len(self.script):
+            key, _ = self.script[self._segment]
+            if self._remaining <= 0:
+                self._segment += 1
+                if self._segment < len(self.script):
+                    self._remaining = self.script[self._segment][1]
+                continue
+            target = next((t for t in runnable if self._matches(t, key)), None)
+            if target is not None:
+                self._remaining -= 1
+                return target
+            # Scripted thread not runnable: nudge others forward.
+            return min(runnable, key=lambda t: t.thread_id)
+        return self.fallback.choose(runnable, step)
+
+    def reset(self) -> None:
+        self._segment = 0
+        self._remaining = self.script[0][1] if self.script else 0
+        self.fallback.reset()
+
+
+class RecordingScheduler(Scheduler):
+    """Wraps another scheduler and records the chosen thread ids.
+
+    Together with :class:`ReplayScheduler` this gives PRES-style
+    deterministic record/replay (the paper's reference [60]): because the
+    VM is deterministic given the interleaving, replaying the recorded
+    choice sequence reproduces the execution exactly — including a
+    race-triggering one.
+    """
+
+    def __init__(self, inner: Scheduler):
+        self.inner = inner
+        self.trace: List[int] = []
+
+    def choose(self, runnable: List[ThreadContext], step: int) -> ThreadContext:
+        chosen = self.inner.choose(runnable, step)
+        self.trace.append(chosen.thread_id)
+        return chosen
+
+    def on_thread_created(self, thread: ThreadContext) -> None:
+        self.inner.on_thread_created(thread)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.trace = []
+
+
+class ReplayScheduler(Scheduler):
+    """Replays a recorded choice sequence; falls back after the trace ends.
+
+    If the recorded thread is not runnable at some step (the execution has
+    diverged, e.g. because the program or inputs changed), the scheduler
+    counts the divergence and picks the lowest-id runnable thread.
+    """
+
+    def __init__(self, trace: Sequence[int], fallback: Optional[Scheduler] = None):
+        self.trace = list(trace)
+        self.fallback = fallback or RoundRobinScheduler()
+        self._cursor = 0
+        self.divergences = 0
+
+    def choose(self, runnable: List[ThreadContext], step: int) -> ThreadContext:
+        if self._cursor < len(self.trace):
+            wanted = self.trace[self._cursor]
+            self._cursor += 1
+            for thread in runnable:
+                if thread.thread_id == wanted:
+                    return thread
+            self.divergences += 1
+            return min(runnable, key=lambda t: t.thread_id)
+        return self.fallback.choose(runnable, step)
+
+    def reset(self) -> None:
+        self._cursor = 0
+        self.divergences = 0
+        self.fallback.reset()

@@ -1,0 +1,108 @@
+"""Threads, frames and call stacks."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Instruction
+from repro.ir.values import Value
+
+CallStack = Tuple[Tuple[str, str, int], ...]
+
+
+class ThreadState(enum.Enum):
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    HALTED = "halted"  # stopped at a debugger breakpoint
+    FINISHED = "finished"
+
+
+class Frame:
+    """One activation record: function, program counter, SSA registers."""
+
+    def __init__(self, function: Function, call_site: Optional[Call] = None):
+        self.function = function
+        self.call_site = call_site
+        self.block = function.entry
+        self.index = 0
+        self.registers: Dict[Value, int] = {}
+        # Stack blocks owned by this frame (freed logically on return).
+        self.allocas: List = []
+
+    def current_instruction(self) -> Optional[Instruction]:
+        if self.index < len(self.block.instructions):
+            return self.block.instructions[self.index]
+        return None
+
+    def jump(self, block) -> None:
+        self.block = block
+        self.index = 0
+
+    def __repr__(self) -> str:
+        inst = self.current_instruction()
+        where = str(inst.location) if inst is not None else "<end>"
+        return "<Frame %s at %s>" % (self.function.name, where)
+
+
+class ThreadContext:
+    """One simulated thread."""
+
+    def __init__(self, thread_id: int, name: str, entry: Function,
+                 argument_values: Optional[List[int]] = None):
+        self.thread_id = thread_id
+        self.name = name
+        self.state = ThreadState.RUNNABLE
+        self.frames: List[Frame] = []
+        self.blocked_on: Optional[str] = None
+        self.wake_step: Optional[int] = None  # for io_delay / usleep
+        self.return_value: Optional[int] = None
+        self.steps_executed = 0
+        frame = Frame(entry)
+        values = argument_values or []
+        for argument, value in zip(entry.arguments, values):
+            frame.registers[argument] = value
+        self.frames.append(frame)
+        self.joiners: List["ThreadContext"] = []
+        self.held_mutexes: List[int] = []
+
+    @property
+    def top(self) -> Frame:
+        return self.frames[-1]
+
+    def is_runnable(self) -> bool:
+        return self.state == ThreadState.RUNNABLE
+
+    def current_instruction(self) -> Optional[Instruction]:
+        if not self.frames:
+            return None
+        return self.top.current_instruction()
+
+    def call_stack(self) -> CallStack:
+        """Snapshot (function, file, line) per frame, innermost last.
+
+        The innermost entry carries the location of the instruction about to
+        execute; outer entries carry their call sites.  This matches the
+        call stacks OWL extracts from detector reports (paper Figure 4).
+        """
+        entries = []
+        for frame in self.frames:
+            instruction = frame.current_instruction()
+            if instruction is not None:
+                loc = instruction.location
+            elif frame.block.instructions:
+                loc = frame.block.instructions[-1].location
+            else:
+                loc = None
+            entries.append((
+                frame.function.name,
+                loc.filename if loc else frame.function.source_file,
+                loc.line if loc else 0,
+            ))
+        return tuple(entries)
+
+    def __repr__(self) -> str:
+        return "<Thread %d %r %s depth=%d>" % (
+            self.thread_id, self.name, self.state.value, len(self.frames),
+        )

@@ -1,0 +1,127 @@
+"""Structured execution tracing: a debugging aid for verifier development.
+
+:class:`TraceLogger` is a :class:`repro.runtime.events.TraceObserver` that
+records every event as a plain tuple-like record, with filtering by thread,
+address range, and event kind.  ``to_lines`` renders a human-readable
+interleaving log — the artifact you want when a race verifier behaves
+unexpectedly ("which thread touched this address when?").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.runtime.events import (
+    AccessEvent,
+    AllocEvent,
+    ExternalCallEvent,
+    FreeEvent,
+    SyncEvent,
+    ThreadLifecycleEvent,
+    TraceObserver,
+)
+
+
+class TraceRecord:
+    """One recorded event in normalized form."""
+
+    __slots__ = ("step", "thread_id", "kind", "detail", "address", "location")
+
+    def __init__(self, step: int, thread_id: int, kind: str, detail: str,
+                 address: Optional[int] = None, location: Optional[str] = None):
+        self.step = step
+        self.thread_id = thread_id
+        self.kind = kind
+        self.detail = detail
+        self.address = address
+        self.location = location
+
+    def render(self) -> str:
+        where = " @%s" % self.location if self.location else ""
+        addr = " 0x%x" % self.address if self.address is not None else ""
+        return "[%6d] t%-2d %-8s %s%s%s" % (
+            self.step, self.thread_id, self.kind, self.detail, addr, where,
+        )
+
+    def __repr__(self) -> str:
+        return "<TraceRecord %s>" % self.render()
+
+
+class TraceLogger(TraceObserver):
+    """Records events, optionally bounded and filtered."""
+
+    def __init__(self, max_records: int = 100_000,
+                 kinds: Optional[Sequence[str]] = None):
+        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.kinds = set(kinds) if kinds is not None else None
+        self.truncated = False
+
+    def _add(self, record: TraceRecord) -> None:
+        if self.kinds is not None and record.kind not in self.kinds:
+            return
+        if len(self.records) >= self.max_records:
+            self.truncated = True
+            return
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # observer hooks
+
+    def on_access(self, event: AccessEvent) -> None:
+        mode = "write" if event.is_write else "read"
+        self._add(TraceRecord(
+            event.step, event.thread_id, mode,
+            "%s = %d" % (event.variable or "?", event.value),
+            address=event.address, location=str(event.instruction.location),
+        ))
+
+    def on_sync(self, event: SyncEvent) -> None:
+        self._add(TraceRecord(event.step, event.thread_id, "sync",
+                              event.kind, address=event.address))
+
+    def on_thread(self, event: ThreadLifecycleEvent) -> None:
+        self._add(TraceRecord(event.step, event.thread_id, "thread",
+                              "%s t%d" % (event.kind, event.other_thread_id)))
+
+    def on_alloc(self, event: AllocEvent) -> None:
+        self._add(TraceRecord(event.step, event.thread_id, "alloc",
+                              "%d bytes" % event.size, address=event.address))
+
+    def on_free(self, event: FreeEvent) -> None:
+        self._add(TraceRecord(event.step, event.thread_id, "free", "",
+                              address=event.address))
+
+    def on_external_call(self, event: ExternalCallEvent) -> None:
+        self._add(TraceRecord(event.step, event.thread_id, "call",
+                              "%s%r" % (event.name, tuple(event.arguments))))
+
+    def on_fault(self, event) -> None:
+        self._add(TraceRecord(event.step, event.thread_id, "FAULT",
+                              "%s: %s" % (event.kind.value, event.message),
+                              address=event.address))
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def filter(self, predicate: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
+        return [record for record in self.records if predicate(record)]
+
+    def for_thread(self, thread_id: int) -> List[TraceRecord]:
+        return self.filter(lambda r: r.thread_id == thread_id)
+
+    def for_address(self, address: int, size: int = 1) -> List[TraceRecord]:
+        return self.filter(
+            lambda r: r.address is not None
+            and address <= r.address < address + size
+        )
+
+    def faults(self) -> List[TraceRecord]:
+        return self.filter(lambda r: r.kind == "FAULT")
+
+    def to_lines(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
+        chosen = self.records if records is None else list(records)
+        return "\n".join(record.render() for record in chosen)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,39 @@
+"""The quantitative concurrency-attack study (paper section 3).
+
+:mod:`repro.study.corpus` encodes the 26 concurrency attacks across the ten
+studied programs (paper Table 1) with their violation types, bug types and
+reproduction metadata; :mod:`repro.study.analysis` computes the paper's
+findings I-V from the corpus and from live measurements against the model
+programs (bug-to-attack spread, call-stack prefix sharing, repetitions to
+trigger, report burial ratios).
+"""
+
+from repro.study.corpus import (
+    AttackRecord,
+    CORPUS,
+    attacks_by_program,
+    corpus_totals,
+    reproduced_attacks,
+)
+from repro.study.analysis import (
+    finding1_severity,
+    finding2_spread,
+    finding3_repetitions,
+    finding4_bug_types,
+    finding5_burial,
+    callstack_prefix_stats,
+)
+
+__all__ = [
+    "AttackRecord",
+    "CORPUS",
+    "attacks_by_program",
+    "corpus_totals",
+    "reproduced_attacks",
+    "finding1_severity",
+    "finding2_spread",
+    "finding3_repetitions",
+    "finding4_bug_types",
+    "finding5_burial",
+    "callstack_prefix_stats",
+]

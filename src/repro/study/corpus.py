@@ -1,0 +1,208 @@
+"""The 26-attack study corpus (paper section 3, Table 1).
+
+Each :class:`AttackRecord` is one concurrency attack: "we counted only each
+bug's first security consequence" (unlike the prior HotPar'12 study, which
+counted consequences).  Programs, lines of code and report counts follow
+Table 1; per-attack metadata (violation type, bug type, spread, repetitions)
+follows the paper's narrative in sections 3.1-3.2 and Table 4.
+
+Ten attacks (6 programs with source) carry ``reproduced=True`` and map onto
+an exploit driver in :mod:`repro.exploits`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class AttackRecord:
+    """One concurrency attack in the study."""
+
+    def __init__(
+        self,
+        attack_id: str,
+        program: str,
+        violation: str,
+        bug_type: str = "data race",
+        vuln_site_type: str = "",
+        same_function: bool = False,
+        callstack_prefix_shared: bool = True,
+        reproduced: bool = False,
+        repetitions_to_trigger: Optional[int] = None,
+        subtle_inputs: str = "",
+        detectable_by_race_detector: bool = True,
+        reference: str = "",
+        description: str = "",
+    ):
+        self.attack_id = attack_id
+        self.program = program
+        #: the first security consequence (privilege escalation, ...)
+        self.violation = violation
+        self.bug_type = bug_type
+        self.vuln_site_type = vuln_site_type
+        #: bug and vulnerability site within the same function?
+        self.same_function = same_function
+        #: does the attack's call stack share the bug's call stack prefix?
+        self.callstack_prefix_shared = callstack_prefix_shared
+        self.reproduced = reproduced
+        self.repetitions_to_trigger = repetitions_to_trigger
+        self.subtle_inputs = subtle_inputs
+        self.detectable_by_race_detector = detectable_by_race_detector
+        self.reference = reference
+        self.description = description
+
+    def __repr__(self) -> str:
+        return "<AttackRecord %s (%s, %s)>" % (
+            self.attack_id, self.program, self.violation,
+        )
+
+
+class ProgramRecord:
+    """One studied program: Table 1 row."""
+
+    def __init__(self, name: str, loc: str, kind: str,
+                 race_reports: Optional[int], has_source: bool = True,
+                 ran_with_detector: bool = True):
+        self.name = name
+        self.loc = loc
+        self.kind = kind
+        #: raw race reports the paper measured (N/A for closed targets)
+        self.race_reports = race_reports
+        self.has_source = has_source
+        self.ran_with_detector = ran_with_detector
+
+
+#: Table 1's program rows.
+PROGRAMS: List[ProgramRecord] = [
+    ProgramRecord("Apache", "290K", "server", 715),
+    ProgramRecord("MySQL", "1.5M", "server", 1123),
+    ProgramRecord("SSDB", "67K", "server", 12),
+    ProgramRecord("Chrome", "3.4M", "browser", 1715),
+    ProgramRecord("IE", "N/A", "browser", None, has_source=False,
+                  ran_with_detector=False),
+    ProgramRecord("Libsafe", "3.4K", "library", 3),
+    ProgramRecord("Linux", "2.8M", "kernel", 24641),
+    ProgramRecord("Darwin", "N/A", "kernel", None, has_source=False,
+                  ran_with_detector=False),
+    ProgramRecord("FreeBSD", "680K", "kernel", None, ran_with_detector=False),
+    ProgramRecord("Windows", "N/A", "kernel", None, has_source=False,
+                  ran_with_detector=False),
+]
+
+
+def _reproduced(attack_id, program, violation, site, same_fn, reps, inputs,
+                reference, description):
+    return AttackRecord(
+        attack_id, program, violation, vuln_site_type=site,
+        same_function=same_fn, reproduced=True,
+        repetitions_to_trigger=reps, subtle_inputs=inputs,
+        reference=reference, description=description,
+    )
+
+
+#: The 26 attacks.  The ten reproduced ones lead; the remainder encode the
+#: corpus counts of Table 1 (Apache 4, MySQL 2, SSDB 1, Chrome 3, IE 1,
+#: Libsafe 1, Linux 8, Darwin 3, FreeBSD 2, Windows 1).
+CORPUS: List[AttackRecord] = [
+    # --- reproduced (exploit scripts in repro.exploits) -------------------
+    _reproduced("libsafe-2.0-16", "Libsafe", "code injection",
+                "memory operation", False, 6,
+                "Loops with strcpy()", "paper Figure 1",
+                "dying-flag race bypasses stack overflow checks"),
+    _reproduced("linux-2.6.10-uselib", "Linux", "code injection",
+                "NULL pointer dereference", False, 12,
+                "Syscall parameters", "OSVDB 12791 / paper Figure 2",
+                "uselib/msync race NULLs f_op before the fsync call"),
+    _reproduced("linux-2.6.29-privesc", "Linux", "privilege escalation",
+                "privilege operation", False, 10,
+                "Syscall parameters", "paper Table 4",
+                "credential race lets setuid(0) pass its capability check"),
+    _reproduced("mysql-24988", "MySQL", "privilege escalation",
+                "privilege operation", False, 18,
+                "FLUSH PRIVILEGES", "MySQL bug 24988",
+                "ACL reload race corrupts another user's privilege table"),
+    _reproduced("mysql-setpassword", "MySQL", "memory corruption",
+                "memory operation", True, 8,
+                "SET PASSWORD", "paper Table 4",
+                "concurrent SET PASSWORD double-frees the password buffer"),
+    _reproduced("apache-25520", "Apache", "HTML integrity violation",
+                "memory operation", True, 14,
+                "Crafted log-entry lengths", "Apache bug 25520 / Figure 7",
+                "buffered-log cursor race overflows into the log fd"),
+    _reproduced("apache-46215", "Apache", "denial of service",
+                "NULL pointer dereference", False, 9,
+                "Concurrent request completions", "Apache bug 46215 / Figure 8",
+                "busyness counter underflow starves a balancer worker"),
+    _reproduced("apache-2.0.48-doublefree", "Apache", "memory corruption",
+                "memory operation", True, 7,
+                "PhP queries", "paper Table 4",
+                "request-pool refcount race double-frees the pool"),
+    _reproduced("chrome-6.0.472.58", "Chrome", "memory corruption",
+                "NULL pointer dereference", False, 11,
+                "Js console.profile", "paper Table 4",
+                "profiler stop races the sampler: use after free"),
+    _reproduced("ssdb-cve-2016-1000324", "SSDB", "memory corruption",
+                "NULL pointer dereference", False, 5,
+                "Shutdown during compaction", "CVE-2016-1000324 / Figure 6",
+                "BinlogQueue destructor races the log-clean thread"),
+    # --- studied but not reproduced (no source / no exploit script) -------
+    AttackRecord("apache-21287", "Apache", "denial of service",
+                 same_function=False, reference="Apache bug 21287",
+                 description="cache refcount atomicity window crashes httpd"),
+    AttackRecord("chrome-sandbox-1", "Chrome", "bypass authentication",
+                 same_function=False,
+                 description="renderer/browser handoff race"),
+    AttackRecord("chrome-sandbox-2", "Chrome", "memory corruption",
+                 same_function=True,
+                 description="V8 heap race corrupting object maps"),
+    AttackRecord("ie-javaprxy", "IE", "code injection",
+                 same_function=False, reference="exploit-db 1079",
+                 description="MSIE javaprxy.dll COM object race"),
+    AttackRecord("linux-cve-2008-0034", "Linux", "privilege escalation",
+                 same_function=False, reference="CVE-2008-0034"),
+    AttackRecord("linux-cve-2010-0923", "Linux", "bypass authentication",
+                 same_function=True, reference="CVE-2010-0923"),
+    AttackRecord("linux-cve-2010-1754", "Linux", "bypass authentication",
+                 same_function=False, reference="CVE-2010-1754"),
+    AttackRecord("linux-sys-race-1", "Linux", "memory corruption",
+                 same_function=True,
+                 description="proc fs writer race against exiting task"),
+    AttackRecord("linux-sys-race-2", "Linux", "denial of service",
+                 same_function=False,
+                 description="signal delivery race wedging the scheduler"),
+    AttackRecord("linux-sys-race-3", "Linux", "memory corruption",
+                 same_function=True,
+                 description="futex requeue race corrupting the wait queue"),
+    AttackRecord("darwin-race-1", "Darwin", "privilege escalation",
+                 same_function=False),
+    AttackRecord("darwin-race-2", "Darwin", "memory corruption",
+                 same_function=True),
+    AttackRecord("darwin-race-3", "Darwin", "denial of service",
+                 same_function=False),
+    AttackRecord("freebsd-cve-2009-3527", "FreeBSD", "privilege escalation",
+                 same_function=False, reference="CVE-2009-3527",
+                 description="pipe close race giving kernel code execution"),
+    AttackRecord("freebsd-race-2", "FreeBSD", "memory corruption",
+                 same_function=True),
+    AttackRecord("windows-race-1", "Windows", "privilege escalation",
+                 same_function=False,
+                 description="win32k object handoff race"),
+]
+
+
+def attacks_by_program(program: Optional[str] = None) -> List[AttackRecord]:
+    if program is None:
+        return list(CORPUS)
+    return [record for record in CORPUS if record.program == program]
+
+
+def reproduced_attacks() -> List[AttackRecord]:
+    return [record for record in CORPUS if record.reproduced]
+
+
+def corpus_totals() -> Dict[str, int]:
+    """Per-program attack counts: the Table 1 "# Concurrency attacks" column."""
+    totals: Dict[str, int] = {}
+    for record in CORPUS:
+        totals[record.program] = totals.get(record.program, 0) + 1
+    return totals

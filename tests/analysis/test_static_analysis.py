@@ -1,0 +1,154 @@
+"""Tests for the call graph and dependence traversals."""
+
+from repro.analysis import CallGraph, forward_dependent_instructions, instructions_after
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.instructions import Br
+from repro.ir.types import I32, I64, I8, VOID, ptr
+
+
+def build_call_chain():
+    """main -> a -> b; c is unreachable; d called by a and b."""
+    b = IRBuilder(Module("m"))
+    b.begin_function("d", VOID, [], source_file="cg.c")
+    b.ret_void(line=1)
+    b.end_function()
+    b.begin_function("b_fn", VOID, [], source_file="cg.c")
+    b.call("d", [], line=2)
+    b.ret_void(line=3)
+    b.end_function()
+    b.begin_function("a_fn", VOID, [], source_file="cg.c")
+    b.call("b_fn", [], line=4)
+    b.call("d", [], line=5)
+    b.ret_void(line=6)
+    b.end_function()
+    b.begin_function("c_fn", VOID, [], source_file="cg.c")
+    b.ret_void(line=7)
+    b.end_function()
+    b.begin_function("main", I32, [], source_file="cg.c")
+    b.call("a_fn", [], line=8)
+    b.ret(b.i32(0), line=9)
+    b.end_function()
+    verify_module(b.module)
+    return b.module
+
+
+class TestCallGraph:
+    def test_callees(self):
+        graph = CallGraph(build_call_chain())
+        assert graph.callees_of("a_fn") == {"b_fn", "d"}
+        assert graph.callees_of("c_fn") == set()
+
+    def test_callers(self):
+        graph = CallGraph(build_call_chain())
+        assert graph.callers_of("d") == {"a_fn", "b_fn"}
+        assert graph.callers_of("main") == set()
+
+    def test_reachable_from(self):
+        graph = CallGraph(build_call_chain())
+        assert graph.reachable_from("main") == {"main", "a_fn", "b_fn", "d"}
+
+    def test_static_distance(self):
+        graph = CallGraph(build_call_chain())
+        assert graph.static_distance("main", "main") == 0
+        assert graph.static_distance("main", "a_fn") == 1
+        assert graph.static_distance("main", "d") == 2
+        assert graph.static_distance("main", "c_fn") is None
+
+    def test_sites_calling(self):
+        graph = CallGraph(build_call_chain())
+        assert len(graph.sites_calling("d")) == 2
+
+    def test_indirect_sites_collected(self):
+        b = IRBuilder(Module("m"))
+        from repro.ir.types import FunctionType
+
+        b.begin_function("main", I32, [("x", I64)], source_file="i.c")
+        fn = b.cast("inttoptr", b.arg("x"), ptr(FunctionType(VOID, [])), line=1)
+        b.call(fn, [], line=2)
+        b.ret(b.i32(0), line=3)
+        b.end_function()
+        verify_module(b.module)
+        graph = CallGraph(b.module)
+        assert len(graph.indirect_sites) == 1
+
+
+def build_dependence_function():
+    """load g -> add -> icmp -> branch; branch guards a call; store spill."""
+    b = IRBuilder(Module("m"))
+    g = b.global_var("g", I64, 0)
+    f = b.begin_function("f", I64, [], source_file="dep.c")
+    seed = b.load(g, line=1)
+    derived = b.add(seed, 1, line=2)
+    spill = b.alloca(I64, name="spill", line=3)
+    b.store(derived, spill, line=3)
+    reloaded = b.load(spill, line=4)
+    cond = b.icmp("sgt", reloaded, 10, line=5)
+    b.cond_br(cond, "guarded", "out", line=5)
+    b.at("guarded")
+    guarded_call = b.call("getpid", [], line=6)
+    b.br("out", line=6)
+    b.at("out")
+    independent = b.load(g, line=7)
+    b.ret(independent, line=8)
+    b.end_function()
+    verify_module(b.module)
+    return f, seed, derived, reloaded, cond, guarded_call, independent
+
+
+class TestForwardDependence:
+    def test_data_chain_followed(self):
+        f, seed, derived, reloaded, cond, *_ = build_dependence_function()
+        dependent = forward_dependent_instructions([seed], f)
+        assert derived in dependent
+        assert cond in dependent
+
+    def test_spilled_value_reloaded(self):
+        """clang -O0 pattern: store to alloca then load back."""
+        f, seed, _, reloaded, *_ = build_dependence_function()
+        dependent = forward_dependent_instructions([seed], f)
+        assert reloaded in dependent
+
+    def test_control_dependence_followed(self):
+        f, seed, _, _, _, guarded_call, _ = build_dependence_function()
+        dependent = forward_dependent_instructions([seed], f)
+        assert guarded_call in dependent
+
+    def test_independent_instruction_excluded(self):
+        f, seed, *_, independent = build_dependence_function()
+        dependent = forward_dependent_instructions([seed], f)
+        assert independent not in dependent
+
+    def test_branch_included_as_dependent(self):
+        f, seed, *_ = build_dependence_function()
+        dependent = forward_dependent_instructions([seed], f)
+        assert any(isinstance(i, Br) and i.is_conditional for i in dependent)
+
+
+class TestInstructionsAfter:
+    def test_straightline_suffix(self):
+        f, seed, derived, *_ = build_dependence_function()
+        following = instructions_after(seed)
+        assert derived in following
+        assert seed not in following
+
+    def test_includes_reachable_blocks(self):
+        f, seed, *_, independent = build_dependence_function()
+        following = instructions_after(seed)
+        assert independent in following
+
+    def test_loop_reentry_includes_seed_block(self):
+        b = IRBuilder(Module("m"))
+        g = b.global_var("g", I64, 0)
+        f = b.begin_function("spin", VOID, [], source_file="l.c")
+        b.br("loop", line=1)
+        b.at("loop")
+        before = b.load(g, line=2)
+        seed = b.load(g, line=3)
+        done = b.icmp("ne", seed, 0, line=3)
+        b.cond_br(done, "out", "loop", line=4)
+        b.at("out")
+        b.ret_void(line=5)
+        b.end_function()
+        following = instructions_after(seed)
+        # through the back edge, the instruction *before* the seed recurs
+        assert before in following

@@ -1,0 +1,234 @@
+"""Tests for the model target programs: structure, workloads and exploits."""
+
+import pytest
+
+from repro.ir import verify_module
+from repro.runtime.errors import FaultKind
+
+
+def spec(name):
+    from repro.apps.registry import spec_by_name
+
+    return spec_by_name(name)
+
+
+ALL_FOCUSED = [
+    "libsafe", "ssdb", "apache_log", "apache_balancer", "apache_php",
+    "mysql", "linux_uselib", "linux_proc", "chrome", "memcached",
+]
+
+
+class TestModuleStructure:
+    @pytest.mark.parametrize("name", ALL_FOCUSED)
+    def test_modules_verify(self, name):
+        verify_module(spec(name).build())
+
+    @pytest.mark.parametrize("name", ["apache", "linux"])
+    def test_combined_modules_verify(self, name):
+        verify_module(spec(name).build())
+
+    def test_build_is_cached(self):
+        s = spec("libsafe")
+        assert s.build() is s.build()
+
+    def test_rebuild_gives_new_module(self):
+        s = spec("libsafe")
+        first = s.build()
+        assert s.rebuild() is not first
+
+    def test_unknown_spec_raises(self):
+        from repro.apps.registry import spec_by_name
+
+        with pytest.raises(KeyError):
+            spec_by_name("postgres")
+
+    def test_all_specs_covers_six_programs(self):
+        from repro.apps.registry import all_specs
+
+        names = {s.name for s in all_specs()}
+        assert names == {
+            "apache", "chrome", "libsafe", "linux", "memcached", "mysql",
+            "ssdb",
+        }
+
+
+class TestWorkloadsAreLatent:
+    """Testing workloads must complete without realizing the attacks."""
+
+    @pytest.mark.parametrize("name", ALL_FOCUSED)
+    def test_workload_does_not_crash_fatally(self, name):
+        s = spec(name)
+        vm = s.make_vm(seed=0)
+        vm.start(s.entry)
+        result = vm.run()
+        assert result.reason in ("finished", "exited", "killed"), (
+            name, result.reason, vm.faults,
+        )
+
+    @pytest.mark.parametrize("name", ALL_FOCUSED)
+    def test_workload_does_not_realize_attacks(self, name):
+        s = spec(name)
+        vm = s.make_vm(seed=0)
+        vm.start(s.entry)
+        vm.run()
+        for attack in s.attacks:
+            # seed 0's plain workload should leave the attack latent
+            if attack.predicate is not None:
+                assert not attack.predicate(vm), (name, attack.attack_id)
+
+
+class TestExploitsSucceed:
+    @pytest.mark.parametrize("name", ALL_FOCUSED)
+    def test_subtle_inputs_trigger_within_budget(self, name):
+        s = spec(name)
+        for attack in s.attacks:
+            triggered = False
+            for seed in range(30):
+                vm = s.make_vm(seed=seed, inputs=attack.subtle_inputs)
+                vm.start(s.entry)
+                vm.run()
+                if attack.predicate(vm):
+                    triggered = True
+                    break
+            assert triggered, attack.attack_id
+
+    @pytest.mark.parametrize("name", ["libsafe", "ssdb", "chrome"])
+    def test_naive_inputs_stay_latent(self, name):
+        s = spec(name)
+        for attack in s.attacks:
+            for seed in range(6):
+                vm = s.make_vm(seed=seed, inputs=attack.naive_inputs)
+                vm.start(s.entry)
+                vm.run()
+                assert not attack.predicate(vm), attack.attack_id
+
+
+class TestAttackConsequences:
+    def test_libsafe_injects_shell(self):
+        s = spec("libsafe")
+        attack = s.attacks[0]
+        for seed in range(30):
+            vm = s.make_vm(seed=seed, inputs=attack.subtle_inputs)
+            vm.start("main")
+            vm.run()
+            if attack.predicate(vm):
+                assert vm.world.executed("/bin/sh")
+                kinds = {fault.kind for fault in vm.faults}
+                assert FaultKind.FIELD_OVERFLOW in kinds
+                return
+        pytest.fail("libsafe exploit never fired")
+
+    def test_apache_log_writes_into_user_html(self):
+        s = spec("apache_log")
+        attack = s.attacks[0]
+        for seed in range(30):
+            vm = s.make_vm(seed=seed, inputs=attack.subtle_inputs)
+            vm.start("main")
+            vm.run()
+            if attack.predicate(vm):
+                content = vm.world.file_content("user.html")
+                assert b"log:" in content
+                assert content.startswith(b"<html>")  # original page intact
+                return
+        pytest.fail("apache_log exploit never fired")
+
+    def test_apache_balancer_underflow_value(self):
+        from repro.apps.apache_balancer import read_assigned, read_worker_busy
+
+        s = spec("apache_balancer")
+        attack = s.attacks[0]
+        for seed in range(30):
+            vm = s.make_vm(seed=seed, inputs=attack.subtle_inputs)
+            vm.start("main")
+            vm.run()
+            if attack.predicate(vm):
+                busy = read_worker_busy(vm, 0)
+                assert busy >= (1 << 63)  # the huge "busiest" value
+                assert read_assigned(vm, 0) == 0  # starved: the DoS
+                assert read_assigned(vm, 1) > 0
+                return
+        pytest.fail("balancer exploit never fired")
+
+    def test_mysql_flush_grants_root(self):
+        s = spec("mysql")
+        attack = next(a for a in s.attacks if a.attack_id == "mysql-24988")
+        for seed in range(30):
+            vm = s.make_vm(seed=seed, inputs=attack.subtle_inputs)
+            vm.start("main")
+            vm.run()
+            if attack.predicate(vm):
+                assert vm.world.euid == 0
+                assert vm.world.executed("Super_priv")
+                return
+        pytest.fail("mysql flush exploit never fired")
+
+    def test_ssdb_faults_after_free(self):
+        s = spec("ssdb")
+        attack = s.attacks[0]
+        for seed in range(30):
+            vm = s.make_vm(seed=seed, inputs=attack.subtle_inputs)
+            vm.start("main")
+            vm.run()
+            if attack.predicate(vm):
+                kinds = {fault.kind for fault in vm.faults}
+                assert kinds & {FaultKind.USE_AFTER_FREE, FaultKind.NULL_DEREF}
+                return
+        pytest.fail("ssdb exploit never fired")
+
+    def test_linux_proc_gets_root_shell(self):
+        s = spec("linux_proc")
+        attack = s.attacks[0]
+        for seed in range(30):
+            vm = s.make_vm(seed=seed, inputs=attack.subtle_inputs)
+            vm.start("main")
+            vm.run()
+            if attack.predicate(vm):
+                assert vm.world.got_root_shell()
+                return
+        pytest.fail("linux_proc exploit never fired")
+
+
+class TestSupportNoise:
+    def test_benign_counter_worker_races(self):
+        from repro.apps.support import add_benign_counters
+        from repro.detectors import run_tsan
+        from repro.ir import IRBuilder, Module
+        from repro.ir.types import I32
+
+        b = IRBuilder(Module("noise"))
+        worker = add_benign_counters(b, 3, "noise.c")
+        b.begin_function("main", I32, [], source_file="noise.c")
+        t1 = b.call("thread_create", [b.module.get_function(worker), b.null()],
+                    line=1)
+        t2 = b.call("thread_create", [b.module.get_function(worker), b.null()],
+                    line=2)
+        b.call("thread_join", [t1], line=3)
+        b.call("thread_join", [t2], line=4)
+        b.ret(b.i32(0), line=5)
+        b.end_function()
+        verify_module(b.module)
+        reports, _ = run_tsan(b.module, seeds=range(8))
+        assert len(reports) >= 3  # at least one pair per counter
+
+    def test_adhoc_sync_helpers_annotatable(self):
+        from repro.apps.support import add_adhoc_sync_workers
+        from repro.detectors import run_tsan
+        from repro.ir import IRBuilder, Module
+        from repro.ir.types import I32
+        from repro.owl.adhoc import AdhocSyncDetector
+
+        b = IRBuilder(Module("noise"))
+        setter, waiter = add_adhoc_sync_workers(b, 2, "noise.c")
+        b.begin_function("main", I32, [], source_file="noise.c")
+        t1 = b.call("thread_create", [b.module.get_function(setter), b.null()],
+                    line=1)
+        t2 = b.call("thread_create", [b.module.get_function(waiter), b.null()],
+                    line=2)
+        b.call("thread_join", [t1], line=3)
+        b.call("thread_join", [t2], line=4)
+        b.ret(b.i32(0), line=5)
+        b.end_function()
+        verify_module(b.module)
+        reports, _ = run_tsan(b.module, seeds=range(8))
+        annotations = AdhocSyncDetector().analyze(reports)
+        assert annotations.unique_static_count() == 2

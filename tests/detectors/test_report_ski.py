@@ -1,0 +1,121 @@
+"""Tests for race report structures and the SKI-style explorer."""
+
+from repro.detectors import ReportSet, run_ski, run_tsan
+from repro.detectors.report import AccessRecord, RaceReport
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.types import I64, ptr, I8, I32
+from tests.helpers import build_counter_race
+
+
+def make_record(instruction, thread_id, is_write, address=0x100):
+    return AccessRecord(instruction, thread_id, is_write, 0,
+                        (("f", "f.c", 1),), address)
+
+
+def two_instructions():
+    b = IRBuilder(Module("m"))
+    g = b.global_var("g", I64, 0)
+    b.begin_function("f", I64, [], source_file="r.c")
+    load = b.load(g, line=1)
+    store = b.store(b.add(load, 1, line=2), g, line=2)
+    b.ret(load, line=3)
+    b.end_function()
+    return load, store
+
+
+class TestRaceReport:
+    def test_static_key_unordered(self):
+        load, store = two_instructions()
+        a = RaceReport(make_record(load, 1, False), make_record(store, 2, True))
+        b = RaceReport(make_record(store, 2, True), make_record(load, 1, False))
+        assert a.static_key == b.static_key
+
+    def test_read_access_prefers_load(self):
+        load, store = two_instructions()
+        report = RaceReport(make_record(store, 1, True),
+                            make_record(load, 2, False))
+        assert report.read_access().instruction is load
+
+    def test_read_access_falls_back_to_watched(self):
+        load, store = two_instructions()
+        report = RaceReport(make_record(store, 1, True),
+                            make_record(store, 2, True))
+        assert report.read_access() is None
+        report.subsequent_reads.append(make_record(load, 1, False))
+        assert report.read_access().instruction is load
+
+    def test_write_access(self):
+        load, store = two_instructions()
+        report = RaceReport(make_record(load, 1, False),
+                            make_record(store, 2, True))
+        assert report.write_access().instruction is store
+
+    def test_describe_contains_locations(self):
+        load, store = two_instructions()
+        report = RaceReport(make_record(load, 1, False),
+                            make_record(store, 2, True), variable="g")
+        text = report.describe()
+        assert "r.c:1" in text and "r.c:2" in text and "g" in text
+
+
+class TestReportSet:
+    def test_dedup(self):
+        load, store = two_instructions()
+        reports = ReportSet()
+        assert reports.add(RaceReport(make_record(load, 1, False),
+                                      make_record(store, 2, True)))
+        assert not reports.add(RaceReport(make_record(store, 2, True),
+                                          make_record(load, 1, False)))
+        assert len(reports) == 1
+
+    def test_duplicate_merges_watched_reads(self):
+        load, store = two_instructions()
+        reports = ReportSet()
+        first = RaceReport(make_record(load, 1, False),
+                           make_record(store, 2, True))
+        reports.add(first)
+        duplicate = RaceReport(make_record(load, 1, False),
+                               make_record(store, 2, True))
+        duplicate.subsequent_reads.append(make_record(load, 3, False))
+        reports.add(duplicate)
+        assert len(first.subsequent_reads) == 1
+
+    def test_remove_and_contains(self):
+        load, store = two_instructions()
+        reports = ReportSet()
+        report = RaceReport(make_record(load, 1, False),
+                            make_record(store, 2, True))
+        reports.add(report)
+        assert report in reports
+        reports.remove(report)
+        assert report not in reports
+
+    def test_tag_queries(self):
+        load, store = two_instructions()
+        reports = ReportSet()
+        a = RaceReport(make_record(load, 1, False), make_record(store, 2, True))
+        reports.add(a)
+        a.tags["adhoc-sync"] = True
+        assert reports.tagged("adhoc-sync") == [a]
+        assert reports.untagged("adhoc-sync") == []
+
+
+class TestSki:
+    def test_ski_finds_counter_race(self):
+        module = build_counter_race(iterations=3)
+        reports, results = run_ski(module, seeds=range(10))
+        assert len(reports) >= 1
+        assert all(r.steps > 0 for r in results)
+
+    def test_ski_reports_labelled(self):
+        module = build_counter_race(iterations=3)
+        reports, _ = run_ski(module, seeds=range(10))
+        assert all(report.detector == "ski" for report in reports)
+
+    def test_ski_and_tsan_agree_on_static_races(self):
+        module = build_counter_race(iterations=3)
+        ski_reports, _ = run_ski(module, seeds=range(12))
+        tsan_reports, _ = run_tsan(module, seeds=range(12))
+        ski_keys = {r.static_key for r in ski_reports}
+        tsan_keys = {r.static_key for r in tsan_reports}
+        assert ski_keys & tsan_keys

@@ -1,0 +1,169 @@
+"""Tests for the happens-before (TSan-style) race detector."""
+
+from repro.detectors import AnnotationSet, run_tsan
+from repro.detectors.annotations import AdhocSyncAnnotation
+from repro.detectors.lockset import run_lockset
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.types import I32, I64, I8, ptr
+from tests.helpers import build_adhoc_sync_module, build_counter_race
+
+
+class TestRaceDetection:
+    def test_unlocked_counter_races(self):
+        module = build_counter_race(iterations=3)
+        reports, _ = run_tsan(module, seeds=range(6))
+        assert len(reports) >= 1
+        variables = {report.variable for report in reports}
+        assert any("counter" in (v or "") for v in variables)
+
+    def test_locked_counter_clean(self):
+        module = build_counter_race(iterations=3, with_lock=True)
+        reports, _ = run_tsan(module, seeds=range(6))
+        assert len(reports) == 0
+
+    def test_report_carries_both_stacks(self):
+        module = build_counter_race(iterations=2)
+        reports, _ = run_tsan(module, seeds=range(6))
+        report = next(iter(reports))
+        assert report.first.call_stack
+        assert report.second.call_stack
+        assert report.first.thread_id != report.second.thread_id
+
+    def test_reports_deduplicated_across_seeds(self):
+        module = build_counter_race(iterations=2)
+        few, _ = run_tsan(module, seeds=range(2))
+        many, _ = run_tsan(module, seeds=range(10))
+        # more seeds may find more pairs but never duplicates of one pair
+        keys = [report.static_key for report in many]
+        assert len(keys) == len(set(keys))
+        assert len(many) >= len(few)
+
+    def test_join_edge_suppresses_race(self):
+        """Accesses ordered by thread_join must not be reported."""
+        b = IRBuilder(Module("m"))
+        g = b.global_var("g", I64, 0)
+        b.begin_function("child", I32, [("arg", ptr(I8))], source_file="j.c")
+        b.store(1, g, line=1)
+        b.ret(b.i32(0), line=2)
+        b.end_function()
+        b.begin_function("main", I64, [], source_file="j.c")
+        t = b.call("thread_create", [b.module.get_function("child"), b.null()],
+                   line=3)
+        b.call("thread_join", [t], line=4)
+        b.ret(b.load(g, line=5), line=5)
+        b.end_function()
+        verify_module(b.module)
+        reports, _ = run_tsan(b.module, seeds=range(6))
+        assert len(reports) == 0
+
+    def test_create_edge_suppresses_race(self):
+        """Parent writes before spawning; child reads: ordered."""
+        b = IRBuilder(Module("m"))
+        g = b.global_var("g", I64, 0)
+        b.begin_function("child", I64, [("arg", ptr(I8))], source_file="c.c")
+        b.ret(b.load(g, line=1), line=1)
+        b.end_function()
+        b.begin_function("main", I32, [], source_file="c.c")
+        b.store(9, g, line=2)
+        t = b.call("thread_create", [b.module.get_function("child"), b.null()],
+                   line=3)
+        b.call("thread_join", [t], line=4)
+        b.ret(b.i32(0), line=5)
+        b.end_function()
+        verify_module(b.module)
+        reports, _ = run_tsan(b.module, seeds=range(6))
+        assert len(reports) == 0
+
+    def test_mutex_hb_suppresses_race(self):
+        module = build_counter_race(iterations=4, with_lock=True)
+        reports, _ = run_tsan(module, seeds=range(8))
+        assert len(reports) == 0
+
+    def test_atomic_accesses_not_reported(self):
+        b = IRBuilder(Module("m"))
+        g = b.global_var("g", I64, 0)
+        b.begin_function("w", I32, [("arg", ptr(I8))], source_file="a.c")
+        b.store(1, g, line=1, atomic=True)
+        b.ret(b.i32(0), line=2)
+        b.end_function()
+        b.begin_function("main", I64, [], source_file="a.c")
+        t = b.call("thread_create", [b.module.get_function("w"), b.null()],
+                   line=3)
+        value = b.load(g, line=4, atomic=True)
+        b.call("thread_join", [t], line=5)
+        b.ret(value, line=6)
+        b.end_function()
+        verify_module(b.module)
+        reports, _ = run_tsan(b.module, seeds=range(8))
+        assert len(reports) == 0
+
+
+class TestAdhocAnnotations:
+    def test_adhoc_sync_reported_without_annotation(self):
+        module = build_adhoc_sync_module()
+        reports, _ = run_tsan(module, seeds=range(6))
+        variables = {report.variable for report in reports}
+        assert any("flag" in (v or "") for v in variables)
+        assert any("data" in (v or "") for v in variables)
+
+    def test_annotation_suppresses_flag_and_data_races(self):
+        module = build_adhoc_sync_module()
+        raw, _ = run_tsan(module, seeds=range(6))
+        flag_report = next(r for r in raw if "flag" in (r.variable or ""))
+        read = next(a.instruction for a in flag_report.accesses()
+                    if not a.is_write)
+        write = next(a.instruction for a in flag_report.accesses()
+                     if a.is_write)
+        annotations = AnnotationSet([AdhocSyncAnnotation(read, write, "flag")])
+        reduced, _ = run_tsan(module, seeds=range(6), annotations=annotations)
+        # the markup orders the flag pair AND everything published through it
+        assert len(reduced) == 0
+
+
+class TestWatchList:
+    def test_write_write_race_gets_subsequent_read(self):
+        """Section 6.3: write-write races need a following load attached."""
+        b = IRBuilder(Module("m"))
+        g = b.global_var("g", I64, 0)
+        b.begin_function("w", I32, [("arg", ptr(I8))], source_file="ww.c")
+        b.store(1, g, line=1)
+        b.ret(b.i32(0), line=2)
+        b.end_function()
+        b.begin_function("main", I64, [], source_file="ww.c")
+        t1 = b.call("thread_create", [b.module.get_function("w"), b.null()],
+                    line=3)
+        t2 = b.call("thread_create", [b.module.get_function("w"), b.null()],
+                    line=4)
+        b.call("thread_join", [t1], line=5)
+        b.call("thread_join", [t2], line=6)
+        b.ret(b.load(g, line=7), line=7)
+        b.end_function()
+        verify_module(b.module)
+        reports, _ = run_tsan(b.module, seeds=range(8))
+        ww = [r for r in reports if r.is_write_write()]
+        assert ww
+        report = ww[0]
+        assert report.read_access() is not None
+        assert report.read_access().instruction.opcode == "load"
+
+
+class TestLocksetBaseline:
+    def test_lockset_noisier_than_hb(self):
+        """Eraser flags fork/join-ordered accesses HB exonerates."""
+        b = IRBuilder(Module("m"))
+        g = b.global_var("g", I64, 0)
+        b.begin_function("child", I32, [("arg", ptr(I8))], source_file="l.c")
+        b.store(1, g, line=1)
+        b.ret(b.i32(0), line=2)
+        b.end_function()
+        b.begin_function("main", I64, [], source_file="l.c")
+        t = b.call("thread_create", [b.module.get_function("child"), b.null()],
+                   line=3)
+        b.call("thread_join", [t], line=4)
+        b.ret(b.load(g, line=5), line=5)
+        b.end_function()
+        verify_module(b.module)
+        hb_reports, _ = run_tsan(b.module, seeds=range(4))
+        lockset_reports = run_lockset(b.module, seeds=range(4))
+        assert len(hb_reports) == 0
+        assert len(lockset_reports) >= 1

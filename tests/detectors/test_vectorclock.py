@@ -1,0 +1,51 @@
+"""Tests for vector clocks."""
+
+from repro.detectors.vectorclock import VectorClock
+
+
+class TestVectorClock:
+    def test_initial_get_is_zero(self):
+        assert VectorClock().get(3) == 0
+
+    def test_tick_increments_own_component(self):
+        clock = VectorClock()
+        clock.tick(1)
+        clock.tick(1)
+        assert clock.get(1) == 2
+        assert clock.get(2) == 0
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({2: 5, 3: 2})
+        a.join(b)
+        assert (a.get(1), a.get(2), a.get(3)) == (3, 5, 2)
+
+    def test_happens_before_reflexive(self):
+        a = VectorClock({1: 2})
+        assert a.happens_before(a.copy())
+
+    def test_happens_before_ordering(self):
+        earlier = VectorClock({1: 1})
+        later = VectorClock({1: 2, 2: 1})
+        assert earlier.happens_before(later)
+        assert not later.happens_before(earlier)
+
+    def test_concurrent_clocks(self):
+        a = VectorClock({1: 2})
+        b = VectorClock({2: 2})
+        assert not a.happens_before(b)
+        assert not b.happens_before(a)
+
+    def test_ordered_with_epoch(self):
+        clock = VectorClock({1: 5})
+        assert clock.ordered_with(1, 5)
+        assert clock.ordered_with(1, 3)
+        assert not clock.ordered_with(1, 6)
+        assert not clock.ordered_with(2, 1)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({1: 1})
+        b = a.copy()
+        b.tick(1)
+        assert a.get(1) == 1
+        assert b.get(1) == 2

@@ -1,0 +1,111 @@
+"""Shared fixtures: tiny IR programs used across the test suite."""
+
+from __future__ import annotations
+
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.types import I32, I64, I8, VOID, ptr
+
+
+def build_counter_race(iterations: int = 3, with_lock: bool = False) -> Module:
+    """Two threads incrementing a shared counter, optionally under a mutex."""
+    module = Module("counter_race")
+    b = IRBuilder(module)
+    counter = b.global_var("counter", I64, 0)
+    lock = b.global_var("lock", I64, 0)
+
+    b.set_location("counter.c", 1)
+    b.begin_function("worker", I32, [("arg", ptr(I8))], source_file="counter.c")
+    i = b.local(I64, "i", 0, line=10)
+    b.br("cond", line=10)
+    b.at("cond")
+    iv = b.load(i, line=11)
+    more = b.icmp("slt", iv, iterations, line=11)
+    b.cond_br(more, "body", "done", line=11)
+    b.at("body")
+    if with_lock:
+        b.call("mutex_lock", [b.cast("bitcast", lock, ptr(I8), line=12)], line=12)
+    value = b.load(counter, line=13)
+    b.store(b.add(value, 1, line=13), counter, line=13)
+    if with_lock:
+        b.call("mutex_unlock", [b.cast("bitcast", lock, ptr(I8), line=14)], line=14)
+    b.store(b.add(iv, 1, line=15), i, line=15)
+    b.br("cond", line=15)
+    b.at("done")
+    b.ret(b.i32(0), line=16)
+    b.end_function()
+
+    b.begin_function("main", I32, [], source_file="counter.c")
+    worker = module.get_function("worker")
+    t1 = b.call("thread_create", [worker, b.null()], line=20)
+    t2 = b.call("thread_create", [worker, b.null()], line=21)
+    b.call("thread_join", [t1], line=22)
+    b.call("thread_join", [t2], line=23)
+    b.ret(b.i32(0), line=24)
+    b.end_function()
+    verify_module(module)
+    return module
+
+
+def build_adhoc_sync_module() -> Module:
+    """A setter/spinner adhoc synchronization plus a post-sync data use."""
+    module = Module("adhoc")
+    b = IRBuilder(module)
+    flag = b.global_var("flag", I32, 0)
+    data = b.global_var("data", I64, 0)
+
+    b.set_location("adhoc.c", 1)
+    b.begin_function("setter", I32, [("arg", ptr(I8))], source_file="adhoc.c")
+    b.store(42, data, line=10)
+    b.store(1, flag, line=11)
+    b.ret(b.i32(0), line=12)
+    b.end_function()
+
+    b.begin_function("waiter", I32, [("arg", ptr(I8))], source_file="adhoc.c")
+    b.br("spin", line=20)
+    b.at("spin")
+    value = b.load(flag, line=21)
+    set_ = b.icmp("ne", value, 0, line=21)
+    b.cond_br(set_, "after", "spin", line=21)
+    b.at("after")
+    observed = b.load(data, line=22)
+    b.ret(b.cast("trunc", observed, I32, line=23), line=23)
+    b.end_function()
+
+    b.begin_function("main", I32, [], source_file="adhoc.c")
+    t1 = b.call("thread_create", [module.get_function("setter"), b.null()],
+                line=30)
+    t2 = b.call("thread_create", [module.get_function("waiter"), b.null()],
+                line=31)
+    b.call("thread_join", [t1], line=32)
+    b.call("thread_join", [t2], line=33)
+    b.ret(b.i32(0), line=34)
+    b.end_function()
+    verify_module(module)
+    return module
+
+
+def build_straightline(return_value: int = 7) -> Module:
+    """A single-threaded module computing a constant, for interpreter tests."""
+    module = Module("straight")
+    b = IRBuilder(module)
+    b.set_location("s.c", 1)
+    b.begin_function("main", I32, [], source_file="s.c")
+    x = b.local(I32, "x", return_value, line=2)
+    value = b.load(x, line=3)
+    b.ret(value, line=4)
+    b.end_function()
+    verify_module(module)
+    return module
+
+
+def run_to_completion(module: Module, seed: int = 0, inputs=None,
+                      max_steps: int = 50_000):
+    """Run a module's main under a random schedule; returns the VM."""
+    from repro.runtime import VM
+    from repro.runtime.scheduler import RandomScheduler
+
+    vm = VM(module, scheduler=RandomScheduler(seed), inputs=inputs,
+            max_steps=max_steps, seed=seed)
+    vm.start("main")
+    vm.run()
+    return vm

@@ -1,0 +1,135 @@
+"""Tests for the IRBuilder DSL and Module container."""
+
+import pytest
+
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.types import FunctionType, I32, I64, I8, VOID, ptr
+
+
+class TestBuilderFunctions:
+    def test_begin_creates_entry_block(self):
+        b = IRBuilder(Module("m"))
+        f = b.begin_function("f", VOID, [], source_file="a.c")
+        assert f.entry.name == "entry"
+        assert b.block is f.entry
+
+    def test_nested_begin_rejected(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("f", VOID, [], source_file="a.c")
+        with pytest.raises(ValueError):
+            b.begin_function("g", VOID, [])
+
+    def test_end_requires_terminators(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("f", VOID, [], source_file="a.c")
+        with pytest.raises(ValueError):
+            b.end_function()
+
+    def test_duplicate_function_rejected(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("f", VOID, [], source_file="a.c")
+        b.ret_void()
+        b.end_function()
+        with pytest.raises(ValueError):
+            b.begin_function("f", VOID, [])
+
+    def test_arg_lookup(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("f", VOID, [("x", I32), ("y", I64)], source_file="a.c")
+        assert b.arg("y").type == I64
+        with pytest.raises(KeyError):
+            b.arg("z")
+
+    def test_branch_target_by_name_creates_block(self):
+        b = IRBuilder(Module("m"))
+        f = b.begin_function("f", VOID, [], source_file="a.c")
+        b.br("later")
+        assert any(block.name == "later" for block in f.blocks)
+        b.at("later")
+        b.ret_void()
+        b.end_function()
+        verify_module(b.module)
+
+    def test_local_helper_stores_initializer(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("f", I32, [], source_file="a.c")
+        slot = b.local(I32, "x", 9)
+        value = b.load(slot)
+        b.ret(value)
+        b.end_function()
+        # entry holds alloca + store + load + ret
+        opcodes = [i.opcode for i in b.module.get_function("f").instructions()]
+        assert opcodes == ["alloca", "store", "load", "ret"]
+
+
+class TestBuilderGlobals:
+    def test_global_var_has_pointer_type(self):
+        b = IRBuilder(Module("m"))
+        g = b.global_var("counter", I64, 0)
+        assert g.type == ptr(I64)
+        assert g.value_type == I64
+
+    def test_global_string_nul_terminated(self):
+        b = IRBuilder(Module("m"))
+        g = b.global_string("msg", "hi")
+        assert g.value_type.count == 3
+        assert g.initializer == b"hi\x00"
+
+    def test_duplicate_global_rejected(self):
+        b = IRBuilder(Module("m"))
+        b.global_var("g", I32)
+        with pytest.raises(ValueError):
+            b.global_var("g", I64)
+
+    def test_extern_from_stdlib(self):
+        b = IRBuilder(Module("m"))
+        strcpy = b.extern("strcpy")
+        assert strcpy.name == "strcpy"
+        assert b.extern("strcpy") is strcpy  # idempotent
+
+    def test_unknown_stdlib_extern_rejected(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("f", VOID, [], source_file="a.c")
+        with pytest.raises(KeyError):
+            b.call("no_such_function", [])
+
+
+class TestModule:
+    def make_module(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("f", I32, [], source_file="a.c")
+        b.ret(b.i32(0), line=7)
+        b.end_function()
+        return b.module
+
+    def test_get_function(self):
+        module = self.make_module()
+        assert module.get_function("f").name == "f"
+        with pytest.raises(KeyError):
+            module.get_function("g")
+
+    def test_get_callable_covers_externals(self):
+        module = self.make_module()
+        module.declare_external("ext", FunctionType(VOID, []))
+        assert module.get_callable("ext").name == "ext"
+
+    def test_conflicting_external_redeclaration(self):
+        module = self.make_module()
+        module.declare_external("ext", FunctionType(VOID, []))
+        with pytest.raises(ValueError):
+            module.declare_external("ext", FunctionType(I32, []))
+
+    def test_find_instructions_by_location(self):
+        module = self.make_module()
+        found = module.find_instructions(filename="a.c", line=7)
+        assert len(found) == 1
+        assert found[0].opcode == "ret"
+
+    def test_find_instructions_by_opcode(self):
+        module = self.make_module()
+        assert module.find_instructions(opcode="ret")
+        assert not module.find_instructions(opcode="load")
+
+    def test_instruction_count(self):
+        module = self.make_module()
+        assert module.instruction_count() == 1

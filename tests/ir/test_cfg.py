@@ -1,0 +1,165 @@
+"""Tests for CFG analyses: dominators, control dependence, loops."""
+
+from repro.ir import IRBuilder, Module
+from repro.ir.cfg import ControlFlowInfo, cfg_for
+from repro.ir.types import I32, I64, VOID, ptr, I8
+
+
+def build_diamond():
+    """entry -> (then | else) -> join, plus return-per-arm variant."""
+    b = IRBuilder(Module("m"))
+    f = b.begin_function("f", I32, [("x", I32)], source_file="d.c")
+    cond = b.icmp("eq", b.arg("x"), 0, line=1)
+    b.cond_br(cond, "then", "else", line=2)
+    b.at("then")
+    then_call = b.call("getpid", [], line=3)
+    b.br("join", line=3)
+    b.at("else")
+    else_call = b.call("getuid", [], line=4)
+    b.br("join", line=4)
+    b.at("join")
+    b.ret(b.i32(0), line=5)
+    b.end_function()
+    return f, then_call, else_call
+
+
+def build_loop():
+    b = IRBuilder(Module("m"))
+    g = b.global_var("flag", I32, 0)
+    f = b.begin_function("spin", VOID, [], source_file="l.c")
+    b.br("loop", line=1)
+    b.at("loop")
+    value = b.load(g, line=2)
+    done = b.icmp("ne", value, 0, line=2)
+    b.cond_br(done, "out", "loop", line=3)
+    b.at("out")
+    b.ret_void(line=4)
+    b.end_function()
+    return f
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        f, _, _ = build_diamond()
+        info = cfg_for(f)
+        entry = f.entry
+        for block in f.blocks:
+            assert info.dominates(entry, block)
+
+    def test_arms_do_not_dominate_join(self):
+        f, _, _ = build_diamond()
+        info = cfg_for(f)
+        then = f.get_block("then")
+        join = f.get_block("join")
+        assert not info.dominates(then, join)
+
+    def test_join_postdominates_arms(self):
+        f, _, _ = build_diamond()
+        info = cfg_for(f)
+        join = f.get_block("join")
+        assert info.postdominates(join, f.get_block("then"))
+        assert info.postdominates(join, f.entry)
+
+    def test_multiple_exits_postdominators_terminate(self):
+        """Regression: two ret blocks must not hang the CHK intersection."""
+        b = IRBuilder(Module("m"))
+        f = b.begin_function("g", I32, [("x", I32)], source_file="e.c")
+        cond = b.icmp("eq", b.arg("x"), 0)
+        b.cond_br(cond, "a", "b")
+        b.at("a")
+        b.ret(b.i32(1))
+        b.at("b")
+        b.ret(b.i32(2))
+        b.end_function()
+        info = ControlFlowInfo(f)
+        assert not info.postdominates(f.get_block("a"), f.get_block("b"))
+
+
+class TestControlDependence:
+    def test_arm_instructions_depend_on_branch(self):
+        f, then_call, else_call = build_diamond()
+        info = cfg_for(f)
+        branch = f.entry.terminator
+        assert info.is_control_dependent(then_call, branch)
+        assert info.is_control_dependent(else_call, branch)
+
+    def test_join_not_dependent(self):
+        f, _, _ = build_diamond()
+        info = cfg_for(f)
+        branch = f.entry.terminator
+        ret = f.get_block("join").instructions[-1]
+        assert not info.is_control_dependent(ret, branch)
+
+    def test_unconditional_branch_has_no_dependents(self):
+        f, then_call, _ = build_diamond()
+        info = cfg_for(f)
+        uncond = f.get_block("then").terminator
+        assert not info.is_control_dependent(then_call, uncond)
+
+    def test_cross_function_is_false(self):
+        f1, call1, _ = build_diamond()
+        f2, _, _ = build_diamond()
+        info = cfg_for(f1)
+        assert not info.is_control_dependent(
+            call1, f2.entry.terminator,
+        )
+
+
+class TestLoops:
+    def test_loop_detected(self):
+        f = build_loop()
+        info = cfg_for(f)
+        loop = info.loop_containing(f.get_block("loop"))
+        assert loop is not None
+        assert loop.header.name == "loop"
+
+    def test_branch_exits_loop(self):
+        f = build_loop()
+        info = cfg_for(f)
+        loop = info.loop_containing(f.get_block("loop"))
+        branch = f.get_block("loop").terminator
+        assert info.branch_exits_loop(branch, loop)
+
+    def test_non_loop_block_not_in_loop(self):
+        f = build_loop()
+        info = cfg_for(f)
+        assert info.loop_containing(f.get_block("out")) is None
+
+    def test_loop_exit_edges(self):
+        f = build_loop()
+        info = cfg_for(f)
+        loop = info.loop_containing(f.get_block("loop"))
+        exits = loop.exit_edges()
+        assert [(src.name, dst.name) for src, dst in exits] == [("loop", "out")]
+
+    def test_nested_loop_innermost(self):
+        b = IRBuilder(Module("m"))
+        g = b.global_var("n", I64, 0)
+        f = b.begin_function("nested", VOID, [], source_file="n.c")
+        b.br("outer")
+        b.at("outer")
+        b.br("inner")
+        b.at("inner")
+        value = b.load(g, line=5)
+        inner_done = b.icmp("sgt", value, 10, line=5)
+        b.cond_br(inner_done, "outer_check", "inner", line=6)
+        b.at("outer_check")
+        outer_done = b.icmp("sgt", b.load(g, line=7), 100, line=7)
+        b.cond_br(outer_done, "out", "outer", line=8)
+        b.at("out")
+        b.ret_void(line=9)
+        b.end_function()
+        info = cfg_for(f)
+        inner_loop = info.loop_containing(f.get_block("inner"))
+        assert inner_loop is not None
+        # innermost loop around "inner" is smaller than the outer loop
+        outer_loop_blocks = {
+            block.name for block in info.loop_containing(f.get_block("outer_check")).blocks
+        }
+        assert "outer_check" in outer_loop_blocks
+
+
+class TestCache:
+    def test_cfg_for_caches(self):
+        f = build_loop()
+        assert cfg_for(f) is cfg_for(f)

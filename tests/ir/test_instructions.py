@@ -1,0 +1,197 @@
+"""Unit tests for IR instructions and SSA value behaviour."""
+
+import pytest
+
+from repro.ir import IRBuilder, Module
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Ret,
+    Store,
+)
+from repro.ir.types import FunctionType, I32, I64, I8, VOID, ptr
+from repro.ir.values import ConstantInt, NullPointer
+
+
+def fresh_builder():
+    module = Module("t")
+    b = IRBuilder(module)
+    b.begin_function("f", I32, [("p", ptr(I64)), ("x", I64)], source_file="t.c")
+    return module, b
+
+
+class TestLoadStore:
+    def test_load_type_follows_pointee(self):
+        _, b = fresh_builder()
+        load = b.load(b.arg("p"))
+        assert load.type == I64
+        assert load.pointer is b.arg("p")
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Load(ConstantInt(I64, 3))
+
+    def test_store_has_no_value(self):
+        _, b = fresh_builder()
+        store = b.store(b.arg("x"), b.arg("p"))
+        assert store.type == VOID
+        assert store.value is b.arg("x")
+        assert store.pointer is b.arg("p")
+
+    def test_store_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Store(ConstantInt(I64, 1), ConstantInt(I64, 2))
+
+    def test_atomic_flag(self):
+        _, b = fresh_builder()
+        assert b.load(b.arg("p"), atomic=True).atomic
+        assert not b.load(b.arg("p")).atomic
+
+
+class TestBinOpICmp:
+    def test_binop_result_type_is_lhs(self):
+        _, b = fresh_builder()
+        add = b.add(b.arg("x"), 1)
+        assert add.type == I64
+
+    def test_unknown_binop_rejected(self):
+        _, b = fresh_builder()
+        with pytest.raises(ValueError):
+            BinOp("pow", b.arg("x"), b.arg("x"))
+
+    def test_icmp_produces_i1(self):
+        _, b = fresh_builder()
+        cmp = b.icmp("slt", b.arg("x"), 5)
+        assert cmp.type.bits == 1
+
+    def test_unknown_predicate_rejected(self):
+        _, b = fresh_builder()
+        with pytest.raises(ValueError):
+            ICmp("lt", b.arg("x"), b.arg("x"))
+
+    def test_int_coercion_in_builder(self):
+        _, b = fresh_builder()
+        add = b.add(b.arg("x"), 41)
+        assert isinstance(add.rhs, ConstantInt)
+        assert add.rhs.value == 41
+
+
+class TestBranch:
+    def test_unconditional_successors(self):
+        _, b = fresh_builder()
+        target = b.add_block("next")
+        br = b.br(target)
+        assert br.successors() == [target]
+        assert not br.is_conditional
+
+    def test_conditional_needs_two_targets(self):
+        _, b = fresh_builder()
+        cond = b.icmp("eq", b.arg("x"), 0)
+        with pytest.raises(ValueError):
+            Br(cond, b.add_block("only"))
+
+    def test_conditional_successors(self):
+        _, b = fresh_builder()
+        cond = b.icmp("eq", b.arg("x"), 0)
+        br = b.cond_br(cond, "then", "else")
+        assert len(br.successors()) == 2
+        assert br.is_branch() and br.is_terminator()
+
+
+class TestCall:
+    def test_direct_call_type(self):
+        module, b = fresh_builder()
+        call = b.call("strlen", [b.null()])
+        assert call.type == I64
+        assert call.is_call()
+        assert not call.is_indirect
+
+    def test_indirect_call_through_function_pointer(self):
+        _, b = fresh_builder()
+        fn_ptr_type = ptr(FunctionType(VOID, []))
+        value = b.cast("inttoptr", b.arg("x"), fn_ptr_type)
+        call = b.call(value, [])
+        assert call.is_indirect
+        assert call.callee_name() == "<indirect>"
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            Call(ConstantInt(I64, 5), [])
+
+
+class TestGEP:
+    def test_field_gep_type(self):
+        module = Module("t")
+        b = IRBuilder(module)
+        struct = b.struct("pair", [("a", I64), ("b", I32)])
+        b.begin_function("f", VOID, [("p", ptr(struct))], source_file="t.c")
+        gep = b.field(b.arg("p"), "b")
+        assert gep.type == ptr(I32)
+        b.ret_void()
+        b.end_function()
+
+    def test_index_gep_type(self):
+        _, b = fresh_builder()
+        gep = b.index(b.arg("p"), 2)
+        assert gep.type == ptr(I64)
+
+    def test_gep_requires_exactly_one_selector(self):
+        _, b = fresh_builder()
+        with pytest.raises(ValueError):
+            GetElementPtr(b.arg("p"))
+
+    def test_field_gep_requires_struct(self):
+        _, b = fresh_builder()
+        with pytest.raises(TypeError):
+            GetElementPtr(b.arg("p"), field="a")
+
+
+class TestCastAndRMW:
+    def test_cast_kinds(self):
+        _, b = fresh_builder()
+        cast = b.cast("ptrtoint", b.arg("p"), I64)
+        assert cast.type == I64
+
+    def test_unknown_cast_rejected(self):
+        _, b = fresh_builder()
+        with pytest.raises(ValueError):
+            Cast("reinterpret", b.arg("x"), I64)
+
+    def test_atomicrmw_returns_old_type(self):
+        _, b = fresh_builder()
+        rmw = b.atomicrmw("add", b.arg("p"), 1)
+        assert rmw.type == I64
+
+    def test_unknown_rmw_rejected(self):
+        _, b = fresh_builder()
+        with pytest.raises(ValueError):
+            AtomicRMW("max", b.arg("p"), ConstantInt(I64, 1))
+
+
+class TestUidsAndLocations:
+    def test_uids_assigned_on_module_registration(self):
+        module, b = fresh_builder()
+        load = b.load(b.arg("p"), line=5)
+        assert load.uid is not None
+        assert module.instruction_by_uid(load.uid) is load
+
+    def test_uids_are_unique(self):
+        module, b = fresh_builder()
+        a = b.load(b.arg("p"))
+        c = b.load(b.arg("p"))
+        assert a.uid != c.uid
+
+    def test_location_tracking(self):
+        _, b = fresh_builder()
+        b.set_location("file.c", 99)
+        load = b.load(b.arg("p"))
+        assert str(load.location) == "file.c:99"
+        other = b.load(b.arg("p"), line=100)
+        assert other.location.line == 100

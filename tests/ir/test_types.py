@@ -1,0 +1,161 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    VoidType,
+    I1,
+    I8,
+    I32,
+    I64,
+    U64,
+    VOID,
+    ptr,
+)
+
+
+class TestIntType:
+    def test_sizes(self):
+        assert I8.size() == 1
+        assert I32.size() == 4
+        assert I64.size() == 8
+        assert I1.size() == 1
+
+    def test_signed_range(self):
+        assert I32.min_value == -(1 << 31)
+        assert I32.max_value == (1 << 31) - 1
+
+    def test_unsigned_range(self):
+        assert U64.min_value == 0
+        assert U64.max_value == (1 << 64) - 1
+
+    def test_wrap_signed_overflow(self):
+        assert I32.wrap((1 << 31)) == -(1 << 31)
+        assert I32.wrap(-1) == -1
+
+    def test_wrap_unsigned_underflow(self):
+        assert U64.wrap(-1) == (1 << 64) - 1
+        assert U64.wrap(-2) == (1 << 64) - 2  # the Apache-46215 value
+
+    def test_equality_and_hash(self):
+        assert IntType(32) == I32
+        assert IntType(32, signed=False) != I32
+        assert hash(IntType(64)) == hash(I64)
+
+    def test_str(self):
+        assert str(I32) == "i32"
+        assert str(U64) == "u64"
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(12)
+        with pytest.raises(ValueError):
+            IntType(0)
+
+
+class TestPointerType:
+    def test_size_is_word(self):
+        assert ptr(I8).size() == 8
+        assert ptr(ptr(I64)).size() == 8
+
+    def test_equality(self):
+        assert ptr(I32) == PointerType(I32)
+        assert ptr(I32) != ptr(I64)
+
+    def test_str(self):
+        assert str(ptr(I8)) == "i8*"
+
+
+class TestArrayType:
+    def test_size(self):
+        assert ArrayType(I8, 32).size() == 32
+        assert ArrayType(I64, 4).size() == 32
+
+    def test_zero_length(self):
+        assert ArrayType(I8, 0).size() == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(I8, -1)
+
+    def test_str(self):
+        assert str(ArrayType(I8, 16)) == "[16 x i8]"
+
+
+class TestStructType:
+    def make(self):
+        return StructType("buffered_log", [
+            ("outcnt", I64),
+            ("outbuf", ArrayType(I8, 32)),
+            ("fd", I32),
+        ])
+
+    def test_packed_size(self):
+        assert self.make().size() == 8 + 32 + 4
+
+    def test_field_offsets(self):
+        struct = self.make()
+        assert struct.field_offset("outcnt") == 0
+        assert struct.field_offset("outbuf") == 8
+        assert struct.field_offset("fd") == 40
+
+    def test_field_types(self):
+        struct = self.make()
+        assert struct.field_type("fd") == I32
+        assert struct.field_type("outbuf") == ArrayType(I8, 32)
+
+    def test_field_index(self):
+        assert self.make().field_index("outbuf") == 1
+
+    def test_field_at_offset(self):
+        struct = self.make()
+        assert struct.field_at_offset(0) == "outcnt"
+        assert struct.field_at_offset(8) == "outbuf"
+        assert struct.field_at_offset(39) == "outbuf"
+        assert struct.field_at_offset(40) == "fd"
+        assert struct.field_at_offset(44) is None
+
+    def test_layout(self):
+        assert self.make().layout() == [
+            ("outcnt", 0, 8), ("outbuf", 8, 32), ("fd", 40, 4),
+        ]
+
+    def test_missing_field_raises(self):
+        with pytest.raises(KeyError):
+            self.make().field_offset("nope")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            StructType("bad", [("a", I32), ("a", I64)])
+
+    def test_equality_by_name(self):
+        a = StructType("s", [("x", I32)])
+        b = StructType("s", [("y", I64)])
+        assert a == b  # nominal typing, like LLVM named structs
+
+
+class TestFunctionType:
+    def test_str(self):
+        ftype = FunctionType(I32, [ptr(I8), I64])
+        assert str(ftype) == "i32 (i8*, i64)"
+
+    def test_varargs_str(self):
+        ftype = FunctionType(I32, [ptr(I8)], varargs=True)
+        assert "..." in str(ftype)
+
+    def test_equality(self):
+        assert FunctionType(VOID, []) == FunctionType(VOID, [])
+        assert FunctionType(VOID, []) != FunctionType(VOID, [], varargs=True)
+
+
+class TestVoidType:
+    def test_size_zero(self):
+        assert VOID.size() == 0
+
+    def test_equality(self):
+        assert VOID == VoidType()

@@ -1,0 +1,121 @@
+"""Tests for the IR structural verifier and the textual printer."""
+
+import pytest
+
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Br, Load, Ret
+from repro.ir.printer import format_instruction, print_function, print_module
+from repro.ir.types import FunctionType, I32, I64, VOID, ptr, I8
+from repro.ir.values import ConstantInt
+from repro.ir.verifier import IRVerificationError
+
+
+def valid_module():
+    b = IRBuilder(Module("ok"))
+    b.begin_function("f", I32, [("x", I32)], source_file="v.c")
+    b.ret(b.arg("x"), line=3)
+    b.end_function()
+    return b.module
+
+
+class TestVerifier:
+    def test_valid_module_passes(self):
+        verify_module(valid_module())
+
+    def test_missing_terminator_detected(self):
+        module = Module("bad")
+        f = Function("f", FunctionType(VOID, []))
+        module.add_function(f)
+        f.add_block("entry")
+        with pytest.raises(IRVerificationError):
+            verify_module(module)
+
+    def test_void_function_returning_value(self):
+        b = IRBuilder(Module("bad"))
+        f = b.begin_function("f", VOID, [], source_file="v.c")
+        ret = Ret(ConstantInt(I32, 1))
+        f.entry.append(ret)
+        b.function = None  # bypass end_function checks
+        with pytest.raises(IRVerificationError):
+            verify_module(b.module)
+
+    def test_nonvoid_function_returning_nothing(self):
+        b = IRBuilder(Module("bad"))
+        f = b.begin_function("f", I32, [], source_file="v.c")
+        f.entry.append(Ret(None))
+        b.function = None
+        with pytest.raises(IRVerificationError):
+            verify_module(b.module)
+
+    def test_use_before_definition_in_block(self):
+        b = IRBuilder(Module("bad"))
+        f = b.begin_function("f", I64, [("p", ptr(I64))], source_file="v.c")
+        # Manually append a ret that uses a load defined after it.
+        load = Load(b.arg("p"))
+        ret = Ret(load)
+        f.entry.append(ret)
+        # Sneak the load into a second block that does not dominate entry.
+        other = f.add_block("other")
+        other.append(load)
+        other.append(Ret(ConstantInt(I64, 0)))
+        with pytest.raises(IRVerificationError):
+            verify_module(b.module)
+
+    def test_call_arity_mismatch(self):
+        b = IRBuilder(Module("bad"))
+        b.begin_function("f", VOID, [], source_file="v.c")
+        strcpy = b.extern("strcpy")
+        from repro.ir.instructions import Call
+
+        bad_call = Call(strcpy, [b.null()])  # needs 2 args
+        b.block.append(bad_call)
+        b.ret_void()
+        b.function = None
+        with pytest.raises(IRVerificationError):
+            verify_module(b.module)
+
+    def test_terminator_mid_block_detected(self):
+        b = IRBuilder(Module("bad"))
+        f = b.begin_function("f", VOID, [], source_file="v.c")
+        f.entry.instructions.append(Ret(None))   # bypass append() guard
+        f.entry.instructions.append(Ret(None))
+        with pytest.raises(IRVerificationError):
+            verify_module(b.module)
+
+
+class TestPrinter:
+    def test_format_instruction_figure5_shape(self):
+        module = valid_module()
+        ret = next(module.get_function("f").instructions())
+        text = format_instruction(ret)
+        # "%N: ret %x (v.c:3)"
+        assert text.startswith("%")
+        assert "(v.c:3)" in text
+        assert "ret" in text
+
+    def test_print_function_contains_signature(self):
+        module = valid_module()
+        text = print_function(module.get_function("f"))
+        assert "define i32 @f(i32 %x)" in text
+        assert "entry:" in text
+
+    def test_print_module_lists_globals_and_externals(self):
+        b = IRBuilder(Module("m"))
+        b.global_var("g", I64, 0)
+        b.extern("malloc")
+        b.begin_function("f", VOID, [], source_file="p.c")
+        b.ret_void()
+        b.end_function()
+        text = print_module(b.module)
+        assert "@g = global i64" in text
+        assert "declare" in text and "@malloc" in text
+        assert "; module m" in text
+
+    def test_print_module_includes_structs(self):
+        b = IRBuilder(Module("m"))
+        b.struct("pair", [("a", I64), ("b", I32)])
+        b.begin_function("f", VOID, [], source_file="p.c")
+        b.ret_void()
+        b.end_function()
+        assert "%struct.pair = type { i64 a, i32 b }" in print_module(b.module)

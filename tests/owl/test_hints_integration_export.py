@@ -1,0 +1,123 @@
+"""Tests for hint formatting, detector integration and result export."""
+
+import json
+
+import pytest
+
+from repro.detectors import run_tsan
+from repro.detectors.report import AccessRecord, RaceReport, ReportSet
+from repro.owl.hints import (
+    format_call_stack,
+    format_full_report,
+    format_vulnerability_report,
+)
+from repro.owl.integration import run_detector, usable_reports
+from repro.owl.vuln_analysis import VulnerabilityAnalyzer
+from tests.helpers import build_counter_race
+
+
+def counter_report_and_vuln():
+    from repro.apps.libsafe import build_module, workload_inputs
+
+    module = build_module()
+    reports, _ = run_tsan(module, inputs=workload_inputs(), seeds=range(8))
+    report = next(r for r in reports if "dying" in (r.variable or ""))
+    vulns = VulnerabilityAnalyzer(module).analyze_report(report)
+    return module, report, vulns[0]
+
+
+class TestHints:
+    def test_call_stack_innermost_first(self):
+        stack = (("main", "m.c", 1), ("worker", "w.c", 2))
+        text = format_call_stack(stack)
+        assert text.splitlines() == ["worker (w.c:2)", "main (m.c:1)"]
+
+    def test_data_dep_header(self):
+        module = build_counter_race(iterations=2)
+        reports, _ = run_tsan(module, seeds=range(6))
+        # craft a DATA_DEP vulnerability via the libsafe logger path instead
+        _, _, vuln = counter_report_and_vuln()
+        text = format_vulnerability_report(vuln)
+        assert "Vulnerability----" in text
+        assert "Vulnerable Site Type:" in text
+
+    def test_full_report_combines_both(self):
+        _, _, vuln = counter_report_and_vuln()
+        text = format_full_report(vuln)
+        assert "stack_check" in text
+        assert "Vulnerable Site Location:" in text
+
+
+class TestIntegration:
+    def test_run_detector_dispatch_tsan(self):
+        from repro.apps.libsafe import libsafe_spec
+
+        reports, results = run_detector(libsafe_spec())
+        assert len(reports) == 3
+        assert results
+
+    def test_run_detector_dispatch_ski(self):
+        from repro.apps.linux_proc import linux_proc_spec
+
+        spec = linux_proc_spec(noise=False)
+        reports, _ = run_detector(spec)
+        assert any("cap_effective" in (r.variable or "") for r in reports)
+
+    def test_usable_reports_filters_loadless(self):
+        module = build_counter_race(iterations=2)
+        reports, _ = run_tsan(module, seeds=range(6))
+        store = next(
+            i for i in module.get_function("worker").instructions()
+            if i.opcode == "store" and i.location.line == 13
+        )
+        loadless = RaceReport(
+            AccessRecord(store, 1, True, 0, (), 0x1),
+            AccessRecord(store, 2, True, 0, (), 0x1),
+        )
+        collection = ReportSet()
+        collection.add(loadless)
+        assert usable_reports(collection) == []
+        assert len(usable_reports(reports)) >= 1
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        from repro.apps.libsafe import libsafe_spec
+        from repro.owl.export import result_to_dict, save_result
+        from repro.owl.pipeline import OwlPipeline
+
+        result = OwlPipeline(libsafe_spec()).run()
+        data = result_to_dict(result)
+        path = tmp_path_factory.mktemp("export") / "libsafe.json"
+        save_result(result, str(path))
+        return data, path
+
+    def test_counters_present(self, exported):
+        data, _ = exported
+        assert data["program"] == "libsafe"
+        assert data["counters"]["raw_reports"] == 3
+
+    def test_vulnerabilities_carry_hints(self, exported):
+        data, _ = exported
+        sites = {v["site"] for v in data["vulnerabilities"]}
+        assert "intercept.c:165" in sites
+        hint = next(v for v in data["vulnerabilities"]
+                    if v["site"] == "intercept.c:165")
+        assert "Ctrl Dependent" in hint["hint_text"]
+        assert hint["branches"] == ["intercept.c:164"]
+
+    def test_attacks_marked_realized(self, exported):
+        data, _ = exported
+        realized = [a for a in data["attacks"] if a["realized"]]
+        assert any(a["ground_truth"] == "libsafe-2.0-16" for a in realized)
+
+    def test_file_round_trips(self, exported):
+        data, path = exported
+        assert json.loads(path.read_text()) == data
+
+    def test_reports_have_stacks(self, exported):
+        data, _ = exported
+        for report in data["remaining_reports"]:
+            assert report["first"]["call_stack"]
+            assert report["second"]["call_stack"]

@@ -1,0 +1,140 @@
+"""Tests for the dynamic race verifier and the vulnerability verifier."""
+
+from repro.apps.libsafe import build_module as build_libsafe
+from repro.apps.libsafe import exploit_inputs, libsafe_spec, workload_inputs
+from repro.detectors import run_tsan
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.types import I32, I64, I8, U64, ptr
+from repro.owl.race_verifier import DynamicRaceVerifier
+from repro.owl.vuln_analysis import VulnerabilityAnalyzer
+from repro.owl.vuln_verifier import DynamicVulnerabilityVerifier
+from repro.spec import ProgramSpec
+from tests.helpers import build_counter_race
+
+
+class TestRaceVerifier:
+    def test_real_race_verified_with_hints(self):
+        module = build_counter_race(iterations=3)
+        reports, _ = run_tsan(module, seeds=range(6))
+        report = next(iter(reports))
+        verifier = DynamicRaceVerifier(module, seeds=range(6))
+        verification = verifier.verify(report)
+        assert verification.verified
+        hints = verification.hints
+        assert hints is not None
+        assert "counter" in (hints.variable or "")
+        assert hints.write_value is not None
+
+    def test_verified_report_tagged(self):
+        module = build_counter_race(iterations=3)
+        reports, _ = run_tsan(module, seeds=range(6))
+        report = next(iter(reports))
+        DynamicRaceVerifier(module, seeds=range(6)).verify(report)
+        assert DynamicRaceVerifier.TAG in report.tags
+
+    def test_null_write_hint(self):
+        """The hint flags a NULL store: 'whether a NULL pointer difference
+        can be triggered ... because of the race' (section 5.2)."""
+        b = IRBuilder(Module("m"))
+        pointer = b.global_var("p", U64, 0x1234)
+        b.begin_function("reader", I64, [("arg", ptr(I8))], source_file="n.c")
+        b.ret(b.load(pointer, line=1), line=1)
+        b.end_function()
+        b.begin_function("nuller", I32, [("arg", ptr(I8))], source_file="n.c")
+        b.store(0, pointer, line=2)
+        b.ret(b.i32(0), line=3)
+        b.end_function()
+        b.begin_function("main", I32, [], source_file="n.c")
+        t1 = b.call("thread_create", [b.module.get_function("reader"),
+                                      b.null()], line=4)
+        t2 = b.call("thread_create", [b.module.get_function("nuller"),
+                                      b.null()], line=5)
+        b.call("thread_join", [t1], line=6)
+        b.call("thread_join", [t2], line=7)
+        b.ret(b.i32(0), line=8)
+        b.end_function()
+        verify_module(b.module)
+        reports, _ = run_tsan(b.module, seeds=range(6))
+        report = next(iter(reports))
+        verification = DynamicRaceVerifier(b.module, seeds=range(6)).verify(report)
+        assert verification.verified
+        assert verification.hints.null_write
+
+    def test_publish_race_eliminated(self):
+        """The racy-publish pattern can never co-halt on one address."""
+        from repro.apps.support import add_publish_races
+
+        b = IRBuilder(Module("m"))
+        producer, consumer = add_publish_races(b, 1, "pub.c", iterations=3)
+        b.begin_function("main", I32, [], source_file="pub.c")
+        t1 = b.call("thread_create", [b.module.get_function(producer),
+                                      b.null()], line=1)
+        t2 = b.call("thread_create", [b.module.get_function(consumer),
+                                      b.null()], line=2)
+        b.call("thread_join", [t1], line=3)
+        b.call("thread_join", [t2], line=4)
+        b.ret(b.i32(0), line=5)
+        b.end_function()
+        verify_module(b.module)
+        reports, _ = run_tsan(b.module, seeds=range(10))
+        assert len(reports) >= 1
+        verifier = DynamicRaceVerifier(b.module, seeds=range(4))
+        for report in reports:
+            assert not verifier.verify(report).verified
+
+    def test_libsafe_dying_race_verified(self):
+        module = build_libsafe()
+        reports, _ = run_tsan(module, inputs=workload_inputs(), seeds=range(8))
+        report = next(r for r in reports if "dying" in (r.variable or ""))
+        verifier = DynamicRaceVerifier(module, inputs=workload_inputs(),
+                                       seeds=range(8))
+        verification = verifier.verify(report)
+        assert verification.verified
+        assert verification.hints.write_value == 1  # dying = 1
+
+
+class TestVulnVerifier:
+    def _libsafe_vuln(self):
+        module = build_libsafe()
+        reports, _ = run_tsan(module, inputs=workload_inputs(), seeds=range(8))
+        report = next(r for r in reports if "dying" in (r.variable or ""))
+        vulns = VulnerabilityAnalyzer(module).analyze_report(report)
+        return module, vulns[0]
+
+    def test_attack_realized_with_subtle_inputs(self):
+        module, vuln = self._libsafe_vuln()
+        spec = libsafe_spec()
+        attack = spec.attacks[0]
+        # NOTE: the verifier must execute the *same module instance* the
+        # analyzer produced the report for (instruction identity is the
+        # breakpoint key), so no spec-based vm_factory here.
+        verifier = DynamicVulnerabilityVerifier(
+            module, inputs=attack.subtle_inputs, seeds=range(10),
+            attack_predicate=lambda vm: vm.world.executed("/bin/sh"),
+            racing_order=("write-first", ""),
+        )
+        outcome = verifier.verify(vuln)
+        assert outcome.attack_realized
+        assert outcome.site_reached
+
+    def test_naive_inputs_do_not_realize(self):
+        module, vuln = self._libsafe_vuln()
+        spec = libsafe_spec()
+        attack = spec.attacks[0]
+        verifier = DynamicVulnerabilityVerifier(
+            module, inputs=attack.naive_inputs, seeds=range(4),
+            attack_predicate=lambda vm: vm.world.executed("/bin/sh"),
+        )
+        outcome = verifier.verify(vuln)
+        assert not outcome.attack_realized
+
+    def test_describe_mentions_state(self):
+        module, vuln = self._libsafe_vuln()
+        spec = libsafe_spec()
+        attack = spec.attacks[0]
+        verifier = DynamicVulnerabilityVerifier(
+            module, inputs=attack.subtle_inputs, seeds=range(10),
+            attack_predicate=lambda vm: vm.world.executed("/bin/sh"),
+        )
+        outcome = verifier.verify(vuln)
+        assert "REALIZED" in outcome.describe()

@@ -1,0 +1,187 @@
+"""Tests for Algorithm 1, the static vulnerability analyzer."""
+
+from repro.apps.libsafe import build_module as build_libsafe
+from repro.detectors import run_tsan
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.types import FunctionType, I32, I64, I8, VOID, ptr
+from repro.owl.hints import format_full_report, format_vulnerability_report
+from repro.owl.vuln_analysis import (
+    AnalysisOptions,
+    DependenceKind,
+    VulnerabilityAnalyzer,
+)
+from repro.owl.vuln_sites import VulnSiteType
+
+
+def analyze_first_report(module, variable_fragment, options=None,
+                         seeds=range(8)):
+    reports, _ = run_tsan(module, seeds=seeds)
+    report = next(
+        r for r in reports if variable_fragment in (r.variable or "")
+    )
+    analyzer = VulnerabilityAnalyzer(module, options=options)
+    return analyzer.analyze_report(report), report
+
+
+def build_data_dep_module():
+    """Racy length feeds memcpy: a one-function DATA_DEP case."""
+    b = IRBuilder(Module("m"))
+    from repro.ir.types import ArrayType
+
+    length_var = b.global_var("length", I64, 4)
+    src = b.global_var("src", ArrayType(I8, 64))
+    dst = b.global_var("dst", ArrayType(I8, 64))
+    b.begin_function("reader", I32, [("arg", ptr(I8))], source_file="dd.c")
+    length = b.load(length_var, line=10)
+    b.call("memcpy", [b.cast("bitcast", dst, ptr(I8), line=11),
+                      b.cast("bitcast", src, ptr(I8), line=11), length],
+           line=11)
+    b.ret(b.i32(0), line=12)
+    b.end_function()
+    b.begin_function("writer", I32, [("arg", ptr(I8))], source_file="dd.c")
+    b.store(8, length_var, line=20)
+    b.ret(b.i32(0), line=21)
+    b.end_function()
+    b.begin_function("main", I32, [], source_file="dd.c")
+    t1 = b.call("thread_create", [b.module.get_function("reader"), b.null()],
+                line=30)
+    t2 = b.call("thread_create", [b.module.get_function("writer"), b.null()],
+                line=31)
+    b.call("thread_join", [t1], line=32)
+    b.call("thread_join", [t2], line=33)
+    b.ret(b.i32(0), line=34)
+    b.end_function()
+    verify_module(b.module)
+    return b.module
+
+
+class TestDataDependence:
+    def test_racy_length_reaches_memcpy(self):
+        vulns, _ = analyze_first_report(build_data_dep_module(), "length")
+        assert len(vulns) == 1
+        vuln = vulns[0]
+        assert vuln.kind is DependenceKind.DATA_DEP
+        assert vuln.site_type is VulnSiteType.MEMORY_OP
+        assert vuln.site.location.line == 11
+
+    def test_no_false_report_on_benign_counter(self):
+        from tests.helpers import build_counter_race
+
+        module = build_counter_race(iterations=2)
+        reports, _ = run_tsan(module, seeds=range(6))
+        analyzer = VulnerabilityAnalyzer(module)
+        for report in reports:
+            assert analyzer.analyze_report(report) == []
+
+
+class TestLibsafeCase:
+    """The paper's running example (section 4.3, Figures 4 and 5)."""
+
+    def _dying_vulns(self, options=None):
+        module = build_libsafe()
+        from repro.apps.libsafe import workload_inputs
+
+        reports, _ = run_tsan(module, inputs=workload_inputs(), seeds=range(8))
+        report = next(r for r in reports if "dying" in (r.variable or ""))
+        analyzer = VulnerabilityAnalyzer(module, options=options)
+        return analyzer.analyze_report(report), module
+
+    def test_strcpy_reported_control_dependent(self):
+        vulns, _ = self._dying_vulns()
+        assert len(vulns) == 1
+        vuln = vulns[0]
+        assert vuln.kind is DependenceKind.CTRL_DEP
+        assert vuln.site_type is VulnSiteType.MEMORY_OP
+        assert vuln.site.location.filename == "intercept.c"
+        assert vuln.site.location.line == 165
+
+    def test_branch_hint_is_line_164(self):
+        """Figure 5: the corrupted branch at intercept.c:164."""
+        vulns, _ = self._dying_vulns()
+        branches = vulns[0].branches
+        assert len(branches) == 1
+        assert branches[0].location.line == 164
+
+    def test_report_formatting_matches_figure5(self):
+        vulns, _ = self._dying_vulns()
+        text = format_vulnerability_report(vulns[0])
+        assert "---- Ctrl Dependent Vulnerability----" in text
+        assert "(intercept.c:164)" in text
+        assert "Vulnerable Site Location: (intercept.c:165)" in text
+
+    def test_full_report_has_figure4_stack(self):
+        vulns, _ = self._dying_vulns()
+        text = format_full_report(vulns[0])
+        assert "stack_check (util.c:145)" in text
+
+    def test_no_control_flow_ablation_misses_libsafe(self):
+        """Livshits&Lam-style data-flow-only analysis cannot see the attack."""
+        vulns, _ = self._dying_vulns(options=AnalysisOptions.no_control_flow())
+        assert vulns == []
+
+    def test_intraprocedural_ablation_misses_libsafe(self):
+        """Yamaguchi-style intra-procedural analysis: the bug is in
+        stack_check, the site in libsafe_strcpy."""
+        vulns, _ = self._dying_vulns(options=AnalysisOptions.intraprocedural())
+        assert all(v.site.location.line != 165 for v in vulns)
+
+    def test_conseq_style_misses_caller_site(self):
+        """ConSeq-style (no caller pops): the site is one level *up*."""
+        vulns, _ = self._dying_vulns(options=AnalysisOptions.conseq_style())
+        assert all(v.site.location.line != 165 for v in vulns)
+
+    def test_whole_program_finds_site_too(self):
+        vulns, _ = self._dying_vulns(options=AnalysisOptions.whole_program())
+        assert any(v.site.location.line == 165 for v in vulns)
+
+
+class TestIndirectCallSites:
+    def test_corrupted_function_pointer_reported(self):
+        b = IRBuilder(Module("m"))
+        fn_slot = b.global_var("handler", I64, 0)
+        b.begin_function("caller", I32, [("arg", ptr(I8))], source_file="fp.c")
+        addr = b.load(fn_slot, line=10)
+        fn = b.cast("inttoptr", addr, ptr(FunctionType(VOID, [])), line=11)
+        b.call(fn, [], line=12)
+        b.ret(b.i32(0), line=13)
+        b.end_function()
+        b.begin_function("nuller", I32, [("arg", ptr(I8))], source_file="fp.c")
+        b.store(0, fn_slot, line=20)
+        b.ret(b.i32(0), line=21)
+        b.end_function()
+        b.begin_function("main", I32, [], source_file="fp.c")
+        t1 = b.call("thread_create", [b.module.get_function("caller"),
+                                      b.null()], line=30)
+        t2 = b.call("thread_create", [b.module.get_function("nuller"),
+                                      b.null()], line=31)
+        b.call("thread_join", [t1], line=32)
+        b.call("thread_join", [t2], line=33)
+        b.ret(b.i32(0), line=34)
+        b.end_function()
+        verify_module(b.module)
+        vulns, _ = analyze_first_report(b.module, "handler")
+        assert any(
+            v.site_type is VulnSiteType.NULL_PTR_DEREF
+            and v.site.location.line == 12
+            for v in vulns
+        )
+
+
+class TestDedupAndBudget:
+    def test_one_report_per_site_and_kind(self):
+        module = build_data_dep_module()
+        reports, _ = run_tsan(module, seeds=range(8))
+        report = next(r for r in reports if "length" in (r.variable or ""))
+        analyzer = VulnerabilityAnalyzer(module)
+        vulns = analyzer.analyze_report(report)
+        keys = [v.dedup_key for v in vulns]
+        assert len(keys) == len(set(keys))
+
+    def test_instruction_budget_bounds_work(self):
+        module = build_data_dep_module()
+        reports, _ = run_tsan(module, seeds=range(8))
+        report = next(r for r in reports if "length" in (r.variable or ""))
+        options = AnalysisOptions(instruction_budget=1)
+        analyzer = VulnerabilityAnalyzer(module, options=options)
+        analyzer.analyze_report(report)
+        assert analyzer.budget_exhausted

@@ -1,0 +1,168 @@
+"""Tests for the vulnerable-site registry and the adhoc-sync detector."""
+
+from repro.detectors import run_tsan
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.types import FunctionType, I32, I64, I8, VOID, ptr
+from repro.owl.adhoc import AdhocSyncDetector
+from repro.owl.vuln_sites import DEFAULT_REGISTRY, VulnSiteRegistry, VulnSiteType
+from tests.helpers import build_adhoc_sync_module, build_counter_race
+
+
+def fresh_builder():
+    b = IRBuilder(Module("m"))
+    b.begin_function("f", VOID, [("p", ptr(I64)), ("x", I64)], source_file="v.c")
+    return b
+
+
+class TestVulnSiteRegistry:
+    def test_memory_op_classification(self):
+        b = fresh_builder()
+        call = b.call("strcpy", [b.null(), b.null()], line=1)
+        assert DEFAULT_REGISTRY.site_type(call) is VulnSiteType.MEMORY_OP
+
+    def test_privilege_file_fork_ops(self):
+        b = fresh_builder()
+        assert DEFAULT_REGISTRY.site_type(
+            b.call("setuid", [0], line=1)) is VulnSiteType.PRIVILEGE_OP
+        assert DEFAULT_REGISTRY.site_type(
+            b.call("access", [b.null(), 0], line=2)) is VulnSiteType.FILE_OP
+        assert DEFAULT_REGISTRY.site_type(
+            b.call("execve", [b.null(), b.null(), b.null()], line=3),
+        ) is VulnSiteType.FORK_OP
+        assert DEFAULT_REGISTRY.site_type(
+            b.call("eval", [b.null()], line=4)) is VulnSiteType.FORK_OP
+
+    def test_free_is_memory_op(self):
+        b = fresh_builder()
+        call = b.call("free", [b.null()], line=1)
+        assert DEFAULT_REGISTRY.site_type(call) is VulnSiteType.MEMORY_OP
+
+    def test_benign_external_unclassified(self):
+        b = fresh_builder()
+        call = b.call("strlen", [b.null()], line=1)
+        assert DEFAULT_REGISTRY.site_type(call) is None
+
+    def test_load_with_corrupted_pointer_is_deref_site(self):
+        b = fresh_builder()
+        load = b.load(b.arg("p"), line=1)
+        assert DEFAULT_REGISTRY.site_type(load) is None
+        assert DEFAULT_REGISTRY.site_type(
+            load, pointer_corrupted=True) is VulnSiteType.NULL_PTR_DEREF
+
+    def test_indirect_call_with_corrupted_callee(self):
+        b = fresh_builder()
+        fn = b.cast("inttoptr", b.arg("x"), ptr(FunctionType(VOID, [])), line=1)
+        call = b.call(fn, [], line=2)
+        assert DEFAULT_REGISTRY.site_type(
+            call, pointer_corrupted=True) is VulnSiteType.NULL_PTR_DEREF
+        assert DEFAULT_REGISTRY.site_type(call) is None
+
+    def test_registry_extensible(self):
+        """Paper: 'more types can be easily added'."""
+        registry = VulnSiteRegistry()
+        registry.add_function("my_crypto_op", VulnSiteType.PRIVILEGE_OP)
+        assert "my_crypto_op" in registry.functions_of(VulnSiteType.PRIVILEGE_OP)
+
+    def test_pointer_operand_extraction(self):
+        b = fresh_builder()
+        load = b.load(b.arg("p"), line=1)
+        assert DEFAULT_REGISTRY.pointer_operand(load) is b.arg("p")
+        store = b.store(b.arg("x"), b.arg("p"), line=2)
+        assert DEFAULT_REGISTRY.pointer_operand(store) is b.arg("p")
+        direct = b.call("strlen", [b.null()], line=3)
+        assert DEFAULT_REGISTRY.pointer_operand(direct) is None
+
+
+class TestAdhocSyncDetector:
+    def _flag_report(self, module, seeds=range(6)):
+        reports, _ = run_tsan(module, seeds=seeds)
+        return next(r for r in reports if "flag" in (r.variable or ""))
+
+    def test_spin_wait_recognized(self):
+        module = build_adhoc_sync_module()
+        report = self._flag_report(module)
+        annotation = AdhocSyncDetector().analyze_report(report)
+        assert annotation is not None
+        assert annotation.read_location.line == 21
+        assert annotation.write_location.line == 11
+
+    def test_counter_race_not_adhoc(self):
+        module = build_counter_race(iterations=3)
+        reports, _ = run_tsan(module, seeds=range(6))
+        detector = AdhocSyncDetector()
+        assert all(detector.analyze_report(r) is None for r in reports)
+
+    def test_worker_loop_with_side_effects_not_adhoc(self):
+        """SSDB's log-clean loop re-checks a flag but does real work."""
+        b = IRBuilder(Module("m"))
+        flag = b.global_var("flag", I32, 0)
+        out = b.global_var("out", I64, 0)
+        b.begin_function("worker", I32, [("arg", ptr(I8))], source_file="w.c")
+        b.br("loop", line=1)
+        b.at("loop")
+        value = b.load(flag, line=2)
+        done = b.icmp("ne", value, 0, line=2)
+        b.cond_br(done, "out_block", "work", line=2)
+        b.at("work")
+        counter = b.load(out, line=3)
+        b.store(b.add(counter, 1, line=3), out, line=3)  # shared side effect
+        b.br("loop", line=3)
+        b.at("out_block")
+        b.ret(b.i32(0), line=4)
+        b.end_function()
+        b.begin_function("setter", I32, [("arg", ptr(I8))], source_file="w.c")
+        b.call("usleep", [30], line=5)
+        b.store(1, flag, line=6)
+        b.ret(b.i32(0), line=7)
+        b.end_function()
+        b.begin_function("main", I32, [], source_file="w.c")
+        t1 = b.call("thread_create", [b.module.get_function("worker"),
+                                      b.null()], line=8)
+        t2 = b.call("thread_create", [b.module.get_function("setter"),
+                                      b.null()], line=9)
+        b.call("thread_join", [t1], line=10)
+        b.call("thread_join", [t2], line=11)
+        b.ret(b.i32(0), line=12)
+        b.end_function()
+        verify_module(b.module)
+        report = self._flag_report(b.module, seeds=range(8))
+        assert AdhocSyncDetector().analyze_report(report) is None
+
+    def test_nonconstant_write_not_adhoc(self):
+        """The write side must store a constant (the 'true' flag value)."""
+        b = IRBuilder(Module("m"))
+        flag = b.global_var("flag", I64, 0)
+        b.begin_function("waiter", I32, [("arg", ptr(I8))], source_file="n.c")
+        b.br("spin", line=1)
+        b.at("spin")
+        value = b.load(flag, line=2)
+        done = b.icmp("ne", value, 0, line=2)
+        b.cond_br(done, "after", "spin", line=2)
+        b.at("after")
+        b.ret(b.i32(0), line=3)
+        b.end_function()
+        b.begin_function("setter", I32, [("arg", ptr(I8))], source_file="n.c")
+        computed = b.call("getpid", [], line=4)
+        b.store(b.cast("zext", computed, I64, line=5), flag, line=5)
+        b.ret(b.i32(0), line=6)
+        b.end_function()
+        b.begin_function("main", I32, [], source_file="n.c")
+        t1 = b.call("thread_create", [b.module.get_function("waiter"),
+                                      b.null()], line=7)
+        t2 = b.call("thread_create", [b.module.get_function("setter"),
+                                      b.null()], line=8)
+        b.call("thread_join", [t1], line=9)
+        b.call("thread_join", [t2], line=10)
+        b.ret(b.i32(0), line=11)
+        b.end_function()
+        verify_module(b.module)
+        report = self._flag_report(b.module, seeds=range(8))
+        assert AdhocSyncDetector().analyze_report(report) is None
+
+    def test_analyze_tags_reports_and_builds_set(self):
+        module = build_adhoc_sync_module()
+        reports, _ = run_tsan(module, seeds=range(6))
+        annotations = AdhocSyncDetector().analyze(reports)
+        assert annotations.unique_static_count() == 1
+        tagged = [r for r in reports if AdhocSyncDetector.TAG in r.tags]
+        assert len(tagged) == 1

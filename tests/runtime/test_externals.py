@@ -1,0 +1,255 @@
+"""Tests for external-function semantics (the libc/syscall layer)."""
+
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.types import ArrayType, I32, I64, I8, VOID, ptr
+from repro.runtime import VM, ExecutionResult, RoundRobinScheduler
+from repro.runtime.errors import FaultKind
+
+
+def run(builder_fn, inputs=None):
+    b = IRBuilder(Module("m"))
+    builder_fn(b)
+    verify_module(b.module)
+    vm = VM(b.module, scheduler=RoundRobinScheduler(), inputs=inputs)
+    vm.start("main")
+    result = vm.run()
+    return vm, result
+
+
+class TestStringOps:
+    def test_strcpy_copies_and_terminates(self):
+        def build(b):
+            src = b.global_string("src", "hello")
+            dst = b.global_var("dst", ArrayType(I8, 16))
+            b.begin_function("main", I32, [], source_file="s.c")
+            b.call("strcpy", [b.cast("bitcast", dst, ptr(I8), line=1),
+                              b.cast("bitcast", src, ptr(I8), line=1)], line=1)
+            b.ret(b.i32(0), line=2)
+            b.end_function()
+        vm, _ = run(build)
+        assert vm.memory.read_c_string(vm.global_address("dst")) == b"hello"
+
+    def test_strcpy_overflow_corrupts_then_faults(self):
+        def build(b):
+            src = b.global_string("src", "A" * 20)
+            dst = b.global_var("dst", ArrayType(I8, 8))
+            b.begin_function("main", I32, [], source_file="s.c")
+            b.call("strcpy", [b.cast("bitcast", dst, ptr(I8), line=1),
+                              b.cast("bitcast", src, ptr(I8), line=1)], line=1)
+            b.ret(b.i32(0), line=2)
+            b.end_function()
+        vm, result = run(build)
+        assert result.reason == ExecutionResult.FAULT
+        assert vm.faults[0].kind is FaultKind.BUFFER_OVERFLOW
+        # the overflow corrupted up to the block end before faulting
+        assert vm.memory.read_bytes(vm.global_address("dst"), 8) == b"A" * 8
+
+    def test_field_overflow_is_nonfatal_and_corrupts_neighbour(self):
+        def build(b):
+            struct = b.struct("frame", [("buf", ArrayType(I8, 8)), ("fd", I32),
+                                        ("pad", ArrayType(I8, 16))])
+            g = b.global_var("frame", struct)
+            src = b.global_string("src", "AAAAAAAA\x07\x00\x00")  # 11 chars
+            b.begin_function("main", I32, [], source_file="s.c")
+            dst = b.cast("bitcast", b.field(g, "buf", line=1), ptr(I8), line=1)
+            b.call("strcpy", [dst, b.cast("bitcast", src, ptr(I8), line=1)],
+                   line=1)
+            b.ret(b.i32(0), line=2)
+            b.end_function()
+        vm, result = run(build)
+        assert result.reason == ExecutionResult.FINISHED
+        kinds = [fault.kind for fault in vm.faults]
+        assert FaultKind.FIELD_OVERFLOW in kinds
+        fd = vm.memory.read_int(vm.global_address("frame") + 8, 4)
+        assert fd == 7  # the neighbour field took the overflowing byte
+
+    def test_strlen_strcmp(self):
+        def build(b):
+            s1 = b.global_string("s1", "abc")
+            s2 = b.global_string("s2", "abc")
+            b.begin_function("main", I64, [], source_file="s.c")
+            length = b.call("strlen", [b.cast("bitcast", s1, ptr(I8), line=1)],
+                            line=1)
+            same = b.call("strcmp", [b.cast("bitcast", s1, ptr(I8), line=2),
+                                     b.cast("bitcast", s2, ptr(I8), line=2)],
+                          line=2)
+            b.ret(b.add(length, b.cast("zext", same, I64, line=3), line=3),
+                  line=3)
+            b.end_function()
+        vm, _ = run(build)
+        assert vm.threads[1].return_value == 3
+
+    def test_memcpy_and_memset(self):
+        def build(b):
+            src = b.global_var("src", ArrayType(I8, 8), b"12345678")
+            dst = b.global_var("dst", ArrayType(I8, 8))
+            b.begin_function("main", I32, [], source_file="s.c")
+            d = b.cast("bitcast", dst, ptr(I8), line=1)
+            b.call("memcpy", [d, b.cast("bitcast", src, ptr(I8), line=1), 4],
+                   line=1)
+            b.call("memset", [b.index(d, 4, line=2), 0x2A, 2], line=2)
+            b.ret(b.i32(0), line=3)
+            b.end_function()
+        vm, _ = run(build)
+        data = vm.memory.read_bytes(vm.global_address("dst"), 8)
+        assert data == b"1234**\x00\x00"
+
+    def test_sprintf_formats(self):
+        def build(b):
+            fmt = b.global_string("fmt", "n=%d")
+            dst = b.global_var("dst", ArrayType(I8, 16))
+            b.begin_function("main", I32, [], source_file="s.c")
+            b.call("sprintf", [b.cast("bitcast", dst, ptr(I8), line=1),
+                               b.cast("bitcast", fmt, ptr(I8), line=1),
+                               b.i64(12)], line=1)
+            b.ret(b.i32(0), line=2)
+            b.end_function()
+        vm, _ = run(build)
+        assert vm.memory.read_c_string(vm.global_address("dst")) == b"n=12"
+
+
+class TestHeap:
+    def test_malloc_free_cycle(self):
+        def build(b):
+            b.begin_function("main", I32, [], source_file="h.c")
+            block = b.call("malloc", [16], line=1)
+            typed = b.cast("bitcast", block, ptr(I64), line=2)
+            b.store(77, typed, line=2)
+            value = b.load(typed, line=3)
+            b.call("free", [block], line=4)
+            b.ret(b.cast("trunc", value, I32, line=5), line=5)
+            b.end_function()
+        vm, result = run(build)
+        assert result.reason == ExecutionResult.FINISHED
+        assert vm.threads[1].return_value == 77
+
+    def test_free_null_is_noop(self):
+        def build(b):
+            b.begin_function("main", I32, [], source_file="h.c")
+            b.call("free", [b.null()], line=1)
+            b.ret(b.i32(0), line=2)
+            b.end_function()
+        vm, result = run(build)
+        assert result.reason == ExecutionResult.FINISHED
+        assert not vm.faults
+
+    def test_double_free_faults(self):
+        def build(b):
+            b.begin_function("main", I32, [], source_file="h.c")
+            block = b.call("malloc", [8], line=1)
+            b.call("free", [block], line=2)
+            b.call("free", [block], line=3)
+            b.ret(b.i32(0), line=4)
+            b.end_function()
+        vm, result = run(build)
+        assert result.reason == ExecutionResult.FAULT
+        assert vm.faults[0].kind is FaultKind.DOUBLE_FREE
+
+    def test_use_after_free_faults(self):
+        def build(b):
+            b.begin_function("main", I64, [], source_file="h.c")
+            block = b.call("malloc", [8], line=1)
+            b.call("free", [block], line=2)
+            b.ret(b.load(b.cast("bitcast", block, ptr(I64), line=3), line=3),
+                  line=4)
+            b.end_function()
+        vm, result = run(build)
+        assert result.reason == ExecutionResult.FAULT
+        assert vm.faults[0].kind is FaultKind.USE_AFTER_FREE
+
+
+class TestWorldOps:
+    def test_privilege_ops_update_world(self):
+        def build(b):
+            b.begin_function("main", I32, [], source_file="w.c")
+            b.call("seteuid", [0], line=1)
+            b.ret(b.i32(0), line=2)
+            b.end_function()
+        vm, _ = run(build)
+        assert vm.world.euid == 0
+        assert vm.world.uid == 1000  # seteuid leaves real uid
+
+    def test_setuid_changes_both(self):
+        def build(b):
+            b.begin_function("main", I32, [], source_file="w.c")
+            b.call("setuid", [0], line=1)
+            b.ret(b.i32(0), line=2)
+            b.end_function()
+        vm, _ = run(build)
+        assert vm.world.uid == 0 and vm.world.euid == 0
+        assert vm.world.privilege_log
+
+    def test_exec_records_euid(self):
+        def build(b):
+            sh = b.global_string("sh", "/bin/sh")
+            b.begin_function("main", I32, [], source_file="w.c")
+            b.call("setuid", [0], line=1)
+            b.call("execve", [b.cast("bitcast", sh, ptr(I8), line=2),
+                              b.null(), b.null()], line=2)
+            b.ret(b.i32(0), line=3)
+            b.end_function()
+        vm, _ = run(build)
+        assert vm.world.got_root_shell()
+        assert vm.world.executed("/bin/sh")
+
+    def test_file_open_write_content(self):
+        def build(b):
+            path = b.global_string("p", "out.txt")
+            data = b.global_string("d", "payload")
+            b.begin_function("main", I32, [], source_file="w.c")
+            fd = b.call("open", [b.cast("bitcast", path, ptr(I8), line=1), 0],
+                        line=1)
+            b.call("write", [fd, b.cast("bitcast", data, ptr(I8), line=2), 7],
+                   line=2)
+            b.ret(b.i32(0), line=3)
+            b.end_function()
+        vm, _ = run(build)
+        assert vm.world.file_content("out.txt") == b"payload"
+
+    def test_write_to_bad_fd_returns_error(self):
+        def build(b):
+            data = b.global_string("d", "x")
+            b.begin_function("main", I64, [], source_file="w.c")
+            n = b.call("write", [99, b.cast("bitcast", data, ptr(I8), line=1),
+                                 1], line=1)
+            b.ret(n, line=2)
+            b.end_function()
+        vm, _ = run(build)
+        assert vm.threads[1].return_value == (1 << 64) - 1  # -1
+
+    def test_access_logged(self):
+        def build(b):
+            path = b.global_string("p", "/etc/passwd")
+            b.begin_function("main", I32, [], source_file="w.c")
+            b.call("access", [b.cast("bitcast", path, ptr(I8), line=1), 0],
+                   line=1)
+            b.ret(b.i32(0), line=2)
+            b.end_function()
+        vm, _ = run(build)
+        assert ("access", "/etc/passwd", 0) in [
+            (op, path, 0) for op, path, _ in vm.world.file_access_log
+        ]
+
+
+class TestTiming:
+    def test_io_delay_blocks_then_resumes(self):
+        def build(b):
+            b.begin_function("main", I32, [], source_file="t.c")
+            b.call("io_delay", [100], line=1)
+            b.ret(b.i32(0), line=2)
+            b.end_function()
+        vm, result = run(build)
+        assert result.reason == ExecutionResult.FINISHED
+        assert vm.step >= 100
+
+    def test_atomic_add_returns_old(self):
+        def build(b):
+            g = b.global_var("g", I64, 10)
+            b.begin_function("main", I64, [], source_file="t.c")
+            old = b.call("atomic_add", [b.cast("bitcast", g, ptr(I8), line=1),
+                                        5], line=1)
+            b.ret(old, line=2)
+            b.end_function()
+        vm, _ = run(build)
+        assert vm.threads[1].return_value == 10
+        assert vm.memory.read_int(vm.global_address("g"), 8) == 15

@@ -1,0 +1,357 @@
+"""Tests for the instruction interpreter."""
+
+import pytest
+
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.types import FunctionType, I32, I64, I8, U64, VOID, ptr
+from repro.runtime import VM, ExecutionResult, RoundRobinScheduler
+from repro.runtime.errors import FaultKind
+from tests.helpers import build_counter_race, build_straightline, run_to_completion
+
+
+def run_main(module, inputs=None, max_steps=20_000):
+    vm = VM(module, scheduler=RoundRobinScheduler(), inputs=inputs,
+            max_steps=max_steps)
+    vm.start("main")
+    result = vm.run()
+    return vm, result
+
+
+class TestBasics:
+    def test_straightline_returns(self):
+        vm, result = run_main(build_straightline(7))
+        assert result.reason == ExecutionResult.FINISHED
+        assert vm.threads[1].return_value == 7
+
+    def test_arithmetic_wrapping(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I32, [], source_file="a.c")
+        big = b.add(b.i32((1 << 31) - 1), 1, line=1)
+        b.ret(big, line=2)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module)
+        # stored as unsigned bit pattern
+        assert vm.threads[1].return_value == 1 << 31
+
+    def test_unsigned_underflow_is_huge(self):
+        """The Apache-46215 semantics: 0 - 1 on u64 wraps to 2^64-1."""
+        b = IRBuilder(Module("m"))
+        g = b.global_var("busy", U64, 0)
+        b.begin_function("main", I32, [], source_file="a.c")
+        value = b.load(g, line=1)
+        b.store(b.sub(value, 1, line=2), g, line=2)
+        b.ret(b.i32(0), line=3)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module)
+        assert vm.memory.read_int(vm.global_address("busy"), 8,
+                                  signed=False) == (1 << 64) - 1
+
+    def test_division_by_zero_faults(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I32, [], source_file="a.c")
+        bad = b.binop("sdiv", b.i32(1), 0, line=1)
+        b.ret(bad, line=2)
+        b.end_function()
+        verify_module(b.module)
+        vm, result = run_main(b.module)
+        assert result.reason == ExecutionResult.FAULT
+        assert vm.faults[0].kind is FaultKind.DIVISION_BY_ZERO
+
+    def test_signed_division(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I32, [], source_file="a.c")
+        q = b.binop("sdiv", b.i32(-7), 2, line=1)
+        b.ret(q, line=2)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module)
+        # -7 / 2 truncates toward zero -> -3 (as unsigned pattern)
+        assert vm.threads[1].return_value == (1 << 32) - 3
+
+    def test_icmp_signedness(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I32, [], source_file="a.c")
+        # -1 as u32 pattern is huge: slt says -1 < 0, ult says huge > 0
+        minus_one = b.i32(-1)
+        signed = b.icmp("slt", minus_one, 0, line=1)
+        unsigned = b.icmp("ult", minus_one, 0, line=1)
+        total = b.add(b.cast("zext", signed, I32, line=2),
+                      b.binop("shl", b.cast("zext", unsigned, I32, line=2), 1,
+                              line=2), line=2)
+        b.ret(total, line=3)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module)
+        assert vm.threads[1].return_value == 1  # signed true, unsigned false
+
+
+class TestMemoryOps:
+    def test_globals_initialized(self):
+        b = IRBuilder(Module("m"))
+        g = b.global_var("g", I64, 1234)
+        b.begin_function("main", I64, [], source_file="a.c")
+        b.ret(b.load(g, line=1), line=2)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module)
+        assert vm.threads[1].return_value == 1234
+
+    def test_gep_field_addressing(self):
+        b = IRBuilder(Module("m"))
+        struct = b.struct("pair", [("a", I64), ("b", I64)])
+        g = b.global_var("p", struct)
+        b.begin_function("main", I64, [], source_file="a.c")
+        b.store(5, b.field(g, "b", line=1), line=1)
+        b.ret(b.load(b.field(g, "b", line=2), line=2), line=3)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module)
+        assert vm.threads[1].return_value == 5
+        assert vm.memory.read_int(vm.global_address("p") + 8, 8) == 5
+
+    def test_gep_negative_index(self):
+        b = IRBuilder(Module("m"))
+        from repro.ir.types import ArrayType
+
+        g = b.global_var("arr", ArrayType(I64, 4), [10, 20, 30, 40])
+        b.begin_function("main", I64, [], source_file="a.c")
+        base = b.index(b.cast("bitcast", g, ptr(I64), line=1), 2, line=1)
+        prev = b.index(base, -1, line=2)
+        b.ret(b.load(prev, line=3), line=4)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module)
+        assert vm.threads[1].return_value == 20
+
+    def test_null_load_faults(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I64, [], source_file="a.c")
+        null = b.cast("inttoptr", b.i64(0), ptr(I64), line=1)
+        b.ret(b.load(null, line=2), line=3)
+        b.end_function()
+        verify_module(b.module)
+        vm, result = run_main(b.module)
+        assert result.reason == ExecutionResult.FAULT
+        assert vm.faults[0].kind is FaultKind.NULL_DEREF
+
+
+class TestCalls:
+    def test_internal_call_and_return(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("double", I64, [("x", I64)], source_file="a.c")
+        b.ret(b.mul(b.arg("x"), 2, line=1), line=1)
+        b.end_function()
+        b.begin_function("main", I64, [], source_file="a.c")
+        b.ret(b.call("double", [21], line=2), line=3)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module)
+        assert vm.threads[1].return_value == 42
+
+    def test_recursion(self):
+        b = IRBuilder(Module("m"))
+        fact = b.begin_function("fact", I64, [("n", I64)], source_file="a.c")
+        is_zero = b.icmp("eq", b.arg("n"), 0, line=1)
+        b.cond_br(is_zero, "base", "rec", line=1)
+        b.at("base")
+        b.ret(b.i64(1), line=2)
+        b.at("rec")
+        smaller = b.sub(b.arg("n"), 1, line=3)
+        rec = b.call(fact, [smaller], line=3)
+        b.ret(b.mul(rec, b.arg("n"), line=4), line=4)
+        b.end_function()
+        b.begin_function("main", I64, [], source_file="a.c")
+        b.ret(b.call("fact", [6], line=5), line=5)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module)
+        assert vm.threads[1].return_value == 720
+
+    def test_indirect_call_through_pointer(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("target", I32, [], source_file="a.c")
+        b.ret(b.i32(99), line=1)
+        b.end_function()
+        b.begin_function("main", I32, [], source_file="a.c")
+        addr = b.cast("ptrtoint", b.module.get_function("target"), I64, line=2)
+        fn = b.cast("inttoptr", addr, ptr(FunctionType(I32, [])), line=2)
+        b.ret(b.call(fn, [], line=3), line=3)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module)
+        assert vm.threads[1].return_value == 99
+
+    def test_indirect_call_through_null_faults(self):
+        """The uselib consequence: NULL function pointer dereference."""
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I32, [], source_file="a.c")
+        fn = b.cast("inttoptr", b.i64(0), ptr(FunctionType(I32, [])), line=1)
+        b.ret(b.call(fn, [], line=2), line=2)
+        b.end_function()
+        verify_module(b.module)
+        vm, result = run_main(b.module)
+        assert result.reason == ExecutionResult.FAULT
+        assert vm.faults[0].kind is FaultKind.NULL_DEREF
+
+    def test_indirect_call_through_garbage_faults(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I32, [], source_file="a.c")
+        fn = b.cast("inttoptr", b.i64(0x41414141), ptr(FunctionType(I32, [])),
+                    line=1)
+        b.ret(b.call(fn, [], line=2), line=2)
+        b.end_function()
+        verify_module(b.module)
+        vm, result = run_main(b.module)
+        assert result.reason == ExecutionResult.FAULT
+        assert vm.faults[0].kind is FaultKind.WILD_ACCESS
+
+    def test_dangling_stack_pointer_after_return(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("escape", ptr(I64), [], source_file="a.c")
+        slot = b.alloca(I64, name="local", line=1)
+        b.store(7, slot, line=1)
+        b.ret(slot, line=2)
+        b.end_function()
+        b.begin_function("main", I64, [], source_file="a.c")
+        dangling = b.call("escape", [], line=3)
+        b.ret(b.load(dangling, line=4), line=4)
+        b.end_function()
+        verify_module(b.module)
+        vm, result = run_main(b.module)
+        assert result.reason == ExecutionResult.FAULT
+        assert vm.faults[0].kind is FaultKind.USE_AFTER_FREE
+
+
+class TestThreadsAndConcurrency:
+    def test_counter_race_loses_updates_somewhere(self):
+        module = build_counter_race(iterations=5)
+        results = set()
+        for seed in range(12):
+            vm = run_to_completion(module, seed=seed)
+            results.add(vm.memory.read_int(vm.global_address("counter"), 8))
+        assert any(value < 10 for value in results)  # some schedule loses updates
+        assert all(value <= 10 for value in results)
+        assert len(results) > 1  # outcome depends on the schedule
+
+    def test_locked_counter_is_exact(self):
+        module = build_counter_race(iterations=5, with_lock=True)
+        for seed in range(8):
+            vm = run_to_completion(module, seed=seed)
+            assert vm.memory.read_int(vm.global_address("counter"), 8) == 10
+
+    def test_join_waits_for_child(self):
+        vm = run_to_completion(build_counter_race(iterations=2), seed=3)
+        assert all(t.state.value == "finished" for t in vm.threads.values())
+
+    def test_deadlock_detected(self):
+        b = IRBuilder(Module("m"))
+        lock_a = b.global_var("la", I64, 0)
+        lock_b = b.global_var("lb", I64, 0)
+
+        def locker(name, first, second):
+            b.begin_function(name, I32, [("arg", ptr(I8))], source_file="d.c")
+            b.call("mutex_lock", [b.cast("bitcast", first, ptr(I8), line=1)],
+                   line=1)
+            b.call("usleep", [50], line=2)
+            b.call("mutex_lock", [b.cast("bitcast", second, ptr(I8), line=3)],
+                   line=3)
+            b.ret(b.i32(0), line=4)
+            b.end_function()
+
+        locker("t1", lock_a, lock_b)
+        locker("t2", lock_b, lock_a)
+        b.begin_function("main", I32, [], source_file="d.c")
+        h1 = b.call("thread_create", [b.module.get_function("t1"), b.null()],
+                    line=5)
+        h2 = b.call("thread_create", [b.module.get_function("t2"), b.null()],
+                    line=6)
+        b.call("thread_join", [h1], line=7)
+        b.call("thread_join", [h2], line=8)
+        b.ret(b.i32(0), line=9)
+        b.end_function()
+        verify_module(b.module)
+        vm, result = run_main(b.module)
+        assert result.reason == ExecutionResult.DEADLOCK
+        assert vm.faults[-1].kind is FaultKind.DEADLOCK
+
+    def test_step_limit(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I32, [], source_file="a.c")
+        b.br("spin", line=1)
+        b.at("spin")
+        b.br("spin", line=2)
+        b.end_function()
+        verify_module(b.module)
+        vm, result = run_main(b.module, max_steps=500)
+        assert result.reason == ExecutionResult.STEP_LIMIT
+
+
+class TestInputsAndWorld:
+    def test_input_int_sequence(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I64, [], source_file="a.c")
+        first = b.call("input_int", [b.i64(1)], line=1)
+        second = b.call("input_int", [b.i64(1)], line=2)
+        b.ret(b.add(first, b.mul(second, 100, line=3), line=3), line=3)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module, inputs={1: [7, 3]})
+        assert vm.threads[1].return_value == 307
+
+    def test_input_exhaustion_repeats_last(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I64, [], source_file="a.c")
+        b.call("input_int", [b.i64(1)], line=1)
+        second = b.call("input_int", [b.i64(1)], line=2)
+        b.ret(second, line=3)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module, inputs={1: [5]})
+        assert vm.threads[1].return_value == 5
+
+    def test_missing_channel_yields_zero(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I64, [], source_file="a.c")
+        b.ret(b.call("input_int", [b.i64(9)], line=1), line=2)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module, inputs={})
+        assert vm.threads[1].return_value == 0
+
+    def test_printf_writes_world_stdout(self):
+        b = IRBuilder(Module("m"))
+        fmt = b.global_string("fmt", "v=%d s=%s\n")
+        msg = b.global_string("msg", "ok")
+        b.begin_function("main", I32, [], source_file="a.c")
+        b.call("printf", [b.cast("bitcast", fmt, ptr(I8), line=1),
+                          b.i64(41), b.cast("bitcast", msg, ptr(I8), line=1)],
+               line=1)
+        b.ret(b.i32(0), line=2)
+        b.end_function()
+        verify_module(b.module)
+        vm, _ = run_main(b.module)
+        assert vm.world.stdout == b"v=41 s=ok\n"
+
+    def test_exit_sets_code(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I32, [], source_file="a.c")
+        b.call("exit", [3], line=1)
+        b.ret(b.i32(0), line=2)
+        b.end_function()
+        verify_module(b.module)
+        vm, result = run_main(b.module)
+        assert result.reason == ExecutionResult.EXITED
+        assert vm.world.exit_code == 3
+
+    def test_kill_process_marks_killed(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I32, [], source_file="a.c")
+        b.call("kill_process", [], line=1)
+        b.ret(b.i32(0), line=2)
+        b.end_function()
+        verify_module(b.module)
+        vm, result = run_main(b.module)
+        assert result.reason == ExecutionResult.KILLED
+        assert vm.world.process_killed

@@ -1,0 +1,180 @@
+"""Tests for the byte-addressable memory model."""
+
+import pytest
+
+from repro.ir.types import ArrayType, I32, I64, I8, StructType
+from repro.runtime.errors import FaultKind
+from repro.runtime.memory import GUARD_GAP, Memory, MemoryBlock, store_initializer
+
+
+class TestAllocation:
+    def test_blocks_do_not_overlap(self):
+        memory = Memory()
+        a = memory.allocate(16, MemoryBlock.HEAP, name="a")
+        b = memory.allocate(16, MemoryBlock.HEAP, name="b")
+        assert a.end <= b.base
+        assert b.base - a.end >= GUARD_GAP
+
+    def test_block_at_resolves_interior(self):
+        memory = Memory()
+        block = memory.allocate(32, MemoryBlock.GLOBAL, name="g")
+        assert memory.block_at(block.base) is block
+        assert memory.block_at(block.base + 31) is block
+        assert memory.block_at(block.base + 32) is None  # guard gap
+
+    def test_zero_size_rounds_up(self):
+        memory = Memory()
+        block = memory.allocate(0, MemoryBlock.HEAP)
+        assert block.size == 1
+
+
+class TestReadWrite:
+    def test_int_roundtrip_little_endian(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.GLOBAL, name="g")
+        memory.write_int(block.base, 0x1122334455667788, 8)
+        assert memory.read_int(block.base, 8, signed=False) == 0x1122334455667788
+        assert memory.read_bytes(block.base, 1) == b"\x88"
+
+    def test_unsigned_wraparound_store(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.GLOBAL)
+        memory.write_int(block.base, -2, 8)
+        assert memory.read_int(block.base, 8, signed=False) == (1 << 64) - 2
+
+    def test_c_string_stops_at_nul(self):
+        memory = Memory()
+        block = memory.allocate(16, MemoryBlock.GLOBAL)
+        memory.write_bytes(block.base, b"hello\x00world")
+        assert memory.read_c_string(block.base) == b"hello"
+
+    def test_c_string_stops_at_block_end(self):
+        memory = Memory()
+        block = memory.allocate(4, MemoryBlock.GLOBAL)
+        memory.write_bytes(block.base, b"abcd")
+        assert memory.read_c_string(block.base) == b"abcd"
+
+
+class TestAccessChecking:
+    def test_null_access_faults(self):
+        memory = Memory()
+        block, fault = memory.check_access(0, 8, False, 1, 0)
+        assert block is None
+        assert fault.kind is FaultKind.NULL_DEREF
+
+    def test_wild_access_faults(self):
+        memory = Memory()
+        block, fault = memory.check_access(0xDEAD, 8, True, 1, 0)
+        assert block is None
+        assert fault.kind is FaultKind.WILD_ACCESS
+
+    def test_use_after_free_detected(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.HEAP)
+        assert memory.free(block.base, 1, 0) is None
+        _, fault = memory.check_access(block.base, 8, False, 1, 1)
+        assert fault.kind is FaultKind.USE_AFTER_FREE
+
+    def test_overflow_past_block_end(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.HEAP)
+        got, fault = memory.check_access(block.base + 4, 8, True, 1, 0)
+        assert got is block
+        assert fault.kind is FaultKind.BUFFER_OVERFLOW
+
+    def test_valid_access_no_fault(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.HEAP)
+        got, fault = memory.check_access(block.base, 8, True, 1, 0)
+        assert got is block and fault is None
+
+
+class TestFree:
+    def test_double_free_detected(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.HEAP)
+        assert memory.free(block.base, 1, 0) is None
+        fault = memory.free(block.base, 1, 1)
+        assert fault.kind is FaultKind.DOUBLE_FREE
+
+    def test_free_of_global_is_invalid(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.GLOBAL)
+        fault = memory.free(block.base, 1, 0)
+        assert fault.kind is FaultKind.INVALID_FREE
+
+    def test_free_of_interior_pointer_is_invalid(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.HEAP)
+        fault = memory.free(block.base + 4, 1, 0)
+        assert fault.kind is FaultKind.INVALID_FREE
+
+
+class TestFieldsAndDescribe:
+    def make_struct_block(self):
+        struct = StructType("log", [
+            ("outcnt", I64), ("outbuf", ArrayType(I8, 8)), ("fd", I32),
+        ])
+        memory = Memory()
+        block = memory.allocate(struct.size(), MemoryBlock.GLOBAL, name="log",
+                                value_type=struct)
+        return memory, block
+
+    def test_field_at(self):
+        _, block = self.make_struct_block()
+        assert block.field_at(0)[0] == "outcnt"
+        assert block.field_at(8)[0] == "outbuf"
+        assert block.field_at(16)[0] == "fd"
+        assert block.field_at(100) is None
+
+    def test_describe_names_fields(self):
+        memory, block = self.make_struct_block()
+        assert memory.describe(block.base) == "log.outcnt"
+        assert memory.describe(block.base + 9) == "log.outbuf+1"
+
+    def test_describe_unmapped_is_hex(self):
+        memory = Memory()
+        assert memory.describe(0x1234).startswith("0x")
+
+
+class TestInitializers:
+    def test_int_initializer(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.GLOBAL, value_type=I64)
+        store_initializer(memory, block, I64, -5)
+        assert memory.read_int(block.base, 8, signed=True) == -5
+
+    def test_bytes_initializer(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.GLOBAL)
+        store_initializer(memory, block, ArrayType(I8, 8), b"abc")
+        assert memory.read_bytes(block.base, 3) == b"abc"
+
+    def test_nested_struct_initializer(self):
+        struct = StructType("pair", [("a", I64), ("b", I64)])
+        memory = Memory()
+        block = memory.allocate(16, MemoryBlock.GLOBAL, value_type=struct)
+        store_initializer(memory, block, struct, [1, 2])
+        assert memory.read_int(block.base, 8) == 1
+        assert memory.read_int(block.base + 8, 8) == 2
+
+    def test_array_of_structs_initializer(self):
+        struct = StructType("acl", [("uid", I64), ("priv", I64)])
+        array = ArrayType(struct, 2)
+        memory = Memory()
+        block = memory.allocate(array.size(), MemoryBlock.GLOBAL, value_type=array)
+        store_initializer(memory, block, array, [[1, 9], [2, 0]])
+        assert memory.read_int(block.base + 8, 8) == 9
+        assert memory.read_int(block.base + 16, 8) == 2
+
+    def test_none_initializer_is_zero(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.GLOBAL)
+        store_initializer(memory, block, I64, None)
+        assert memory.read_int(block.base, 8) == 0
+
+    def test_bad_initializer_rejected(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.GLOBAL)
+        with pytest.raises(TypeError):
+            store_initializer(memory, block, I64, "nope")

@@ -1,0 +1,206 @@
+"""Tests for schedulers and the thread-specific-breakpoint debugger."""
+
+import pytest
+
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.types import I32, I64, I8, ptr
+from repro.runtime import (
+    Breakpoint,
+    Debugger,
+    ExecutionResult,
+    PCTScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    VM,
+)
+from repro.runtime.thread import ThreadState
+from tests.helpers import build_counter_race
+
+
+class _FakeThread:
+    def __init__(self, thread_id, name="t"):
+        self.thread_id = thread_id
+        self.name = name
+
+
+class TestRoundRobin:
+    def test_quantum_switching(self):
+        scheduler = RoundRobinScheduler(quantum=2)
+        threads = [_FakeThread(1), _FakeThread(2)]
+        picks = [scheduler.choose(threads, step).thread_id for step in range(6)]
+        assert picks == [1, 1, 2, 2, 1, 1]
+
+    def test_skips_missing_thread(self):
+        scheduler = RoundRobinScheduler(quantum=1)
+        threads = [_FakeThread(1), _FakeThread(2)]
+        scheduler.choose(threads, 0)
+        picks = [scheduler.choose([_FakeThread(2)], s).thread_id for s in (1, 2)]
+        assert picks == [2, 2]
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(quantum=0)
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        threads = [_FakeThread(i) for i in range(4)]
+        a = RandomScheduler(7)
+        b = RandomScheduler(7)
+        seq_a = [a.choose(threads, s).thread_id for s in range(50)]
+        seq_b = [b.choose(threads, s).thread_id for s in range(50)]
+        assert seq_a == seq_b
+
+    def test_different_seeds_differ(self):
+        threads = [_FakeThread(i) for i in range(4)]
+        seq = lambda seed: [
+            RandomScheduler(seed).choose(threads, s).thread_id
+            for s in range(30)
+        ]
+        assert seq(1) != seq(2)
+
+    def test_reset_restores_sequence(self):
+        threads = [_FakeThread(i) for i in range(3)]
+        scheduler = RandomScheduler(5)
+        first = [scheduler.choose(threads, s).thread_id for s in range(20)]
+        scheduler.reset()
+        second = [scheduler.choose(threads, s).thread_id for s in range(20)]
+        assert first == second
+
+
+class TestPCT:
+    def test_highest_priority_wins_consistently(self):
+        threads = [_FakeThread(i) for i in range(3)]
+        scheduler = PCTScheduler(seed=3, depth=1)
+        picks = {scheduler.choose(threads, s).thread_id for s in range(10)}
+        assert len(picks) == 1  # no change points with depth=1
+
+    def test_change_points_demote(self):
+        threads = [_FakeThread(i) for i in range(3)]
+        scheduler = PCTScheduler(seed=3, depth=4, expected_steps=20)
+        picks = [scheduler.choose(threads, s).thread_id for s in range(20)]
+        assert len(set(picks)) >= 2  # priority changes switch threads
+
+
+class TestScripted:
+    def test_follows_script(self):
+        threads = [_FakeThread(1, "a"), _FakeThread(2, "b")]
+        scheduler = ScriptedScheduler([("b", 2), ("a", 1)])
+        picks = [scheduler.choose(threads, s).thread_id for s in range(3)]
+        assert picks == [2, 2, 1]
+
+    def test_fallback_after_script(self):
+        threads = [_FakeThread(1, "a"), _FakeThread(2, "b")]
+        scheduler = ScriptedScheduler([("a", 1)],
+                                      fallback=RoundRobinScheduler(quantum=1))
+        scheduler.choose(threads, 0)
+        pick = scheduler.choose(threads, 1)
+        assert pick.thread_id in (1, 2)
+
+    def test_waits_on_absent_thread_by_running_others(self):
+        threads = [_FakeThread(2, "b")]
+        scheduler = ScriptedScheduler([("a", 5)])
+        assert scheduler.choose(threads, 0).thread_id == 2
+
+
+def _debug_session():
+    module = build_counter_race(iterations=3)
+    vm = VM(module, scheduler=RandomScheduler(1))
+    debugger = Debugger(vm)
+    load = module.find_instructions(filename="counter.c", line=13,
+                                    opcode="load")[0]
+    store = module.find_instructions(filename="counter.c", line=13,
+                                     opcode="store")[0]
+    return module, vm, debugger, load, store
+
+
+class TestDebugger:
+    def test_breakpoint_halts_thread(self):
+        module, vm, debugger, load, _ = _debug_session()
+        debugger.add_breakpoint(load)
+        vm.start("main")
+        result = vm.run()
+        assert result.reason == ExecutionResult.BREAKPOINT
+        halted = debugger.halted_threads()
+        assert len(halted) == 1
+        assert halted[0].current_instruction() is load
+
+    def test_other_threads_keep_running(self):
+        module, vm, debugger, load, _ = _debug_session()
+        debugger.add_breakpoint(load)
+        vm.start("main")
+        vm.run()
+        first = debugger.halted_threads()[0]
+        result = vm.run()  # the second worker reaches the same breakpoint
+        assert result.reason == ExecutionResult.BREAKPOINT
+        assert len(debugger.halted_threads()) == 2
+        assert first in debugger.halted_threads()
+
+    def test_thread_filter(self):
+        module, vm, debugger, load, _ = _debug_session()
+        debugger.add_breakpoint(load, thread_filter=2)
+        vm.start("main")
+        result = vm.run()
+        if result.reason == ExecutionResult.BREAKPOINT:
+            assert debugger.halted_threads()[0].thread_id == 2
+
+    def test_resume_steps_past(self):
+        module, vm, debugger, load, _ = _debug_session()
+        debugger.add_breakpoint(load)
+        vm.start("main")
+        vm.run()
+        thread = debugger.halted_threads()[0]
+        debugger.resume(thread, step_past=True)
+        assert thread.state == ThreadState.RUNNABLE
+        result = vm.run()  # hits the breakpoint again on the next iteration
+        assert result.reason in (ExecutionResult.BREAKPOINT,
+                                 ExecutionResult.FINISHED)
+
+    def test_pending_access_reports_address_and_value(self):
+        module, vm, debugger, load, store = _debug_session()
+        debugger.add_breakpoint(store)
+        vm.start("main")
+        vm.run()
+        thread = debugger.halted_threads()[0]
+        pending = debugger.pending_access(thread)
+        assert pending is not None
+        assert pending.is_write
+        assert pending.address == vm.global_address("counter")
+        assert pending.value == 1  # first increment writes 1
+
+    def test_release_one_resolves_livelock(self):
+        module, vm, debugger, load, store = _debug_session()
+        debugger.add_breakpoint(load)
+        debugger.add_breakpoint(store)
+        vm.start("main")
+        # run until all progress requires halted threads
+        for _ in range(50):
+            result = vm.run()
+            if result.reason != ExecutionResult.BREAKPOINT:
+                break
+            if not vm.runnable_threads():
+                released = debugger.release_one()
+                assert released is not None
+        assert result.reason == ExecutionResult.FINISHED
+
+    def test_disabled_breakpoint_ignored(self):
+        module, vm, debugger, load, _ = _debug_session()
+        bp = debugger.add_breakpoint(load)
+        bp.enabled = False
+        vm.start("main")
+        result = vm.run()
+        assert result.reason == ExecutionResult.FINISHED
+
+    def test_remove_breakpoint(self):
+        module, vm, debugger, load, _ = _debug_session()
+        bp = debugger.add_breakpoint(load)
+        debugger.remove_breakpoint(bp)
+        vm.start("main")
+        assert vm.run().reason == ExecutionResult.FINISHED
+
+    def test_peek_memory(self):
+        module, vm, debugger, load, _ = _debug_session()
+        address = vm.global_address("counter")
+        assert debugger.peek_memory(address, 8) == 0
+        assert debugger.peek_memory(0xDEAD, 8) is None

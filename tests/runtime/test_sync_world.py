@@ -1,0 +1,206 @@
+"""Tests for condition variables, mutex edge cases and the OS world model."""
+
+from repro.ir import IRBuilder, Module, verify_module
+from repro.ir.types import I32, I64, I8, ptr
+from repro.runtime import ExecutionResult, RandomScheduler, VM
+from repro.runtime.os_model import OSWorld
+from repro.runtime.scheduler import RoundRobinScheduler
+
+
+def run(module, seed=0, max_steps=50_000):
+    vm = VM(module, scheduler=RandomScheduler(seed), max_steps=max_steps)
+    vm.start("main")
+    result = vm.run()
+    return vm, result
+
+
+class TestCondVar:
+    def build_producer_consumer(self):
+        b = IRBuilder(Module("pc"))
+        mutex = b.global_var("mutex", I64, 0)
+        cond = b.global_var("cond", I64, 0)
+        ready = b.global_var("ready", I64, 0)
+        data = b.global_var("data", I64, 0)
+
+        b.begin_function("producer", I32, [("arg", ptr(I8))], source_file="pc.c")
+        m = b.cast("bitcast", mutex, ptr(I8), line=1)
+        c = b.cast("bitcast", cond, ptr(I8), line=1)
+        b.call("usleep", [20], line=1)
+        b.call("mutex_lock", [m], line=2)
+        b.store(42, data, line=3)
+        b.store(1, ready, line=4)
+        b.call("cond_signal", [c], line=5)
+        b.call("mutex_unlock", [m], line=6)
+        b.ret(b.i32(0), line=7)
+        b.end_function()
+
+        b.begin_function("consumer", I64, [("arg", ptr(I8))], source_file="pc.c")
+        m = b.cast("bitcast", mutex, ptr(I8), line=10)
+        c = b.cast("bitcast", cond, ptr(I8), line=10)
+        b.call("mutex_lock", [m], line=11)
+        b.br("check", line=11)
+        b.at("check")
+        flag = b.load(ready, line=12)
+        is_ready = b.icmp("ne", flag, 0, line=12)
+        b.cond_br(is_ready, "consume", "wait", line=12)
+        b.at("wait")
+        b.call("cond_wait", [c, m], line=13)
+        b.br("check", line=13)
+        b.at("consume")
+        value = b.load(data, line=14)
+        b.call("mutex_unlock", [m], line=15)
+        b.ret(value, line=16)
+        b.end_function()
+
+        b.begin_function("main", I32, [], source_file="pc.c")
+        t1 = b.call("thread_create", [b.module.get_function("consumer"),
+                                      b.null()], line=20)
+        t2 = b.call("thread_create", [b.module.get_function("producer"),
+                                      b.null()], line=21)
+        b.call("thread_join", [t1], line=22)
+        b.call("thread_join", [t2], line=23)
+        b.ret(b.i32(0), line=24)
+        b.end_function()
+        verify_module(b.module)
+        return b.module
+
+    def test_producer_consumer_completes(self):
+        module = self.build_producer_consumer()
+        for seed in range(8):
+            vm, result = run(module, seed=seed)
+            assert result.reason == ExecutionResult.FINISHED, (seed, vm.faults)
+            consumer = next(t for t in vm.threads.values()
+                            if t.name == "consumer")
+            assert consumer.return_value == 42
+
+    def test_condvar_ordering_suppresses_race(self):
+        """The mutex + condvar make the data accesses ordered for HB."""
+        from repro.detectors import run_tsan
+
+        module = self.build_producer_consumer()
+        reports, _ = run_tsan(module, seeds=range(8))
+        racy_vars = {report.variable for report in reports}
+        assert not any("data" in (v or "") for v in racy_vars)
+
+
+class TestMutexSemantics:
+    def test_relock_by_holder_is_reentrant_noop(self):
+        b = IRBuilder(Module("m"))
+        mutex = b.global_var("mutex", I64, 0)
+        b.begin_function("main", I32, [], source_file="m.c")
+        pointer = b.cast("bitcast", mutex, ptr(I8), line=1)
+        b.call("mutex_lock", [pointer], line=1)
+        b.call("mutex_lock", [pointer], line=2)  # same holder: no deadlock
+        b.call("mutex_unlock", [pointer], line=3)
+        b.ret(b.i32(0), line=4)
+        b.end_function()
+        verify_module(b.module)
+        _, result = run(b.module)
+        assert result.reason == ExecutionResult.FINISHED
+
+    def test_unlock_by_nonholder_ignored(self):
+        b = IRBuilder(Module("m"))
+        mutex = b.global_var("mutex", I64, 0)
+        b.begin_function("main", I32, [], source_file="m.c")
+        b.call("mutex_unlock", [b.cast("bitcast", mutex, ptr(I8), line=1)],
+               line=1)
+        b.ret(b.i32(0), line=2)
+        b.end_function()
+        verify_module(b.module)
+        _, result = run(b.module)
+        assert result.reason == ExecutionResult.FINISHED
+
+
+class TestOSWorld:
+    def test_open_same_path_shares_descriptor(self):
+        world = OSWorld()
+        fd1 = world.open_file("a.txt", 0)
+        fd2 = world.open_file("a.txt", 1)
+        assert fd1 == fd2
+        assert world.open_file("b.txt", 2) != fd1
+
+    def test_write_accumulates(self):
+        world = OSWorld()
+        fd = world.open_file("a.txt", 0)
+        world.write_fd(fd, b"one", 1)
+        world.write_fd(fd, b"two", 2)
+        assert world.file_content("a.txt") == b"onetwo"
+
+    def test_write_bad_fd(self):
+        world = OSWorld()
+        assert world.write_fd(77, b"x", 0) == -1
+
+    def test_root_shell_requires_euid_zero(self):
+        world = OSWorld(uid=1000, euid=1000)
+        world.record_exec("execve", "/bin/sh", 0)
+        assert not world.got_root_shell()
+        world.set_uid("setuid", 0, 1)
+        world.record_exec("execve", "/bin/sh", 2)
+        assert world.got_root_shell()
+
+    def test_seteuid_only_effective(self):
+        world = OSWorld(uid=1000, euid=1000)
+        world.set_uid("seteuid", 0, 0)
+        assert world.euid == 0 and world.uid == 1000
+
+    def test_executed_substring(self):
+        world = OSWorld()
+        world.record_exec("eval", "UPDATE users SET admin=1", 0)
+        assert world.executed("admin=1")
+        assert not world.executed("DROP TABLE")
+
+
+class TestThreadSpecificState:
+    def test_threads_have_independent_frames(self):
+        b = IRBuilder(Module("m"))
+        total = b.global_var("total", I64, 0)
+        b.begin_function("worker", I32, [("arg", ptr(I8))], source_file="t.c")
+        mine = b.local(I64, "mine", 0, line=1)
+        value = b.cast("ptrtoint", b.arg("arg"), I64, line=2)
+        b.store(value, mine, line=2)
+        loaded = b.load(mine, line=3)
+        b.call("atomic_add", [b.cast("bitcast", total, ptr(I8), line=4),
+                              loaded], line=4)
+        b.ret(b.i32(0), line=5)
+        b.end_function()
+        b.begin_function("main", I32, [], source_file="t.c")
+        worker = b.module.get_function("worker")
+        a = b.cast("inttoptr", b.i64(5), ptr(I8), line=6)
+        c = b.cast("inttoptr", b.i64(9), ptr(I8), line=6)
+        t1 = b.call("thread_create", [worker, a], line=7)
+        t2 = b.call("thread_create", [worker, c], line=8)
+        b.call("thread_join", [t1], line=9)
+        b.call("thread_join", [t2], line=10)
+        b.ret(b.i32(0), line=11)
+        b.end_function()
+        verify_module(b.module)
+        for seed in range(6):
+            vm, _ = run(b.module, seed=seed)
+            assert vm.memory.read_int(vm.global_address("total"), 8) == 14
+
+    def test_call_stack_snapshot_shape(self):
+        b = IRBuilder(Module("m"))
+        b.begin_function("inner", I32, [], source_file="cs.c")
+        b.call("thread_yield", [], line=5)
+        b.ret(b.i32(0), line=6)
+        b.end_function()
+        b.begin_function("outer", I32, [], source_file="cs.c")
+        b.ret(b.call("inner", [], line=10), line=11)
+        b.end_function()
+        b.begin_function("main", I32, [], source_file="cs.c")
+        b.ret(b.call("outer", [], line=20), line=21)
+        b.end_function()
+        verify_module(b.module)
+        vm = VM(b.module, scheduler=RoundRobinScheduler())
+        vm.start("main")
+        # step until we are inside inner()
+        while True:
+            thread = vm.threads[1]
+            frames = [frame.function.name for frame in thread.frames]
+            if frames == ["main", "outer", "inner"]:
+                break
+            assert vm.step_thread(thread) is None
+        stack = vm.threads[1].call_stack()
+        assert [entry[0] for entry in stack] == ["main", "outer", "inner"]
+        assert stack[0][2] == 20  # call site line in main
+        assert stack[1][2] == 10  # call site line in outer

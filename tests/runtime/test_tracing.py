@@ -1,0 +1,72 @@
+"""Tests for the structured trace logger."""
+
+from repro.runtime import VM
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.tracing import TraceLogger
+from tests.helpers import build_counter_race
+
+
+def traced_run(seed=0, **kwargs):
+    module = build_counter_race(iterations=2)
+    vm = VM(module, scheduler=RandomScheduler(seed))
+    logger = TraceLogger(**kwargs)
+    vm.add_observer(logger)
+    vm.start("main")
+    vm.run()
+    return vm, logger
+
+
+class TestTraceLogger:
+    def test_records_accesses_and_threads(self):
+        _, logger = traced_run()
+        kinds = {record.kind for record in logger.records}
+        assert {"read", "write", "thread", "call"} <= kinds
+
+    def test_for_thread_filter(self):
+        _, logger = traced_run()
+        t2 = logger.for_thread(2)
+        assert t2
+        assert all(record.thread_id == 2 for record in t2)
+
+    def test_for_address_filter(self):
+        vm, logger = traced_run()
+        counter = vm.global_address("counter")
+        touching = logger.for_address(counter, 8)
+        assert touching
+        assert all(record.kind in ("read", "write") for record in touching)
+        # two workers x two iterations = 4 reads and 4 writes
+        assert len([r for r in touching if r.kind == "write"]) == 4
+
+    def test_render_contains_location(self):
+        _, logger = traced_run()
+        text = logger.to_lines(logger.for_thread(2)[:3])
+        assert "counter.c" in text
+
+    def test_kind_filtering(self):
+        _, logger = traced_run(kinds=["write"])
+        assert logger.records
+        assert all(record.kind == "write" for record in logger.records)
+
+    def test_truncation(self):
+        _, logger = traced_run(max_records=5)
+        assert len(logger) == 5
+        assert logger.truncated
+
+    def test_faults_recorded(self):
+        from repro.ir import IRBuilder, Module, verify_module
+        from repro.ir.types import I64, I32, ptr
+
+        b = IRBuilder(Module("m"))
+        b.begin_function("main", I64, [], source_file="f.c")
+        null = b.cast("inttoptr", b.i64(0), ptr(I64), line=1)
+        b.ret(b.load(null, line=2), line=3)
+        b.end_function()
+        verify_module(b.module)
+        vm = VM(b.module)
+        logger = TraceLogger()
+        vm.add_observer(logger)
+        vm.start("main")
+        vm.run()
+        faults = logger.faults()
+        assert faults
+        assert "null-pointer-dereference" in faults[0].detail

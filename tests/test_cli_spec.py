@@ -1,0 +1,82 @@
+"""Tests for the CLI and the ProgramSpec contract."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.spec import AttackGroundTruth, ProgramSpec
+from repro.owl.vuln_sites import VulnSiteType
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "libsafe" in out
+        assert "ssdb-cve-2016-1000324" in out
+
+    def test_study_command(self, capsys):
+        assert main(["study"]) == 0
+        out = capsys.readouterr().out
+        assert "Finding I" in out
+        assert "Finding V" in out
+
+    def test_exploit_command(self, capsys):
+        assert main(["exploit", "libsafe-2.0-16", "--repetitions", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLOITED" in out
+
+    def test_detect_command(self, capsys):
+        assert main(["detect", "libsafe"]) == 0
+        out = capsys.readouterr().out
+        assert "race reports (R.R.)" in out
+        assert "verified attacks" in out
+        assert "Ctrl Dependent Vulnerability" in out
+
+    def test_export_command(self, capsys, tmp_path):
+        target = tmp_path / "libsafe.json"
+        assert main(["export", "libsafe", str(target)]) == 0
+        assert target.exists()
+        import json
+
+        data = json.loads(target.read_text())
+        assert data["program"] == "libsafe"
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestProgramSpec:
+    def make_spec(self):
+        from repro.apps.libsafe import build_module
+
+        return ProgramSpec("demo", build_module, attacks=[
+            AttackGroundTruth(
+                "demo-1", "demo", VulnSiteType.MEMORY_OP,
+                ("intercept.c", 165), "dying", {},
+            ),
+        ])
+
+    def test_attack_for_site(self):
+        spec = self.make_spec()
+        module = spec.build()
+        site = module.find_instructions(filename="intercept.c", line=165)[0]
+        assert spec.attack_for_site(site.location).attack_id == "demo-1"
+        other = module.find_instructions(filename="intercept.c", line=164)[0]
+        assert spec.attack_for_site(other.location) is None
+
+    def test_make_vm_uses_workload_inputs(self):
+        spec = self.make_spec()
+        spec.workload_inputs = {1: [5]}
+        vm = spec.make_vm(seed=0)
+        assert vm.inputs == {1: [5]}
+        vm2 = spec.make_vm(seed=0, inputs={1: [9]})
+        assert vm2.inputs == {1: [9]}
+
+    def test_initial_world_factory(self):
+        from repro.runtime.os_model import OSWorld
+
+        spec = self.make_spec()
+        spec.initial_world = lambda: OSWorld(uid=0, euid=0)
+        vm = spec.make_vm()
+        assert vm.world.uid == 0

@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detectors.vectorclock import VectorClock
+from repro.ir.types import ArrayType, IntType, StructType, I8, I64
+from repro.runtime.memory import Memory, MemoryBlock
+
+clock_maps = st.dictionaries(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=1000),
+    max_size=6,
+)
+
+
+class TestVectorClockProperties:
+    @given(clock_maps, clock_maps)
+    def test_join_is_upper_bound(self, a_map, b_map):
+        a = VectorClock(a_map)
+        b = VectorClock(b_map)
+        joined = a.copy()
+        joined.join(b)
+        assert a.happens_before(joined)
+        assert b.happens_before(joined)
+
+    @given(clock_maps, clock_maps)
+    def test_join_commutes(self, a_map, b_map):
+        left = VectorClock(a_map)
+        left.join(VectorClock(b_map))
+        right = VectorClock(b_map)
+        right.join(VectorClock(a_map))
+        assert left.happens_before(right) and right.happens_before(left)
+
+    @given(clock_maps, clock_maps, clock_maps)
+    def test_happens_before_transitive(self, a_map, b_map, c_map):
+        a, b, c = VectorClock(a_map), VectorClock(b_map), VectorClock(c_map)
+        b.join(a)   # force a <= b
+        c.join(b)   # force b <= c
+        assert a.happens_before(c)
+
+    @given(clock_maps, st.integers(min_value=1, max_value=8))
+    def test_tick_breaks_reverse_order(self, a_map, tid):
+        a = VectorClock(a_map)
+        later = a.copy()
+        later.tick(tid)
+        assert a.happens_before(later)
+        assert not later.happens_before(a)
+
+    @given(clock_maps, st.integers(min_value=1, max_value=8))
+    def test_ordered_with_own_epoch(self, a_map, tid):
+        clock = VectorClock(a_map)
+        assert clock.ordered_with(tid, clock.get(tid))
+        assert not clock.ordered_with(tid, clock.get(tid) + 1)
+
+
+class TestIntTypeProperties:
+    @given(st.sampled_from([8, 16, 32, 64]), st.integers())
+    def test_wrap_idempotent(self, bits, value):
+        type_ = IntType(bits)
+        assert type_.wrap(type_.wrap(value)) == type_.wrap(value)
+
+    @given(st.sampled_from([8, 16, 32, 64]), st.integers())
+    def test_wrap_in_range(self, bits, value):
+        type_ = IntType(bits)
+        wrapped = type_.wrap(value)
+        assert type_.min_value <= wrapped <= type_.max_value
+
+    @given(st.sampled_from([8, 16, 32, 64]), st.integers())
+    def test_unsigned_wrap_is_mod(self, bits, value):
+        type_ = IntType(bits, signed=False)
+        assert type_.wrap(value) == value % (1 << bits)
+
+    @given(st.sampled_from([8, 16, 32, 64]), st.integers(), st.integers())
+    def test_wrap_congruent_mod_2n(self, bits, a, b):
+        type_ = IntType(bits)
+        assert (type_.wrap(a + b) - type_.wrap(a) - type_.wrap(b)) % (
+            1 << bits) == 0
+
+
+class TestStructLayoutProperties:
+    field_lists = st.lists(
+        st.sampled_from([I8, I64, ArrayType(I8, 4), ArrayType(I64, 2)]),
+        min_size=1, max_size=6,
+    )
+
+    @given(field_lists)
+    def test_offsets_are_disjoint_and_cover(self, field_types):
+        struct = StructType("s", [
+            ("f%d" % i, t) for i, t in enumerate(field_types)
+        ])
+        layout = struct.layout()
+        # contiguous, non-overlapping, covering the struct exactly
+        position = 0
+        for name, offset, size in layout:
+            assert offset == position
+            position += size
+        assert position == struct.size()
+
+    @given(field_lists, st.integers(min_value=0, max_value=100))
+    def test_field_at_offset_consistent(self, field_types, offset):
+        struct = StructType("s", [
+            ("f%d" % i, t) for i, t in enumerate(field_types)
+        ])
+        name = struct.field_at_offset(offset)
+        if offset < struct.size():
+            assert name is not None
+            field_offset = struct.field_offset(name)
+            assert field_offset <= offset < field_offset + struct.field_type(
+                name).size()
+        else:
+            assert name is None
+
+
+class TestMemoryProperties:
+    sizes = st.lists(st.integers(min_value=1, max_value=64), min_size=1,
+                     max_size=12)
+
+    @given(sizes)
+    def test_allocations_disjoint(self, sizes):
+        memory = Memory()
+        blocks = [memory.allocate(size, MemoryBlock.HEAP) for size in sizes]
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1:]:
+                assert a.end <= b.base or b.end <= a.base
+
+    @given(sizes)
+    def test_block_at_finds_every_byte(self, sizes):
+        memory = Memory()
+        blocks = [memory.allocate(size, MemoryBlock.HEAP) for size in sizes]
+        for block in blocks:
+            assert memory.block_at(block.base) is block
+            assert memory.block_at(block.end - 1) is block
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_write_read_roundtrip(self, data):
+        memory = Memory()
+        block = memory.allocate(len(data), MemoryBlock.HEAP)
+        memory.write_bytes(block.base, data)
+        assert memory.read_bytes(block.base, len(data)) == data
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_int_roundtrip_signed(self, value):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.HEAP)
+        memory.write_int(block.base, value, 8)
+        assert memory.read_int(block.base, 8, signed=True) == value
+
+
+class TestSchedulerProperties:
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=1, max_value=6))
+    @settings(max_examples=25)
+    def test_random_scheduler_always_picks_runnable(self, seed, count):
+        from repro.runtime.scheduler import RandomScheduler
+
+        class Thread:
+            def __init__(self, thread_id):
+                self.thread_id = thread_id
+                self.name = "t%d" % thread_id
+
+        threads = [Thread(i) for i in range(count)]
+        scheduler = RandomScheduler(seed)
+        for step in range(50):
+            assert scheduler.choose(threads, step) in threads
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20)
+    def test_interpreter_deterministic_given_seed(self, seed):
+        """Same module + same seed => identical final state."""
+        from tests.helpers import build_counter_race, run_to_completion
+
+        module = build_counter_race(iterations=2)
+        vm_a = run_to_completion(module, seed=seed)
+        vm_b = run_to_completion(module, seed=seed)
+        counter_a = vm_a.memory.read_int(vm_a.global_address("counter"), 8)
+        counter_b = vm_b.memory.read_int(vm_b.global_address("counter"), 8)
+        assert counter_a == counter_b
+        assert vm_a.step == vm_b.step
+
+
+class TestDetectorProperties:
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_no_false_negatives_on_unlocked_counter_eventually(self, base):
+        """Across a handful of seeds the racy pair is always reportable."""
+        from repro.detectors import run_tsan
+        from tests.helpers import build_counter_race
+
+        module = build_counter_race(iterations=3)
+        reports, _ = run_tsan(module, seeds=range(base, base + 4))
+        assert len(reports) >= 1
+
+    @given(st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_no_false_positives_on_locked_counter(self, base):
+        from repro.detectors import run_tsan
+        from tests.helpers import build_counter_race
+
+        module = build_counter_race(iterations=3, with_lock=True)
+        reports, _ = run_tsan(module, seeds=range(base, base + 4))
+        assert len(reports) == 0
