@@ -3,6 +3,11 @@
 Running the OWL pipeline on every evaluated program is the expensive part;
 ``pipeline_results`` computes each program's result once per session and the
 individual table/figure benchmarks read from the cache.
+
+Set ``OWL_JOBS=N`` in the environment to fan the parallel pipeline stages
+out over N worker processes (counters stay identical to the serial run —
+see :mod:`repro.owl.batch`).  Each program's per-stage metrics are written
+to ``benchmarks/out/metrics_<program>.json`` as the pipeline runs.
 """
 
 from __future__ import annotations
@@ -14,13 +19,18 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import pytest
 
+from reporting import OUT_DIR
+
 EVALUATED_PROGRAMS = [
     "apache", "chrome", "libsafe", "linux", "memcached", "mysql", "ssdb",
 ]
 
+JOBS = max(1, int(os.environ.get("OWL_JOBS", "1")))
+
 
 class _PipelineCache:
-    def __init__(self):
+    def __init__(self, jobs: int = JOBS):
+        self.jobs = jobs
         self._specs = {}
         self._results = {}
 
@@ -34,8 +44,11 @@ class _PipelineCache:
     def result(self, name: str):
         if name not in self._results:
             from repro.owl.pipeline import OwlPipeline
+            from repro.runtime.metrics import metrics_path
 
-            self._results[name] = OwlPipeline(self.spec(name)).run()
+            result = OwlPipeline(self.spec(name), jobs=self.jobs).run()
+            result.metrics.save(metrics_path(OUT_DIR, name))
+            self._results[name] = result
         return self._results[name]
 
 

@@ -210,8 +210,7 @@ def all_specs() -> List[ProgramSpec]:
 _FACTORIES: Dict[str, Callable[[], ProgramSpec]] = {}
 
 
-def spec_by_name(name: str) -> ProgramSpec:
-    """Look up any spec — combined or focused — by its name."""
+def _ensure_factories() -> Dict[str, Callable[[], ProgramSpec]]:
     if not _FACTORIES:
         from repro.apps.apache_balancer import apache_balancer_spec
         from repro.apps.apache_log import apache_log_spec
@@ -238,7 +237,21 @@ def spec_by_name(name: str) -> ProgramSpec:
             "mysql": mysql_spec,
             "ssdb": ssdb_spec,
         })
+    return _FACTORIES
+
+
+def spec_by_name(name: str) -> ProgramSpec:
+    """Look up any spec — combined or focused — by its name."""
     try:
-        return _FACTORIES[name]()
+        return _ensure_factories()[name]()
     except KeyError:
         raise KeyError("unknown program spec %r" % name) from None
+
+
+def has_spec(name: str) -> bool:
+    """Whether ``name`` resolves here — i.e. worker processes can rebuild it."""
+    return name in _ensure_factories()
+
+
+def known_spec_names() -> List[str]:
+    return sorted(_ensure_factories())

@@ -37,7 +37,7 @@ def _cmd_detect(args) -> int:
     from repro.owl.hints import format_full_report
 
     spec = spec_by_name(args.program)
-    pipeline = OwlPipeline(spec)
+    pipeline = OwlPipeline(spec, jobs=args.jobs)
     result = pipeline.run()
     counters = result.counters
     print("== OWL pipeline: %s ==" % spec.name)
@@ -58,6 +58,11 @@ def _cmd_detect(args) -> int:
     for attack in realized:
         label = attack.ground_truth.attack_id if attack.ground_truth else "unknown"
         print("  %s: %s" % (label, attack.verification.describe()))
+    if args.metrics:
+        result.metrics.save(args.metrics)
+        print("metrics written to %s" % args.metrics)
+    print()
+    print(result.metrics.describe())
     return 0
 
 
@@ -90,12 +95,15 @@ def _cmd_export(args) -> int:
     from repro.owl.export import save_result
 
     spec = spec_by_name(args.program)
-    result = OwlPipeline(spec).run()
+    result = OwlPipeline(spec, jobs=args.jobs).run()
     save_result(result, args.path)
     print("wrote %s (%d vulnerability reports, %d realized attacks)" % (
         args.path, result.counters.vulnerability_reports,
         len(result.realized_attacks()),
     ))
+    if args.metrics:
+        result.metrics.save(args.metrics)
+        print("metrics written to %s" % args.metrics)
     return 0
 
 
@@ -130,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_list)
     detect = sub.add_parser("detect", help="run the OWL pipeline on a target")
     detect.add_argument("program")
+    detect.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the parallel stages "
+                             "(default: 1, serial)")
+    detect.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write per-stage metrics JSON to PATH")
     detect.set_defaults(func=_cmd_detect)
     exploit = sub.add_parser("exploit", help="run one exploit script")
     exploit.add_argument("attack_id")
@@ -141,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser("export", help="run the pipeline, save JSON")
     export.add_argument("program")
     export.add_argument("path")
+    export.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the parallel stages "
+                             "(default: 1, serial)")
+    export.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write per-stage metrics JSON to PATH")
     export.set_defaults(func=_cmd_export)
     sub.add_parser("study", help="print the study findings").set_defaults(
         func=_cmd_study)

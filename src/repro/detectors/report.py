@@ -28,6 +28,7 @@ class AccessRecord:
         call_stack: CallStack,
         address: int,
         step: int = 0,
+        size: int = 1,
     ):
         self.instruction = instruction
         self.thread_id = thread_id
@@ -36,6 +37,12 @@ class AccessRecord:
         self.call_stack = call_stack
         self.address = address
         self.step = step
+        self.size = size
+
+    @property
+    def byte_range(self) -> Tuple[int, int]:
+        """Half-open [start, end) span of bytes this access touched."""
+        return (self.address, self.address + max(1, self.size))
 
     @property
     def location(self):
@@ -143,6 +150,10 @@ class ReportSet:
             return False
         self._by_key[key] = report
         return True
+
+    def get(self, static_key: Tuple[int, int]) -> Optional[RaceReport]:
+        """O(1) lookup of the canonical report for a static pair."""
+        return self._by_key.get(static_key)
 
     def merge(self, other: "ReportSet") -> None:
         for report in other:

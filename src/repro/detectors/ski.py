@@ -23,7 +23,8 @@ paper's CONFIG_FRAME_POINTER workaround).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.detectors.annotations import AnnotationSet
 from repro.detectors.report import ReportSet
@@ -39,6 +40,26 @@ class SkiDetector(TSanDetector):
     name = "ski"
 
 
+def run_ski_seed(
+    module: Module,
+    seed: int,
+    entry: str = "main",
+    inputs: Optional[Dict] = None,
+    annotations: Optional[AnnotationSet] = None,
+    max_steps: int = 200_000,
+    depth: int = 3,
+) -> Tuple[ReportSet, ExecutionResult, SkiDetector]:
+    """One kernel execution under one PCT schedule, into a fresh report set."""
+    scheduler = PCTScheduler(seed=seed, depth=depth)
+    vm = VM(module, scheduler=scheduler, inputs=inputs, max_steps=max_steps,
+            seed=seed)
+    detector = SkiDetector(annotations=annotations, reports=ReportSet())
+    vm.add_observer(detector)
+    vm.start(entry)
+    result = vm.run()
+    return detector.reports, result, detector
+
+
 def run_ski(
     module: Module,
     entry: str = "main",
@@ -47,21 +68,43 @@ def run_ski(
     annotations: Optional[AnnotationSet] = None,
     max_steps: int = 200_000,
     depth: int = 3,
+    jobs: int = 1,
+    module_source: Optional[Callable[[], Module]] = None,
+    stats_out: Optional[List] = None,
 ) -> Tuple[ReportSet, List[ExecutionResult]]:
     """Systematically explore schedules of a kernel program.
 
     Each seed yields one PCT schedule (random priorities with ``depth - 1``
     change points), SKI's published exploration strategy class.  Reports are
     merged across seeds with static deduplication.
+
+    ``jobs``/``module_source``/``stats_out`` behave exactly as in
+    :func:`repro.detectors.tsan.run_tsan`.
     """
+    if jobs and jobs > 1 and module_source is not None:
+        from repro.owl.batch import run_seeds_parallel
+
+        return run_seeds_parallel(
+            "ski", module, module_source, entry=entry, inputs=inputs,
+            seeds=seeds, annotations=annotations, max_steps=max_steps,
+            depth=depth, jobs=jobs, stats_out=stats_out,
+        )
     reports = ReportSet()
     results: List[ExecutionResult] = []
     for seed in seeds:
-        scheduler = PCTScheduler(seed=seed, depth=depth)
-        vm = VM(module, scheduler=scheduler, inputs=inputs, max_steps=max_steps,
-                seed=seed)
-        detector = SkiDetector(annotations=annotations, reports=reports)
-        vm.add_observer(detector)
-        vm.start(entry)
-        results.append(vm.run())
+        started = time.perf_counter()
+        seed_reports, result, detector = run_ski_seed(
+            module, seed, entry=entry, inputs=inputs, annotations=annotations,
+            max_steps=max_steps, depth=depth,
+        )
+        reports.merge(seed_reports)
+        results.append(result)
+        if stats_out is not None:
+            from repro.runtime.metrics import RunStats
+
+            stats_out.append(RunStats(
+                seed=seed, reason=result.reason, steps=result.steps,
+                accesses=detector.access_count, reports=len(seed_reports),
+                wall_seconds=time.perf_counter() - started,
+            ))
     return reports, results

@@ -19,7 +19,8 @@ acquire, and the annotated pair itself is not reported.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.detectors.annotations import AnnotationSet
 from repro.detectors.report import AccessRecord, RaceReport, ReportSet
@@ -64,9 +65,21 @@ class TSanDetector(TraceObserver):
         self._sync_clocks: Dict[int, VectorClock] = {}
         self._final_clocks: Dict[int, VectorClock] = {}
         self._shadow: Dict[int, _ByteShadow] = {}
-        #: watched corrupted addresses -> reports collecting read stacks
-        self._watches: Dict[int, List[RaceReport]] = {}
+        #: watched corrupted byte spans [lo, hi) -> reports collecting stacks
+        self._watches: Dict[Tuple[int, int], List[RaceReport]] = {}
+        #: unordered annotated (read, write) instruction-uid pairs, computed
+        #: once so the per-byte race check is a set probe rather than a scan
+        #: over every annotation
+        self._annotated_pairs: Set[Tuple[int, int]] = {
+            self._pair_key(annotation.read_instruction.uid or 0,
+                           annotation.write_instruction.uid or 0)
+            for annotation in self.annotations
+        }
         self.access_count = 0
+
+    @staticmethod
+    def _pair_key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
 
     # ------------------------------------------------------------------
     # clock helpers
@@ -124,7 +137,7 @@ class TSanDetector(TraceObserver):
         clock = self._clock_of(event.thread_id)
         record = AccessRecord(
             event.instruction, event.thread_id, event.is_write, event.value,
-            event.call_stack, event.address, step=event.step,
+            event.call_stack, event.address, step=event.step, size=event.size,
         )
         own_clock = clock.get(event.thread_id)
         # Service watches before race checking: a racy write that *creates* a
@@ -145,12 +158,10 @@ class TSanDetector(TraceObserver):
 
     def _annotated_pair(self, a: AccessRecord, b: AccessRecord) -> bool:
         """Whether both sides belong to the same annotated adhoc sync."""
-        instructions = {a.instruction, b.instruction}
-        for annotation in self.annotations:
-            if instructions == {annotation.read_instruction,
-                                annotation.write_instruction}:
-                return True
-        return False
+        if not self._annotated_pairs:
+            return False
+        return self._pair_key(a.instruction.uid or 0,
+                              b.instruction.uid or 0) in self._annotated_pairs
 
     def _check_byte(self, address: int, record: AccessRecord, clock: VectorClock,
                     own_clock: int, variable: Optional[str]) -> None:
@@ -187,31 +198,72 @@ class TSanDetector(TraceObserver):
             self._watch(report)
         else:
             # Already known statically: still feed the watch list.
-            for known in self.reports:
-                if known.static_key == report.static_key:
-                    self._watch(known)
-                    break
+            known = self.reports.get(report.static_key)
+            if known is not None:
+                self._watch(known)
 
     # ------------------------------------------------------------------
     # corrupted-address watch list (paper section 6.3)
 
     def _watch(self, report: RaceReport) -> None:
-        self._watches.setdefault(report.address, [])
-        if report not in self._watches[report.address]:
-            self._watches[report.address].append(report)
+        first_lo, first_hi = report.first.byte_range
+        second_lo, second_hi = report.second.byte_range
+        span = (min(first_lo, second_lo), max(first_hi, second_hi))
+        watchers = self._watches.setdefault(span, [])
+        if report not in watchers:
+            watchers.append(report)
 
     def _service_watches(self, event: AccessEvent, record: AccessRecord) -> None:
-        watchers = self._watches.get(event.address)
-        if not watchers:
+        if not self._watches:
+            return
+        lo = event.address
+        hi = event.address + max(1, event.size)
+        # Match on byte overlap, not base-address equality: a wide read (or
+        # sanitizing write) that covers the watched span at a different base
+        # address still touches the corrupted bytes.
+        touched = [span for span in self._watches if span[0] < hi and lo < span[1]]
+        if not touched:
             return
         if event.is_write:
             # A write sanitizes the corrupted value; stop watching.
-            self._watches.pop(event.address, None)
+            for span in touched:
+                del self._watches[span]
             return
-        for report in watchers:
-            if record.instruction is not report.first.instruction and \
-                    record.instruction is not report.second.instruction:
-                report.subsequent_reads.append(record)
+        for span in touched:
+            for report in self._watches[span]:
+                if record.instruction is not report.first.instruction and \
+                        record.instruction is not report.second.instruction:
+                    report.subsequent_reads.append(record)
+
+
+def run_tsan_seed(
+    module: Module,
+    seed: int,
+    entry: str = "main",
+    inputs: Optional[Dict] = None,
+    annotations: Optional[AnnotationSet] = None,
+    max_steps: int = 200_000,
+    scheduler_factory=None,
+    entry_args: Sequence[int] = (),
+) -> Tuple[ReportSet, ExecutionResult, TSanDetector]:
+    """One program execution under one schedule, into a fresh report set.
+
+    The unit of work for both the serial driver and the parallel batch
+    engine: per-seed report sets merged in seed order are bit-identical to
+    one report set shared across all seeds (dedup keeps the first static
+    occurrence and appends later watch data either way).
+    """
+    scheduler: Scheduler = (
+        scheduler_factory(seed) if scheduler_factory is not None
+        else RandomScheduler(seed)
+    )
+    vm = VM(module, scheduler=scheduler, inputs=inputs, max_steps=max_steps,
+            seed=seed)
+    detector = TSanDetector(annotations=annotations, reports=ReportSet())
+    vm.add_observer(detector)
+    vm.start(entry, entry_args)
+    result = vm.run()
+    return detector.reports, result, detector
 
 
 def run_tsan(
@@ -223,24 +275,47 @@ def run_tsan(
     max_steps: int = 200_000,
     scheduler_factory=None,
     entry_args: Sequence[int] = (),
+    jobs: int = 1,
+    module_source: Optional[Callable[[], Module]] = None,
+    stats_out: Optional[List] = None,
 ) -> Tuple[ReportSet, List[ExecutionResult]]:
     """Run the detector over several schedules and merge the reports.
 
     Each seed is one program execution under a random schedule — the
     equivalent of repeatedly running a TSan-instrumented binary on the same
     testing workload.
+
+    With ``jobs > 1`` and a picklable zero-argument ``module_source`` (a
+    module-level factory function), seeds fan out across a process pool via
+    :mod:`repro.owl.batch`; the merge stays in seed order, so the result is
+    identical to the serial run.  ``stats_out``, when given a list, receives
+    one :class:`repro.runtime.metrics.RunStats` per seed.
     """
+    if jobs and jobs > 1 and module_source is not None:
+        from repro.owl.batch import run_seeds_parallel
+
+        return run_seeds_parallel(
+            "tsan", module, module_source, entry=entry, inputs=inputs,
+            seeds=seeds, annotations=annotations, max_steps=max_steps,
+            entry_args=entry_args, jobs=jobs, stats_out=stats_out,
+        )
     reports = ReportSet()
     results: List[ExecutionResult] = []
     for seed in seeds:
-        scheduler: Scheduler = (
-            scheduler_factory(seed) if scheduler_factory is not None
-            else RandomScheduler(seed)
+        started = time.perf_counter()
+        seed_reports, result, detector = run_tsan_seed(
+            module, seed, entry=entry, inputs=inputs, annotations=annotations,
+            max_steps=max_steps, scheduler_factory=scheduler_factory,
+            entry_args=entry_args,
         )
-        vm = VM(module, scheduler=scheduler, inputs=inputs, max_steps=max_steps,
-                seed=seed)
-        detector = TSanDetector(annotations=annotations, reports=reports)
-        vm.add_observer(detector)
-        vm.start(entry, entry_args)
-        results.append(vm.run())
+        reports.merge(seed_reports)
+        results.append(result)
+        if stats_out is not None:
+            from repro.runtime.metrics import RunStats
+
+            stats_out.append(RunStats(
+                seed=seed, reason=result.reason, steps=result.steps,
+                accesses=detector.access_count, reports=len(seed_reports),
+                wall_seconds=time.perf_counter() - started,
+            ))
     return reports, results

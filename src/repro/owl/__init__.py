@@ -35,6 +35,15 @@ from repro.owl.vuln_verifier import DynamicVulnerabilityVerifier, VulnVerificati
 from repro.owl.hints import format_call_stack, format_vulnerability_report
 from repro.owl.pipeline import OwlPipeline, PipelineResult, StageCounters
 from repro.owl.audit import AuditingObserver, AuditScope
+from repro.owl.batch import (
+    can_parallelize,
+    make_executor,
+    run_detector_batch,
+    run_detectors_batch,
+    run_seeds_parallel,
+    verify_races_batch,
+    verify_vulns_batch,
+)
 
 __all__ = [
     "VulnSiteType",
@@ -57,4 +66,11 @@ __all__ = [
     "StageCounters",
     "AuditingObserver",
     "AuditScope",
+    "can_parallelize",
+    "make_executor",
+    "run_detector_batch",
+    "run_detectors_batch",
+    "run_seeds_parallel",
+    "verify_races_batch",
+    "verify_vulns_batch",
 ]

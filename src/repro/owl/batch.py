@@ -1,0 +1,577 @@
+"""Parallel batch execution for the OWL pipeline.
+
+The paper's deployment story (Table 1: 28,209 reports; Table 3: 31,870 raw
+detector reports) makes detector throughput the limiting factor, and every
+stage of Figure 3 is embarrassingly parallel at some granularity:
+
+- **detection** — each ``(program × seed)`` detector run is an independent
+  VM execution,
+- **race verification** — each report is re-executed on its own,
+- **vulnerability verification** — each vulnerable-input hint likewise.
+
+This module fans those units out over a ``concurrent.futures`` process pool
+and merges results *deterministically*, so pipeline counters are
+bit-identical to the serial run: per-seed report sets are merged in seed
+order (static dedup keeps the first occurrence and appends later watch data,
+exactly like a shared report set would), and per-item verification outcomes
+are reassembled by index.
+
+Worker processes cannot receive VMs, modules or IR instructions (they are
+not picklable, and identity matters to the debugger's breakpoints), so the
+boundary works in *payloads*: plain tuples/dicts keyed by instruction uid.
+Module builds are deterministic — the same factory assigns the same uids —
+so a worker rebuilds the module from the spec registry (or a module-level
+factory function) and rehydrates reports against its own copy; the parent
+rehydrates results against the original module.  Each worker process caches
+the built spec/module, amortizing the rebuild across all its tasks.
+
+Parallel execution therefore requires the :class:`ProgramSpec` to be
+resolvable by name through :mod:`repro.apps.registry` (or an explicit
+picklable ``module_source``); anything else silently falls back to the
+serial path with identical results.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.detectors.annotations import AdhocSyncAnnotation, AnnotationSet
+from repro.detectors.report import AccessRecord, RaceReport, ReportSet
+from repro.ir.module import Module
+from repro.owl.race_verifier import (
+    DynamicRaceVerifier,
+    RaceVerification,
+    SecurityHints,
+)
+from repro.owl.vuln_verifier import DynamicVulnerabilityVerifier, VulnVerification
+from repro.runtime.errors import FaultKind
+from repro.runtime.metrics import RunStats
+from repro.spec import AttackGroundTruth, ProgramSpec
+
+# ---------------------------------------------------------------------------
+# payload (de)hydration — instruction identity travels as the module uid
+
+
+def access_to_payload(record: AccessRecord) -> Tuple:
+    return (
+        record.instruction.uid or 0, record.thread_id, record.is_write,
+        record.value, tuple(record.call_stack), record.address, record.step,
+        record.size,
+    )
+
+
+def access_from_payload(module: Module, payload: Tuple) -> AccessRecord:
+    uid, thread_id, is_write, value, call_stack, address, step, size = payload
+    return AccessRecord(
+        module.instruction_by_uid(uid), thread_id, is_write, value,
+        tuple(call_stack), address, step=step, size=size,
+    )
+
+
+def report_to_payload(report: RaceReport) -> Dict:
+    return {
+        "first": access_to_payload(report.first),
+        "second": access_to_payload(report.second),
+        "variable": report.variable,
+        "detector": report.detector,
+        "subsequent": [access_to_payload(a) for a in report.subsequent_reads],
+    }
+
+
+def report_from_payload(module: Module, payload: Dict) -> RaceReport:
+    report = RaceReport(
+        access_from_payload(module, payload["first"]),
+        access_from_payload(module, payload["second"]),
+        variable=payload["variable"],
+        detector=payload["detector"],
+    )
+    report.subsequent_reads.extend(
+        access_from_payload(module, a) for a in payload["subsequent"]
+    )
+    return report
+
+
+def reports_to_payloads(reports: Iterable[RaceReport]) -> List[Dict]:
+    return [report_to_payload(report) for report in reports]
+
+
+def reports_from_payloads(module: Module, payloads: List[Dict]) -> ReportSet:
+    reports = ReportSet()
+    for payload in payloads:
+        reports.add(report_from_payload(module, payload))
+    return reports
+
+
+def annotations_to_payload(annotations: Optional[AnnotationSet]) -> Optional[List]:
+    if annotations is None:
+        return None
+    return [
+        (a.read_instruction.uid or 0, a.write_instruction.uid or 0, a.variable)
+        for a in annotations
+    ]
+
+
+def annotations_from_payload(module: Module,
+                             payload: Optional[List]) -> Optional[AnnotationSet]:
+    if payload is None:
+        return None
+    return AnnotationSet(
+        AdhocSyncAnnotation(
+            module.instruction_by_uid(read_uid),
+            module.instruction_by_uid(write_uid),
+            variable,
+        )
+        for read_uid, write_uid, variable in payload
+    )
+
+
+def vuln_to_payload(vulnerability) -> Dict:
+    return {
+        "site": vulnerability.site.uid or 0,
+        "site_type": vulnerability.site_type.value,
+        "kind": vulnerability.kind.value,
+        "branches": [branch.uid or 0 for branch in vulnerability.branches],
+        "start": vulnerability.start.uid or 0,
+        "call_stack": tuple(vulnerability.call_stack),
+        "source": (
+            report_to_payload(vulnerability.source)
+            if vulnerability.source is not None else None
+        ),
+    }
+
+
+def vuln_from_payload(module: Module, payload: Dict):
+    from repro.owl.vuln_analysis import DependenceKind, VulnerabilityReport
+    from repro.owl.vuln_sites import VulnSiteType
+
+    return VulnerabilityReport(
+        site=module.instruction_by_uid(payload["site"]),
+        site_type=VulnSiteType(payload["site_type"]),
+        kind=DependenceKind(payload["kind"]),
+        branches=[module.instruction_by_uid(uid) for uid in payload["branches"]],
+        start=module.instruction_by_uid(payload["start"]),
+        call_stack=tuple(payload["call_stack"]),
+        source=(
+            report_from_payload(module, payload["source"])
+            if payload["source"] is not None else None
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# per-worker caches: specs and modules rebuilt once per process, not per task
+
+_SPEC_CACHE: Dict[str, ProgramSpec] = {}
+_MODULE_CACHE: Dict[object, Module] = {}
+
+
+def _cached_spec(name: str) -> ProgramSpec:
+    spec = _SPEC_CACHE.get(name)
+    if spec is None:
+        from repro.apps.registry import spec_by_name
+
+        spec = spec_by_name(name)
+        _SPEC_CACHE[name] = spec
+    return spec
+
+
+def _resolve_module(source) -> Module:
+    """A module from a registry spec name or a picklable factory function."""
+    module = _MODULE_CACHE.get(source)
+    if module is None:
+        if isinstance(source, str):
+            module = _cached_spec(source).build()
+        else:
+            module = source()
+        _MODULE_CACHE[source] = module
+    return module
+
+
+def can_parallelize(spec: ProgramSpec) -> bool:
+    """Whether worker processes can rebuild this spec from its name."""
+    from repro.apps.registry import has_spec
+
+    return has_spec(spec.name)
+
+
+@contextmanager
+def _pool(jobs: int, executor: Optional[ProcessPoolExecutor]):
+    """Use the caller's executor, or run a private one for this call."""
+    if executor is not None:
+        yield executor
+        return
+    own = ProcessPoolExecutor(max_workers=max(1, jobs))
+    try:
+        yield own
+    finally:
+        own.shutdown()
+
+
+def make_executor(jobs: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=max(1, jobs))
+
+
+# ---------------------------------------------------------------------------
+# stage 1/2: detector fan-out across seeds (and programs)
+
+
+def _detect_worker(payload: Dict) -> Dict:
+    """Run one detector seed; return reports and stats as payloads."""
+    from repro.detectors.ski import run_ski_seed
+    from repro.detectors.tsan import run_tsan_seed
+
+    module = _resolve_module(payload["source"])
+    annotations = annotations_from_payload(module, payload["annotations"])
+    started = time.perf_counter()
+    if payload["kind"] == "ski":
+        reports, result, detector = run_ski_seed(
+            module, payload["seed"], entry=payload["entry"],
+            inputs=payload["inputs"], annotations=annotations,
+            max_steps=payload["max_steps"], depth=payload["depth"],
+        )
+    else:
+        reports, result, detector = run_tsan_seed(
+            module, payload["seed"], entry=payload["entry"],
+            inputs=payload["inputs"], annotations=annotations,
+            max_steps=payload["max_steps"], entry_args=payload["entry_args"],
+        )
+    return {
+        "seed": payload["seed"],
+        "reports": reports_to_payloads(reports),
+        "stats": (payload["seed"], result.reason, result.steps,
+                  detector.access_count, len(reports),
+                  time.perf_counter() - started),
+    }
+
+
+def _detect_payload(kind: str, source, seed: int, entry: str, inputs,
+                    annotations_payload, max_steps: int, depth: int,
+                    entry_args: Sequence[int]) -> Dict:
+    return {
+        "kind": kind,
+        "source": source,
+        "seed": seed,
+        "entry": entry,
+        "inputs": inputs,
+        "annotations": annotations_payload,
+        "max_steps": max_steps,
+        "depth": depth,
+        "entry_args": tuple(entry_args),
+    }
+
+
+def run_seeds_parallel(
+    kind: str,
+    module: Module,
+    module_source,
+    entry: str = "main",
+    inputs: Optional[Dict] = None,
+    seeds: Sequence[int] = range(10),
+    annotations: Optional[AnnotationSet] = None,
+    max_steps: int = 200_000,
+    entry_args: Sequence[int] = (),
+    depth: int = 3,
+    jobs: int = 2,
+    stats_out: Optional[List] = None,
+    executor: Optional[ProcessPoolExecutor] = None,
+) -> Tuple[ReportSet, List[RunStats]]:
+    """Fan one program's seeds out over worker processes.
+
+    ``module_source`` is either a registry spec name (str) or a picklable
+    zero-argument module factory; ``module`` is the parent's copy, against
+    which the merged reports are rehydrated.  The merge happens in seed
+    order regardless of completion order, so the returned
+    :class:`ReportSet` is identical to the serial run's.
+    """
+    seeds = list(seeds)
+    annotations_payload = annotations_to_payload(annotations)
+    outputs: Dict[int, Dict] = {}
+    with _pool(jobs, executor) as pool:
+        futures = [
+            pool.submit(_detect_worker, _detect_payload(
+                kind, module_source, seed, entry, inputs,
+                annotations_payload, max_steps, depth, entry_args,
+            ))
+            for seed in seeds
+        ]
+        for future in as_completed(futures):
+            output = future.result()
+            outputs[output["seed"]] = output
+    merged = ReportSet()
+    stats: List[RunStats] = []
+    for seed in seeds:  # deterministic, completion-order independent
+        output = outputs[seed]
+        merged.merge(reports_from_payloads(module, output["reports"]))
+        stats.append(RunStats(*output["stats"]))
+    if stats_out is not None:
+        stats_out.extend(stats)
+    return merged, stats
+
+
+def run_detector_batch(
+    spec: ProgramSpec,
+    annotations: Optional[AnnotationSet] = None,
+    jobs: int = 1,
+    executor: Optional[ProcessPoolExecutor] = None,
+    stats_out: Optional[List] = None,
+) -> Tuple[ReportSet, List[RunStats]]:
+    """The spec's front-end detector over its seeds, parallel when possible."""
+    if (jobs <= 1 and executor is None) or not can_parallelize(spec):
+        from repro.owl.integration import run_detector
+
+        stats: List[RunStats] = []
+        reports, _ = run_detector(spec, annotations=annotations,
+                                  stats_out=stats)
+        if stats_out is not None:
+            stats_out.extend(stats)
+        return reports, stats
+    return run_seeds_parallel(
+        spec.detector, spec.build(), spec.name, entry=spec.entry,
+        inputs=spec.workload_inputs, seeds=spec.detect_seeds,
+        annotations=annotations, max_steps=spec.max_steps, jobs=jobs,
+        stats_out=stats_out, executor=executor,
+    )
+
+
+def run_detectors_batch(
+    specs: Sequence[ProgramSpec],
+    jobs: int = 2,
+    executor: Optional[ProcessPoolExecutor] = None,
+) -> Dict[str, Tuple[ReportSet, List[RunStats]]]:
+    """Fan *all* ``(program × seed)`` detector runs out over one pool.
+
+    Seeds of every program interleave freely across workers; each program's
+    reports are still merged in its own seed order.  Programs that cannot be
+    rebuilt in a worker run serially, after the parallel ones complete.
+    """
+    parallel = [spec for spec in specs if can_parallelize(spec)]
+    serial = [spec for spec in specs if not can_parallelize(spec)]
+    outputs: Dict[str, Dict[int, Dict]] = {spec.name: {} for spec in parallel}
+    with _pool(jobs, executor) as pool:
+        futures = {}
+        for spec in parallel:
+            for seed in spec.detect_seeds:
+                future = pool.submit(_detect_worker, _detect_payload(
+                    spec.detector, spec.name, seed, spec.entry,
+                    spec.workload_inputs, None, spec.max_steps, 3, (),
+                ))
+                futures[future] = spec.name
+        for future in as_completed(futures):
+            output = future.result()
+            outputs[futures[future]][output["seed"]] = output
+    results: Dict[str, Tuple[ReportSet, List[RunStats]]] = {}
+    for spec in parallel:
+        merged = ReportSet()
+        stats: List[RunStats] = []
+        for seed in spec.detect_seeds:
+            output = outputs[spec.name][seed]
+            merged.merge(reports_from_payloads(spec.build(), output["reports"]))
+            stats.append(RunStats(*output["stats"]))
+        results[spec.name] = (merged, stats)
+    for spec in serial:
+        results[spec.name] = run_detector_batch(spec, jobs=1)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# stage 3: per-report race verification
+
+
+def _race_verify_worker(payload: Dict) -> Dict:
+    spec = _cached_spec(payload["spec"])
+    module = spec.build()
+    report = report_from_payload(module, payload["report"])
+    inputs = payload["inputs"]
+    max_steps = payload["max_steps"]
+    verifier = DynamicRaceVerifier(
+        module, entry=payload["entry"], inputs=inputs,
+        seeds=payload["seeds"], max_steps=max_steps,
+        vm_factory=lambda seed: spec.make_vm(
+            seed, inputs=inputs, max_steps=max_steps,
+        ),
+    )
+    verification = verifier.verify(report)
+    hints = verification.hints
+    return {
+        "index": payload["index"],
+        "verified": verification.verified,
+        "runs_used": verification.runs_used,
+        "livelocks_resolved": verification.livelocks_resolved,
+        "hints": None if hints is None else {
+            "variable": hints.variable,
+            "value_type": hints.value_type,
+            "read_value": hints.read_value,
+            "write_value": hints.write_value,
+            "null_write": hints.null_write,
+            "address": hints.address,
+        },
+    }
+
+
+def verify_races_batch(
+    spec: ProgramSpec,
+    reports: Sequence[RaceReport],
+    jobs: int = 1,
+    executor: Optional[ProcessPoolExecutor] = None,
+) -> List[RaceVerification]:
+    """Verify each report in its own worker; results keep report order."""
+    reports = list(reports)
+    if not reports:
+        return []
+    if (jobs <= 1 and executor is None) or not can_parallelize(spec):
+        verifier = DynamicRaceVerifier(
+            spec.build(), entry=spec.entry, inputs=spec.workload_inputs,
+            seeds=spec.verify_seeds, max_steps=spec.max_steps,
+            vm_factory=lambda seed: spec.make_vm(seed),
+        )
+        return verifier.verify_all(reports)
+    payloads = [
+        {
+            "spec": spec.name,
+            "entry": spec.entry,
+            "inputs": spec.workload_inputs,
+            "seeds": list(spec.verify_seeds),
+            "max_steps": spec.max_steps,
+            "index": index,
+            "report": report_to_payload(report),
+        }
+        for index, report in enumerate(reports)
+    ]
+    outcomes: List[Optional[RaceVerification]] = [None] * len(reports)
+    with _pool(jobs, executor) as pool:
+        futures = [pool.submit(_race_verify_worker, p) for p in payloads]
+        for future in as_completed(futures):
+            output = future.result()
+            report = reports[output["index"]]
+            hints = (
+                SecurityHints(**output["hints"])
+                if output["hints"] is not None else None
+            )
+            if output["verified"]:
+                report.tags[DynamicRaceVerifier.TAG] = hints
+            outcomes[output["index"]] = RaceVerification(
+                report, output["verified"], hints, output["runs_used"],
+                output["livelocks_resolved"],
+            )
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+# ---------------------------------------------------------------------------
+# stage 5: per-vulnerability verification
+
+
+def _vuln_verify_worker(payload: Dict) -> Dict:
+    spec = _cached_spec(payload["spec"])
+    module = spec.build()
+    vulnerability = vuln_from_payload(module, payload["vuln"])
+    ground_truth = spec.attack_for_site(vulnerability.site.location)
+    inputs = (
+        ground_truth.subtle_inputs if ground_truth is not None
+        else payload["inputs"]
+    )
+    verifier = DynamicVulnerabilityVerifier(
+        module, entry=payload["entry"], inputs=inputs,
+        seeds=payload["seeds"], max_steps=payload["max_steps"],
+        vm_factory=lambda seed, _inputs=inputs: spec.make_vm(
+            seed, inputs=_inputs,
+        ),
+        attack_predicate=(
+            ground_truth.predicate if ground_truth is not None else None
+        ),
+        racing_order=(
+            (ground_truth.racing_order, "") if ground_truth is not None
+            else None
+        ),
+    )
+    verification = verifier.verify(vulnerability)
+    return {
+        "index": payload["index"],
+        "site_reached": verification.site_reached,
+        "attack_realized": verification.attack_realized,
+        "diverged": [branch.uid or 0 for branch in verification.diverged_branches],
+        "faults": [kind.value for kind in verification.fault_kinds],
+        "runs_used": verification.runs_used,
+    }
+
+
+def verify_vulns_batch(
+    spec: ProgramSpec,
+    vulnerabilities: Sequence,
+    jobs: int = 1,
+    executor: Optional[ProcessPoolExecutor] = None,
+) -> List[Tuple[VulnVerification, Optional[AttackGroundTruth]]]:
+    """Verify each vulnerability in its own worker; results keep input order.
+
+    Ground truth is matched *inside* the worker (by site location against
+    the registry spec's attacks — deterministic), so subtle inputs, racing
+    order and attack predicates never cross the process boundary; the
+    parent re-matches against its own spec for the returned pairing.
+    """
+    vulnerabilities = list(vulnerabilities)
+    if not vulnerabilities:
+        return []
+    if (jobs <= 1 and executor is None) or not can_parallelize(spec):
+        return [
+            _verify_vuln_serial(spec, vulnerability)
+            for vulnerability in vulnerabilities
+        ]
+    module = spec.build()
+    payloads = [
+        {
+            "spec": spec.name,
+            "entry": spec.entry,
+            "inputs": spec.workload_inputs,
+            "seeds": list(spec.verify_seeds),
+            "max_steps": spec.max_steps,
+            "index": index,
+            "vuln": vuln_to_payload(vulnerability),
+        }
+        for index, vulnerability in enumerate(vulnerabilities)
+    ]
+    outcomes: List[Optional[Tuple[VulnVerification, Optional[AttackGroundTruth]]]]
+    outcomes = [None] * len(vulnerabilities)
+    with _pool(jobs, executor) as pool:
+        futures = [pool.submit(_vuln_verify_worker, p) for p in payloads]
+        for future in as_completed(futures):
+            output = future.result()
+            vulnerability = vulnerabilities[output["index"]]
+            ground_truth = spec.attack_for_site(vulnerability.site.location)
+            verification = VulnVerification(
+                vulnerability,
+                output["site_reached"],
+                output["attack_realized"],
+                [module.instruction_by_uid(uid) for uid in output["diverged"]],
+                [FaultKind(value) for value in output["faults"]],
+                output["runs_used"],
+            )
+            outcomes[output["index"]] = (verification, ground_truth)
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _verify_vuln_serial(
+    spec: ProgramSpec, vulnerability,
+) -> Tuple[VulnVerification, Optional[AttackGroundTruth]]:
+    """One vulnerability through the serial path (mirrors the worker)."""
+    ground_truth = spec.attack_for_site(vulnerability.site.location)
+    inputs = (
+        ground_truth.subtle_inputs if ground_truth is not None
+        else spec.workload_inputs
+    )
+    verifier = DynamicVulnerabilityVerifier(
+        spec.build(), entry=spec.entry, inputs=inputs,
+        seeds=spec.verify_seeds, max_steps=spec.max_steps,
+        vm_factory=lambda seed, _inputs=inputs: spec.make_vm(
+            seed, inputs=_inputs,
+        ),
+        attack_predicate=(
+            ground_truth.predicate if ground_truth is not None else None
+        ),
+        racing_order=(
+            (ground_truth.racing_order, "") if ground_truth is not None
+            else None
+        ),
+    )
+    return verifier.verify(vulnerability), ground_truth

@@ -27,18 +27,37 @@ from repro.spec import ProgramSpec
 def run_detector(
     spec: ProgramSpec,
     annotations: Optional[AnnotationSet] = None,
-) -> Tuple[ReportSet, List[ExecutionResult]]:
-    """Run the spec's front-end detector over its configured schedules."""
+    jobs: int = 1,
+    executor=None,
+    stats_out: Optional[List] = None,
+) -> Tuple[ReportSet, List]:
+    """Run the spec's front-end detector over its configured schedules.
+
+    With ``jobs > 1`` (or an explicit process-pool ``executor``) the seeds
+    fan out via :mod:`repro.owl.batch`; reports are merged in seed order so
+    the result is identical to the serial run.  In the parallel case the
+    second element of the returned tuple holds per-seed
+    :class:`repro.runtime.metrics.RunStats` instead of
+    :class:`ExecutionResult` objects (which cannot cross process
+    boundaries); ``stats_out`` receives the stats in both modes.
+    """
+    if (jobs and jobs > 1) or executor is not None:
+        from repro.owl.batch import run_detector_batch
+
+        return run_detector_batch(
+            spec, annotations=annotations, jobs=jobs, executor=executor,
+            stats_out=stats_out,
+        )
     if spec.detector == "ski":
         return run_ski(
             spec.build(), entry=spec.entry, inputs=spec.workload_inputs,
             seeds=spec.detect_seeds, annotations=annotations,
-            max_steps=spec.max_steps,
+            max_steps=spec.max_steps, stats_out=stats_out,
         )
     return run_tsan(
         spec.build(), entry=spec.entry, inputs=spec.workload_inputs,
         seeds=spec.detect_seeds, annotations=annotations,
-        max_steps=spec.max_steps,
+        max_steps=spec.max_steps, stats_out=stats_out,
     )
 
 

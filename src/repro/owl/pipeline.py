@@ -25,14 +25,21 @@ from typing import Dict, List, Optional, Tuple
 from repro.detectors.annotations import AnnotationSet
 from repro.detectors.report import RaceReport, ReportSet
 from repro.owl.adhoc import AdhocSyncDetector
+from repro.owl.batch import (
+    can_parallelize,
+    make_executor,
+    verify_races_batch,
+    verify_vulns_batch,
+)
 from repro.owl.integration import run_detector, usable_reports
-from repro.owl.race_verifier import DynamicRaceVerifier, RaceVerification
+from repro.owl.race_verifier import RaceVerification
 from repro.owl.vuln_analysis import (
     AnalysisOptions,
     VulnerabilityAnalyzer,
     VulnerabilityReport,
 )
-from repro.owl.vuln_verifier import DynamicVulnerabilityVerifier, VulnVerification
+from repro.owl.vuln_verifier import VulnVerification
+from repro.runtime.metrics import PipelineMetrics
 from repro.spec import AttackGroundTruth, ProgramSpec
 
 
@@ -67,6 +74,14 @@ class StageCounters:
             "analysis_seconds_per_report": self.analysis_seconds_per_report,
             "reduction_ratio": self.reduction_ratio,
         }
+
+    def parity_dict(self) -> Dict[str, float]:
+        """The deterministic counters only — bit-identical between serial
+        and parallel runs on the same seeds (timings are measurements, not
+        counters, and differ between any two runs)."""
+        data = self.as_dict()
+        data.pop("analysis_seconds_per_report", None)
+        return data
 
     def __repr__(self) -> str:
         return (
@@ -105,6 +120,7 @@ class PipelineResult:
     def __init__(self, spec: ProgramSpec):
         self.spec = spec
         self.counters = StageCounters()
+        self.metrics: Optional[PipelineMetrics] = None
         self.raw_reports: Optional[ReportSet] = None
         self.annotations: Optional[AnnotationSet] = None
         self.annotated_reports: Optional[ReportSet] = None
@@ -132,66 +148,107 @@ class PipelineResult:
 
 
 class OwlPipeline:
-    """Runs the five OWL stages against one :class:`ProgramSpec`."""
+    """Runs the five OWL stages against one :class:`ProgramSpec`.
+
+    With ``jobs > 1`` the embarrassingly parallel stages — per-seed
+    detection, per-report race verification, per-vulnerability verification
+    — fan out over a process pool shared across stages (see
+    :mod:`repro.owl.batch`).  The merge is deterministic: the resulting
+    :class:`StageCounters` are bit-identical to a serial run on the same
+    seeds.  Per-stage wall time and VM throughput are recorded in
+    ``result.metrics`` (:class:`repro.runtime.metrics.PipelineMetrics`)
+    for both serial and parallel runs.
+    """
 
     def __init__(
         self,
         spec: ProgramSpec,
         analysis_options: Optional[AnalysisOptions] = None,
         verify_vulnerabilities: bool = True,
+        jobs: int = 1,
     ):
         self.spec = spec
         self.analysis_options = analysis_options or AnalysisOptions()
         self.verify_vulnerabilities = verify_vulnerabilities
+        self.jobs = max(1, int(jobs))
 
     # ------------------------------------------------------------------
 
-    def run(self) -> PipelineResult:
+    def run(self, jobs: Optional[int] = None) -> PipelineResult:
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        if jobs > 1 and not can_parallelize(self.spec):
+            jobs = 1  # spec not rebuildable in workers: stay serial
         result = PipelineResult(self.spec)
+        result.metrics = PipelineMetrics(self.spec.name, jobs=jobs)
+        executor = make_executor(jobs) if jobs > 1 else None
         started = time.perf_counter()
-        self._stage_detect(result)
-        self._stage_schedule_reduction(result)
-        self._stage_race_verification(result)
-        self._stage_vulnerability_analysis(result)
-        if self.verify_vulnerabilities:
-            self._stage_vulnerability_verification(result)
+        try:
+            self._stage_detect(result, jobs, executor)
+            self._stage_schedule_reduction(result, jobs, executor)
+            self._stage_race_verification(result, jobs, executor)
+            self._stage_vulnerability_analysis(result)
+            if self.verify_vulnerabilities:
+                self._stage_vulnerability_verification(result, jobs, executor)
+        finally:
+            if executor is not None:
+                executor.shutdown()
         result.counters.total_seconds = time.perf_counter() - started
+        result.metrics.total_seconds = result.counters.total_seconds
         return result
 
     # ------------------------------------------------------------------
     # stage 1: concurrency error detection
 
-    def _stage_detect(self, result: PipelineResult) -> None:
-        reports, _ = run_detector(self.spec)
+    def _stage_detect(self, result: PipelineResult, jobs: int,
+                      executor) -> None:
+        with result.metrics.stage("detect", unit="reports") as stage:
+            stats: List = []
+            reports, _ = run_detector(
+                self.spec, jobs=jobs, executor=executor, stats_out=stats,
+            )
+            stage.absorb_run_stats(stats)
+            stage.items = len(reports)
         result.raw_reports = reports
         result.counters.raw_reports = len(reports)
 
     # ------------------------------------------------------------------
     # stage 2: schedule reduction (section 5.1)
 
-    def _stage_schedule_reduction(self, result: PipelineResult) -> None:
-        detector = AdhocSyncDetector()
-        annotations = detector.analyze(result.raw_reports)
-        result.annotations = annotations
-        result.counters.adhoc_syncs = annotations.unique_static_count()
-        if len(annotations):
-            reports, _ = run_detector(self.spec, annotations=annotations)
-        else:
-            reports = result.raw_reports
+    def _stage_schedule_reduction(self, result: PipelineResult, jobs: int,
+                                  executor) -> None:
+        with result.metrics.stage("schedule_reduction",
+                                  unit="reports") as stage:
+            detector = AdhocSyncDetector()
+            annotations = detector.analyze(result.raw_reports)
+            result.annotations = annotations
+            result.counters.adhoc_syncs = annotations.unique_static_count()
+            if len(annotations):
+                stats: List = []
+                reports, _ = run_detector(
+                    self.spec, annotations=annotations, jobs=jobs,
+                    executor=executor, stats_out=stats,
+                )
+                stage.absorb_run_stats(stats)
+            else:
+                reports = result.raw_reports
+            stage.items = len(reports)
+            stage.extra["adhoc_syncs"] = annotations.unique_static_count()
         result.annotated_reports = reports
         result.counters.after_annotation = len(reports)
 
     # ------------------------------------------------------------------
     # stage 3: dynamic race verification (section 5.2)
 
-    def _stage_race_verification(self, result: PipelineResult) -> None:
-        verifier = DynamicRaceVerifier(
-            self.spec.build(), entry=self.spec.entry,
-            inputs=self.spec.workload_inputs, seeds=self.spec.verify_seeds,
-            max_steps=self.spec.max_steps,
-            vm_factory=lambda seed: self.spec.make_vm(seed),
-        )
-        result.verifications = verifier.verify_all(result.annotated_reports)
+    def _stage_race_verification(self, result: PipelineResult, jobs: int,
+                                 executor) -> None:
+        with result.metrics.stage("race_verification",
+                                  unit="reports") as stage:
+            result.verifications = verify_races_batch(
+                self.spec, list(result.annotated_reports), jobs=jobs,
+                executor=executor,
+            )
+            stage.items = len(result.verifications)
+            stage.runs = sum(v.runs_used for v in result.verifications)
         result.remaining_reports = [
             verification.report for verification in result.verifications
             if verification.verified
@@ -205,17 +262,21 @@ class OwlPipeline:
     # stage 4: static vulnerability analysis (section 6.1)
 
     def _stage_vulnerability_analysis(self, result: PipelineResult) -> None:
-        analyzer = VulnerabilityAnalyzer(
-            self.spec.build(), options=self.analysis_options,
-        )
-        reports = usable_reports(result.remaining_reports)
-        elapsed = 0.0
-        vulnerabilities: List[VulnerabilityReport] = []
-        for report in reports:
-            start = time.perf_counter()
-            vulnerabilities.extend(analyzer.analyze_report(report))
-            elapsed += time.perf_counter() - start
-        result.vulnerabilities = self._dedup(vulnerabilities)
+        with result.metrics.stage("vulnerability_analysis",
+                                  unit="reports") as stage:
+            analyzer = VulnerabilityAnalyzer(
+                self.spec.build(), options=self.analysis_options,
+            )
+            reports = usable_reports(result.remaining_reports)
+            elapsed = 0.0
+            vulnerabilities: List[VulnerabilityReport] = []
+            for report in reports:
+                start = time.perf_counter()
+                vulnerabilities.extend(analyzer.analyze_report(report))
+                elapsed += time.perf_counter() - start
+            result.vulnerabilities = self._dedup(vulnerabilities)
+            stage.items = len(reports)
+            stage.extra["vulnerability_reports"] = len(result.vulnerabilities)
         result.counters.vulnerability_reports = len(result.vulnerabilities)
         result.counters.analysis_seconds_per_report = (
             elapsed / len(reports) if reports else 0.0
@@ -231,28 +292,20 @@ class OwlPipeline:
     # ------------------------------------------------------------------
     # stage 5: dynamic vulnerability verification (section 6.2)
 
-    def _stage_vulnerability_verification(self, result: PipelineResult) -> None:
-        for vulnerability in result.vulnerabilities:
-            ground_truth = self.spec.attack_for_site(vulnerability.site.location)
-            inputs = (
-                ground_truth.subtle_inputs if ground_truth is not None
-                else self.spec.workload_inputs
+    def _stage_vulnerability_verification(self, result: PipelineResult,
+                                          jobs: int, executor) -> None:
+        with result.metrics.stage("vulnerability_verification",
+                                  unit="vulnerabilities") as stage:
+            pairs = verify_vulns_batch(
+                self.spec, result.vulnerabilities, jobs=jobs,
+                executor=executor,
             )
-            verifier = DynamicVulnerabilityVerifier(
-                self.spec.build(), entry=self.spec.entry, inputs=inputs,
-                seeds=self.spec.verify_seeds, max_steps=self.spec.max_steps,
-                vm_factory=lambda seed, _inputs=inputs: self.spec.make_vm(
-                    seed, inputs=_inputs,
-                ),
-                attack_predicate=(
-                    ground_truth.predicate if ground_truth is not None else None
-                ),
-                racing_order=(
-                    (ground_truth.racing_order, "") if ground_truth is not None
-                    else None
-                ),
-            )
-            verification = verifier.verify(vulnerability)
-            result.attacks.append(
-                DetectedAttack(vulnerability, verification, ground_truth)
+            for vulnerability, (verification, ground_truth) in zip(
+                    result.vulnerabilities, pairs):
+                result.attacks.append(
+                    DetectedAttack(vulnerability, verification, ground_truth)
+                )
+            stage.items = len(pairs)
+            stage.runs = sum(
+                verification.runs_used for verification, _ in pairs
             )

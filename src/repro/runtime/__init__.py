@@ -49,6 +49,12 @@ from repro.runtime.thread import Frame, ThreadContext, ThreadState
 from repro.runtime.os_model import OSWorld
 from repro.runtime.interpreter import VM, ExecutionResult
 from repro.runtime.debugger import Breakpoint, Debugger
+from repro.runtime.metrics import (
+    PipelineMetrics,
+    RunStats,
+    StageMetrics,
+    metrics_path,
+)
 
 __all__ = [
     "FaultEvent",
@@ -77,4 +83,8 @@ __all__ = [
     "ExecutionResult",
     "Breakpoint",
     "Debugger",
+    "PipelineMetrics",
+    "RunStats",
+    "StageMetrics",
+    "metrics_path",
 ]

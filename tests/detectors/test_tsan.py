@@ -146,6 +146,121 @@ class TestWatchList:
         assert report.read_access() is not None
         assert report.read_access().instruction.opcode == "load"
 
+    @staticmethod
+    def _recurring_ww_module():
+        """The same static ww race fires in two rounds, then main loads."""
+        b = IRBuilder(Module("m"))
+        g = b.global_var("g", I64, 0)
+        b.begin_function("w", I32, [("arg", ptr(I8))], source_file="dup.c")
+        b.store(1, g, line=1)
+        b.ret(b.i32(0), line=2)
+        b.end_function()
+        b.begin_function("main", I64, [], source_file="dup.c")
+        for round_line in (3, 10):
+            t1 = b.call("thread_create",
+                        [b.module.get_function("w"), b.null()],
+                        line=round_line)
+            t2 = b.call("thread_create",
+                        [b.module.get_function("w"), b.null()],
+                        line=round_line + 1)
+            b.call("thread_join", [t1], line=round_line + 2)
+            b.call("thread_join", [t2], line=round_line + 3)
+        b.ret(b.load(g, line=20), line=20)
+        b.end_function()
+        verify_module(b.module)
+        return b.module
+
+    def test_duplicate_race_recurrence_feeds_watch_list(self):
+        """A recurring duplicate of a reported race must keep watching the
+        corrupted address: the subsequent load lands on the canonical
+        (deduplicated) report, not on a dropped duplicate."""
+        reports, _ = run_tsan(self._recurring_ww_module(), seeds=range(8))
+        ww = [r for r in reports if r.is_write_write()]
+        assert len(ww) == 1  # one static pair despite two racing rounds
+        report = ww[0]
+        reads = [a for a in report.subsequent_reads
+                 if a.instruction.opcode == "load"]
+        assert reads, "watch list lost the recurring race's subsequent read"
+
+    @staticmethod
+    def _overlap_module():
+        """Two threads race on bytes 1..3 of an array; main reads the whole
+        array through an I64 view at a *different base address*."""
+        from repro.ir.types import ArrayType
+
+        b = IRBuilder(Module("m"))
+        arr = b.global_var("arr", ArrayType(I8, 8), None)
+        b.begin_function("w", I32, [("arg", ptr(I8))], source_file="ov.c")
+        slot = b.index(arr, 1, line=1)
+        b.store(7, slot, line=1)
+        b.ret(b.i32(0), line=2)
+        b.end_function()
+        b.begin_function("main", I64, [], source_file="ov.c")
+        t1 = b.call("thread_create", [b.module.get_function("w"), b.null()],
+                    line=3)
+        t2 = b.call("thread_create", [b.module.get_function("w"), b.null()],
+                    line=4)
+        b.call("thread_join", [t1], line=5)
+        b.call("thread_join", [t2], line=6)
+        wide = b.cast("bitcast", arr, ptr(I64), line=7)
+        b.ret(b.load(wide, line=7), line=7)
+        b.end_function()
+        verify_module(b.module)
+        return b.module
+
+    def test_overlapping_wide_read_hits_watch(self):
+        """A multi-byte read covering the corrupted byte at a different base
+        address must still be recorded as the subsequent read (the watch
+        list matches on byte overlap, not base-address equality)."""
+        reports, _ = run_tsan(self._overlap_module(), seeds=range(8))
+        ww = [r for r in reports if r.is_write_write()]
+        assert ww
+        report = ww[0]
+        read = report.read_access()
+        assert read is not None
+        assert read.instruction.opcode == "load"
+        # The read starts below the corrupted byte but spans across it.
+        lo, hi = read.byte_range
+        corrupted_lo, corrupted_hi = report.first.byte_range
+        assert lo < corrupted_lo < hi
+        assert hi - lo == 8
+
+    def test_overlapping_write_sanitizes_watch(self):
+        """A later write covering the corrupted bytes clears the watch, so
+        loads after it are not attached."""
+        from repro.ir.types import ArrayType
+
+        b = IRBuilder(Module("m"))
+        arr = b.global_var("arr", ArrayType(I8, 8), None)
+        b.begin_function("w", I32, [("arg", ptr(I8))], source_file="sv.c")
+        slot = b.index(arr, 1, line=1)
+        b.store(7, slot, line=1)
+        b.ret(b.i32(0), line=2)
+        b.end_function()
+        b.begin_function("main", I64, [], source_file="sv.c")
+        t1 = b.call("thread_create", [b.module.get_function("w"), b.null()],
+                    line=3)
+        t2 = b.call("thread_create", [b.module.get_function("w"), b.null()],
+                    line=4)
+        b.call("thread_join", [t1], line=5)
+        b.call("thread_join", [t2], line=6)
+        wide = b.cast("bitcast", arr, ptr(I64), line=7)
+        b.store(0, wide, line=7)   # overwrites the racy byte: sanitized
+        b.ret(b.load(wide, line=8), line=8)
+        b.end_function()
+        verify_module(b.module)
+        reports, _ = run_tsan(b.module, seeds=range(8))
+        ww = [r for r in reports if r.is_write_write()]
+        assert ww
+        assert ww[0].read_access() is None
+
+    def test_report_set_get_is_canonical(self):
+        """ReportSet.get returns the deduplicated report for a static key."""
+        reports, _ = run_tsan(self._recurring_ww_module(), seeds=range(8))
+        for report in reports:
+            assert reports.get(report.static_key) is report
+        assert reports.get((-1, -1)) is None
+
 
 class TestLocksetBaseline:
     def test_lockset_noisier_than_hb(self):
