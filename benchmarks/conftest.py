@@ -7,7 +7,8 @@ individual table/figure benchmarks read from the cache.
 Set ``OWL_JOBS=N`` in the environment to fan the parallel pipeline stages
 out over N worker processes (counters stay identical to the serial run —
 see :mod:`repro.owl.batch`).  Each program's per-stage metrics are written
-to ``benchmarks/out/metrics_<program>.json`` as the pipeline runs.
+to ``benchmarks/out/metrics_<program>.json`` as the pipeline runs, and its
+per-report decision record to ``benchmarks/out/provenance_<program>.json``.
 """
 
 from __future__ import annotations
@@ -44,10 +45,12 @@ class _PipelineCache:
     def result(self, name: str):
         if name not in self._results:
             from repro.owl.pipeline import OwlPipeline
+            from repro.owl.provenance import provenance_path
             from repro.runtime.metrics import metrics_path
 
             result = OwlPipeline(self.spec(name), jobs=self.jobs).run()
             result.metrics.save(metrics_path(OUT_DIR, name))
+            result.provenance.save(provenance_path(OUT_DIR, name))
             self._results[name] = result
         return self._results[name]
 

@@ -7,8 +7,16 @@ Commands:
 - ``owl exploit <attack-id>`` — drive one of the ten exploit scripts.
 - ``owl exploits`` — drive all ten.
 - ``owl export <program> <path>`` — run the pipeline and save JSON results.
+- ``owl trace <program>`` — run the pipeline with span tracing and write
+  Chrome ``trace_event`` + JSON-lines trace files.
+- ``owl explain <program> [report-uid]`` — print the provenance narrative
+  for one race report, or the disposition listing for all of them.
 - ``owl study`` — print the section-3 study findings.
 - ``owl list`` — list available targets and attack ids.
+
+``detect`` and ``export`` also accept ``--trace PATH`` to save the run's
+span tree (Chrome format when PATH ends in ``.json``, JSON lines
+otherwise).
 """
 
 from __future__ import annotations
@@ -30,6 +38,14 @@ def _cmd_list(_args) -> int:
     for spec_name, attack_id in list_exploits():
         print("  %-28s (in %s)" % (attack_id, spec_name))
     return 0
+
+
+def _save_trace(result, path: str) -> None:
+    if path.endswith(".json"):
+        result.spans.save_chrome(path)
+    else:
+        result.spans.save_jsonl(path)
+    print("trace written to %s (%d spans)" % (path, len(result.spans)))
 
 
 def _cmd_detect(args) -> int:
@@ -61,6 +77,8 @@ def _cmd_detect(args) -> int:
     if args.metrics:
         result.metrics.save(args.metrics)
         print("metrics written to %s" % args.metrics)
+    if args.trace:
+        _save_trace(result, args.trace)
     print()
     print(result.metrics.describe())
     return 0
@@ -104,6 +122,59 @@ def _cmd_export(args) -> int:
     if args.metrics:
         result.metrics.save(args.metrics)
         print("metrics written to %s" % args.metrics)
+    if args.trace:
+        _save_trace(result, args.trace)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import OwlPipeline, spec_by_name
+
+    spec = spec_by_name(args.program)
+    result = OwlPipeline(spec, jobs=args.jobs).run()
+    spans = result.spans
+    chrome_path = spans.save_chrome(args.out + ".json")
+    jsonl_path = spans.save_jsonl(args.out + ".jsonl")
+    print("== OWL trace: %s (%d spans) ==" % (spec.name, len(spans)))
+    print("chrome trace: %s  (load in chrome://tracing or Perfetto)" %
+          chrome_path)
+    print("span lines:   %s" % jsonl_path)
+    print()
+    print("%d slowest spans:" % args.top)
+    for span in spans.slowest(args.top, exclude=("pipeline",)):
+        label = ", ".join(
+            "%s=%s" % (key, span.attrs[key])
+            for key in ("seed", "report", "site", "function")
+            if key in span.attrs
+        )
+        print("  %9.3f ms  %-28s %s" % (
+            span.duration * 1e3, span.name, label,
+        ))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro import OwlPipeline, spec_by_name
+
+    spec = spec_by_name(args.program)
+    result = OwlPipeline(spec, jobs=args.jobs).run()
+    provenance = result.provenance
+    if args.report_uid is None:
+        print("== OWL provenance: %s (%d reports) ==" % (
+            spec.name, len(provenance)))
+        print(provenance.summary())
+        print()
+        print("run `owl explain %s <uid>` for one report's full narrative"
+              % spec.name)
+        return 0
+    record = provenance.get(args.report_uid)
+    if record is None:
+        print("no report %r in %s; known uids:" % (
+            args.report_uid, spec.name), file=sys.stderr)
+        for uid in provenance.uids():
+            print("  %s" % uid, file=sys.stderr)
+        return 1
+    print(record.narrative())
     return 0
 
 
@@ -143,6 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: 1, serial)")
     detect.add_argument("--metrics", metavar="PATH", default=None,
                         help="write per-stage metrics JSON to PATH")
+    detect.add_argument("--trace", metavar="PATH", default=None,
+                        help="write the run's span tree to PATH (Chrome "
+                             "trace_event when PATH ends in .json, JSON "
+                             "lines otherwise)")
     detect.set_defaults(func=_cmd_detect)
     exploit = sub.add_parser("exploit", help="run one exploit script")
     exploit.add_argument("attack_id")
@@ -159,7 +234,34 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: 1, serial)")
     export.add_argument("--metrics", metavar="PATH", default=None,
                         help="write per-stage metrics JSON to PATH")
+    export.add_argument("--trace", metavar="PATH", default=None,
+                        help="write the run's span tree to PATH (Chrome "
+                             "trace_event when PATH ends in .json, JSON "
+                             "lines otherwise)")
     export.set_defaults(func=_cmd_export)
+    trace = sub.add_parser(
+        "trace", help="run the pipeline with span tracing, save trace files")
+    trace.add_argument("program")
+    trace.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the parallel stages "
+                            "(default: 1, serial)")
+    trace.add_argument("--out", metavar="BASE", default="owl_trace",
+                       help="output base path: writes BASE.json (Chrome "
+                            "trace_event) and BASE.jsonl (span lines)")
+    trace.add_argument("--top", type=int, default=10,
+                       help="how many slowest spans to print (default: 10)")
+    trace.set_defaults(func=_cmd_trace)
+    explain = sub.add_parser(
+        "explain",
+        help="explain why OWL kept or pruned a race report")
+    explain.add_argument("program")
+    explain.add_argument("report_uid", nargs="?", default=None,
+                         help="report uid (e.g. r13-28); omit to list all "
+                              "reports with their dispositions")
+    explain.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the parallel stages "
+                              "(default: 1, serial)")
+    explain.set_defaults(func=_cmd_explain)
     sub.add_parser("study", help="print the study findings").set_defaults(
         func=_cmd_study)
     return parser

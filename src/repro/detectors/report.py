@@ -83,6 +83,17 @@ class RaceReport:
         return (a, b) if a <= b else (b, a)
 
     @property
+    def uid(self) -> str:
+        """Stable human-typable identifier ("r<a>-<b>") for this report.
+
+        Derived from :attr:`static_key`, so it is identical across detector
+        re-runs, job counts and processes — the handle ``owl explain`` and
+        the provenance log key reports by.
+        """
+        a, b = self.static_key
+        return "r%d-%d" % (a, b)
+
+    @property
     def address(self) -> int:
         return self.first.address
 

@@ -48,15 +48,22 @@ def run_ski_seed(
     annotations: Optional[AnnotationSet] = None,
     max_steps: int = 200_000,
     depth: int = 3,
+    tracer=None,
 ) -> Tuple[ReportSet, ExecutionResult, SkiDetector]:
     """One kernel execution under one PCT schedule, into a fresh report set."""
+    from repro.runtime.spans import maybe_span
+
     scheduler = PCTScheduler(seed=seed, depth=depth)
     vm = VM(module, scheduler=scheduler, inputs=inputs, max_steps=max_steps,
             seed=seed)
     detector = SkiDetector(annotations=annotations, reports=ReportSet())
     vm.add_observer(detector)
-    vm.start(entry)
-    result = vm.run()
+    with maybe_span(tracer, "detect_seed", seed=seed, detector="ski") as span:
+        vm.start(entry)
+        result = vm.run()
+        if span is not None:
+            span.attrs.update(steps=result.steps, reason=result.reason,
+                              reports=len(detector.reports))
     return detector.reports, result, detector
 
 
@@ -71,6 +78,7 @@ def run_ski(
     jobs: int = 1,
     module_source: Optional[Callable[[], Module]] = None,
     stats_out: Optional[List] = None,
+    tracer=None,
 ) -> Tuple[ReportSet, List[ExecutionResult]]:
     """Systematically explore schedules of a kernel program.
 
@@ -87,7 +95,7 @@ def run_ski(
         return run_seeds_parallel(
             "ski", module, module_source, entry=entry, inputs=inputs,
             seeds=seeds, annotations=annotations, max_steps=max_steps,
-            depth=depth, jobs=jobs, stats_out=stats_out,
+            depth=depth, jobs=jobs, stats_out=stats_out, tracer=tracer,
         )
     reports = ReportSet()
     results: List[ExecutionResult] = []
@@ -95,7 +103,7 @@ def run_ski(
         started = time.perf_counter()
         seed_reports, result, detector = run_ski_seed(
             module, seed, entry=entry, inputs=inputs, annotations=annotations,
-            max_steps=max_steps, depth=depth,
+            max_steps=max_steps, depth=depth, tracer=tracer,
         )
         reports.merge(seed_reports)
         results.append(result)

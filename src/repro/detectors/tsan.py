@@ -245,14 +245,19 @@ def run_tsan_seed(
     max_steps: int = 200_000,
     scheduler_factory=None,
     entry_args: Sequence[int] = (),
+    tracer=None,
 ) -> Tuple[ReportSet, ExecutionResult, TSanDetector]:
     """One program execution under one schedule, into a fresh report set.
 
     The unit of work for both the serial driver and the parallel batch
     engine: per-seed report sets merged in seed order are bit-identical to
     one report set shared across all seeds (dedup keeps the first static
-    occurrence and appends later watch data either way).
+    occurrence and appends later watch data either way).  ``tracer``
+    (a :class:`repro.runtime.spans.SpanTracer`) records the execution as a
+    ``detect_seed`` span.
     """
+    from repro.runtime.spans import maybe_span
+
     scheduler: Scheduler = (
         scheduler_factory(seed) if scheduler_factory is not None
         else RandomScheduler(seed)
@@ -261,8 +266,13 @@ def run_tsan_seed(
             seed=seed)
     detector = TSanDetector(annotations=annotations, reports=ReportSet())
     vm.add_observer(detector)
-    vm.start(entry, entry_args)
-    result = vm.run()
+    with maybe_span(tracer, "detect_seed", seed=seed,
+                    detector="tsan") as span:
+        vm.start(entry, entry_args)
+        result = vm.run()
+        if span is not None:
+            span.attrs.update(steps=result.steps, reason=result.reason,
+                              reports=len(detector.reports))
     return detector.reports, result, detector
 
 
@@ -278,6 +288,7 @@ def run_tsan(
     jobs: int = 1,
     module_source: Optional[Callable[[], Module]] = None,
     stats_out: Optional[List] = None,
+    tracer=None,
 ) -> Tuple[ReportSet, List[ExecutionResult]]:
     """Run the detector over several schedules and merge the reports.
 
@@ -298,6 +309,7 @@ def run_tsan(
             "tsan", module, module_source, entry=entry, inputs=inputs,
             seeds=seeds, annotations=annotations, max_steps=max_steps,
             entry_args=entry_args, jobs=jobs, stats_out=stats_out,
+            tracer=tracer,
         )
     reports = ReportSet()
     results: List[ExecutionResult] = []
@@ -306,7 +318,7 @@ def run_tsan(
         seed_reports, result, detector = run_tsan_seed(
             module, seed, entry=entry, inputs=inputs, annotations=annotations,
             max_steps=max_steps, scheduler_factory=scheduler_factory,
-            entry_args=entry_args,
+            entry_args=entry_args, tracer=tracer,
         )
         reports.merge(seed_reports)
         results.append(result)

@@ -34,6 +34,12 @@ from repro.owl.vuln_analysis import (
 from repro.owl.vuln_verifier import DynamicVulnerabilityVerifier, VulnVerification
 from repro.owl.hints import format_call_stack, format_vulnerability_report
 from repro.owl.pipeline import OwlPipeline, PipelineResult, StageCounters
+from repro.owl.provenance import (
+    Decision,
+    ProvenanceLog,
+    ReportProvenance,
+    provenance_path,
+)
 from repro.owl.audit import AuditingObserver, AuditScope
 from repro.owl.batch import (
     can_parallelize,
@@ -64,6 +70,10 @@ __all__ = [
     "OwlPipeline",
     "PipelineResult",
     "StageCounters",
+    "Decision",
+    "ProvenanceLog",
+    "ReportProvenance",
+    "provenance_path",
     "AuditingObserver",
     "AuditScope",
     "can_parallelize",

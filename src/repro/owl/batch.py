@@ -49,6 +49,7 @@ from repro.owl.race_verifier import (
 from repro.owl.vuln_verifier import DynamicVulnerabilityVerifier, VulnVerification
 from repro.runtime.errors import FaultKind
 from repro.runtime.metrics import RunStats
+from repro.runtime.spans import SpanTracer
 from repro.spec import AttackGroundTruth, ProgramSpec
 
 # ---------------------------------------------------------------------------
@@ -219,24 +220,27 @@ def make_executor(jobs: int) -> ProcessPoolExecutor:
 
 
 def _detect_worker(payload: Dict) -> Dict:
-    """Run one detector seed; return reports and stats as payloads."""
+    """Run one detector seed; return reports, stats and spans as payloads."""
     from repro.detectors.ski import run_ski_seed
     from repro.detectors.tsan import run_tsan_seed
 
     module = _resolve_module(payload["source"])
     annotations = annotations_from_payload(module, payload["annotations"])
+    tracer = SpanTracer()
     started = time.perf_counter()
     if payload["kind"] == "ski":
         reports, result, detector = run_ski_seed(
             module, payload["seed"], entry=payload["entry"],
             inputs=payload["inputs"], annotations=annotations,
             max_steps=payload["max_steps"], depth=payload["depth"],
+            tracer=tracer,
         )
     else:
         reports, result, detector = run_tsan_seed(
             module, payload["seed"], entry=payload["entry"],
             inputs=payload["inputs"], annotations=annotations,
             max_steps=payload["max_steps"], entry_args=payload["entry_args"],
+            tracer=tracer,
         )
     return {
         "seed": payload["seed"],
@@ -244,6 +248,7 @@ def _detect_worker(payload: Dict) -> Dict:
         "stats": (payload["seed"], result.reason, result.steps,
                   detector.access_count, len(reports),
                   time.perf_counter() - started),
+        "spans": tracer.export_payload(),
     }
 
 
@@ -277,6 +282,7 @@ def run_seeds_parallel(
     jobs: int = 2,
     stats_out: Optional[List] = None,
     executor: Optional[ProcessPoolExecutor] = None,
+    tracer: Optional[SpanTracer] = None,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """Fan one program's seeds out over worker processes.
 
@@ -284,7 +290,8 @@ def run_seeds_parallel(
     zero-argument module factory; ``module`` is the parent's copy, against
     which the merged reports are rehydrated.  The merge happens in seed
     order regardless of completion order, so the returned
-    :class:`ReportSet` is identical to the serial run's.
+    :class:`ReportSet` is identical to the serial run's — and so is the
+    span tree adopted into ``tracer``.
     """
     seeds = list(seeds)
     annotations_payload = annotations_to_payload(annotations)
@@ -306,6 +313,8 @@ def run_seeds_parallel(
         output = outputs[seed]
         merged.merge(reports_from_payloads(module, output["reports"]))
         stats.append(RunStats(*output["stats"]))
+        if tracer is not None:
+            tracer.adopt(output["spans"])
     if stats_out is not None:
         stats_out.extend(stats)
     return merged, stats
@@ -317,6 +326,7 @@ def run_detector_batch(
     jobs: int = 1,
     executor: Optional[ProcessPoolExecutor] = None,
     stats_out: Optional[List] = None,
+    tracer: Optional[SpanTracer] = None,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """The spec's front-end detector over its seeds, parallel when possible."""
     if (jobs <= 1 and executor is None) or not can_parallelize(spec):
@@ -324,7 +334,7 @@ def run_detector_batch(
 
         stats: List[RunStats] = []
         reports, _ = run_detector(spec, annotations=annotations,
-                                  stats_out=stats)
+                                  stats_out=stats, tracer=tracer)
         if stats_out is not None:
             stats_out.extend(stats)
         return reports, stats
@@ -332,7 +342,7 @@ def run_detector_batch(
         spec.detector, spec.build(), spec.name, entry=spec.entry,
         inputs=spec.workload_inputs, seeds=spec.detect_seeds,
         annotations=annotations, max_steps=spec.max_steps, jobs=jobs,
-        stats_out=stats_out, executor=executor,
+        stats_out=stats_out, executor=executor, tracer=tracer,
     )
 
 
@@ -386,12 +396,14 @@ def _race_verify_worker(payload: Dict) -> Dict:
     report = report_from_payload(module, payload["report"])
     inputs = payload["inputs"]
     max_steps = payload["max_steps"]
+    tracer = SpanTracer()
     verifier = DynamicRaceVerifier(
         module, entry=payload["entry"], inputs=inputs,
         seeds=payload["seeds"], max_steps=max_steps,
         vm_factory=lambda seed: spec.make_vm(
             seed, inputs=inputs, max_steps=max_steps,
         ),
+        tracer=tracer,
     )
     verification = verifier.verify(report)
     hints = verification.hints
@@ -400,6 +412,7 @@ def _race_verify_worker(payload: Dict) -> Dict:
         "verified": verification.verified,
         "runs_used": verification.runs_used,
         "livelocks_resolved": verification.livelocks_resolved,
+        "spans": tracer.export_payload(),
         "hints": None if hints is None else {
             "variable": hints.variable,
             "value_type": hints.value_type,
@@ -416,6 +429,7 @@ def verify_races_batch(
     reports: Sequence[RaceReport],
     jobs: int = 1,
     executor: Optional[ProcessPoolExecutor] = None,
+    tracer: Optional[SpanTracer] = None,
 ) -> List[RaceVerification]:
     """Verify each report in its own worker; results keep report order."""
     reports = list(reports)
@@ -426,6 +440,7 @@ def verify_races_batch(
             spec.build(), entry=spec.entry, inputs=spec.workload_inputs,
             seeds=spec.verify_seeds, max_steps=spec.max_steps,
             vm_factory=lambda seed: spec.make_vm(seed),
+            tracer=tracer,
         )
         return verifier.verify_all(reports)
     payloads = [
@@ -441,6 +456,7 @@ def verify_races_batch(
         for index, report in enumerate(reports)
     ]
     outcomes: List[Optional[RaceVerification]] = [None] * len(reports)
+    spans: List[Optional[List]] = [None] * len(reports)
     with _pool(jobs, executor) as pool:
         futures = [pool.submit(_race_verify_worker, p) for p in payloads]
         for future in as_completed(futures):
@@ -456,6 +472,11 @@ def verify_races_batch(
                 report, output["verified"], hints, output["runs_used"],
                 output["livelocks_resolved"],
             )
+            spans[output["index"]] = output["spans"]
+    if tracer is not None:
+        for payload in spans:  # report order, not completion order
+            if payload:
+                tracer.adopt(payload)
     return [outcome for outcome in outcomes if outcome is not None]
 
 
@@ -472,6 +493,7 @@ def _vuln_verify_worker(payload: Dict) -> Dict:
         ground_truth.subtle_inputs if ground_truth is not None
         else payload["inputs"]
     )
+    tracer = SpanTracer()
     verifier = DynamicVulnerabilityVerifier(
         module, entry=payload["entry"], inputs=inputs,
         seeds=payload["seeds"], max_steps=payload["max_steps"],
@@ -485,6 +507,7 @@ def _vuln_verify_worker(payload: Dict) -> Dict:
             (ground_truth.racing_order, "") if ground_truth is not None
             else None
         ),
+        tracer=tracer,
     )
     verification = verifier.verify(vulnerability)
     return {
@@ -494,6 +517,7 @@ def _vuln_verify_worker(payload: Dict) -> Dict:
         "diverged": [branch.uid or 0 for branch in verification.diverged_branches],
         "faults": [kind.value for kind in verification.fault_kinds],
         "runs_used": verification.runs_used,
+        "spans": tracer.export_payload(),
     }
 
 
@@ -502,6 +526,7 @@ def verify_vulns_batch(
     vulnerabilities: Sequence,
     jobs: int = 1,
     executor: Optional[ProcessPoolExecutor] = None,
+    tracer: Optional[SpanTracer] = None,
 ) -> List[Tuple[VulnVerification, Optional[AttackGroundTruth]]]:
     """Verify each vulnerability in its own worker; results keep input order.
 
@@ -515,7 +540,7 @@ def verify_vulns_batch(
         return []
     if (jobs <= 1 and executor is None) or not can_parallelize(spec):
         return [
-            _verify_vuln_serial(spec, vulnerability)
+            _verify_vuln_serial(spec, vulnerability, tracer=tracer)
             for vulnerability in vulnerabilities
         ]
     module = spec.build()
@@ -533,6 +558,7 @@ def verify_vulns_batch(
     ]
     outcomes: List[Optional[Tuple[VulnVerification, Optional[AttackGroundTruth]]]]
     outcomes = [None] * len(vulnerabilities)
+    spans: List[Optional[List]] = [None] * len(vulnerabilities)
     with _pool(jobs, executor) as pool:
         futures = [pool.submit(_vuln_verify_worker, p) for p in payloads]
         for future in as_completed(futures):
@@ -548,11 +574,16 @@ def verify_vulns_batch(
                 output["runs_used"],
             )
             outcomes[output["index"]] = (verification, ground_truth)
+            spans[output["index"]] = output["spans"]
+    if tracer is not None:
+        for payload in spans:  # vulnerability order, not completion order
+            if payload:
+                tracer.adopt(payload)
     return [outcome for outcome in outcomes if outcome is not None]
 
 
 def _verify_vuln_serial(
-    spec: ProgramSpec, vulnerability,
+    spec: ProgramSpec, vulnerability, tracer: Optional[SpanTracer] = None,
 ) -> Tuple[VulnVerification, Optional[AttackGroundTruth]]:
     """One vulnerability through the serial path (mirrors the worker)."""
     ground_truth = spec.attack_for_site(vulnerability.site.location)
@@ -573,5 +604,6 @@ def _verify_vuln_serial(
             (ground_truth.racing_order, "") if ground_truth is not None
             else None
         ),
+        tracer=tracer,
     )
     return verifier.verify(vulnerability), ground_truth

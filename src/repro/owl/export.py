@@ -28,6 +28,7 @@ def _call_stack(stack) -> List[Dict]:
 
 def _race_report(report) -> Dict:
     return {
+        "uid": report.uid,
         "variable": report.variable,
         "detector": report.detector,
         "first": {
@@ -82,6 +83,9 @@ def result_to_dict(result: PipelineResult) -> Dict:
             }
             for attack in result.attacks
         ],
+        "provenance": (
+            result.provenance.as_dict() if result.provenance else None
+        ),
     }
 
 

@@ -30,6 +30,7 @@ def run_detector(
     jobs: int = 1,
     executor=None,
     stats_out: Optional[List] = None,
+    tracer=None,
 ) -> Tuple[ReportSet, List]:
     """Run the spec's front-end detector over its configured schedules.
 
@@ -39,25 +40,27 @@ def run_detector(
     second element of the returned tuple holds per-seed
     :class:`repro.runtime.metrics.RunStats` instead of
     :class:`ExecutionResult` objects (which cannot cross process
-    boundaries); ``stats_out`` receives the stats in both modes.
+    boundaries); ``stats_out`` receives the stats in both modes.  ``tracer``
+    (a :class:`repro.runtime.spans.SpanTracer`) collects one ``detect_seed``
+    span per execution, adopted in seed order in the parallel case.
     """
     if (jobs and jobs > 1) or executor is not None:
         from repro.owl.batch import run_detector_batch
 
         return run_detector_batch(
             spec, annotations=annotations, jobs=jobs, executor=executor,
-            stats_out=stats_out,
+            stats_out=stats_out, tracer=tracer,
         )
     if spec.detector == "ski":
         return run_ski(
             spec.build(), entry=spec.entry, inputs=spec.workload_inputs,
             seeds=spec.detect_seeds, annotations=annotations,
-            max_steps=spec.max_steps, stats_out=stats_out,
+            max_steps=spec.max_steps, stats_out=stats_out, tracer=tracer,
         )
     return run_tsan(
         spec.build(), entry=spec.entry, inputs=spec.workload_inputs,
         seeds=spec.detect_seeds, annotations=annotations,
-        max_steps=spec.max_steps, stats_out=stats_out,
+        max_steps=spec.max_steps, stats_out=stats_out, tracer=tracer,
     )
 
 

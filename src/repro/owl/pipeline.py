@@ -39,7 +39,9 @@ from repro.owl.vuln_analysis import (
     VulnerabilityReport,
 )
 from repro.owl.vuln_verifier import VulnVerification
+from repro.owl.provenance import ProvenanceLog
 from repro.runtime.metrics import PipelineMetrics
+from repro.runtime.spans import SpanTracer
 from repro.spec import AttackGroundTruth, ProgramSpec
 
 
@@ -121,6 +123,8 @@ class PipelineResult:
         self.spec = spec
         self.counters = StageCounters()
         self.metrics: Optional[PipelineMetrics] = None
+        self.spans: Optional[SpanTracer] = None
+        self.provenance: Optional[ProvenanceLog] = None
         self.raw_reports: Optional[ReportSet] = None
         self.annotations: Optional[AnnotationSet] = None
         self.annotated_reports: Optional[ReportSet] = None
@@ -180,15 +184,20 @@ class OwlPipeline:
             jobs = 1  # spec not rebuildable in workers: stay serial
         result = PipelineResult(self.spec)
         result.metrics = PipelineMetrics(self.spec.name, jobs=jobs)
+        result.spans = SpanTracer()
+        result.provenance = ProvenanceLog(self.spec.name)
         executor = make_executor(jobs) if jobs > 1 else None
         started = time.perf_counter()
         try:
-            self._stage_detect(result, jobs, executor)
-            self._stage_schedule_reduction(result, jobs, executor)
-            self._stage_race_verification(result, jobs, executor)
-            self._stage_vulnerability_analysis(result)
-            if self.verify_vulnerabilities:
-                self._stage_vulnerability_verification(result, jobs, executor)
+            with result.spans.span("pipeline", program=self.spec.name,
+                                   jobs=jobs):
+                self._stage_detect(result, jobs, executor)
+                self._stage_schedule_reduction(result, jobs, executor)
+                self._stage_race_verification(result, jobs, executor)
+                self._stage_vulnerability_analysis(result)
+                if self.verify_vulnerabilities:
+                    self._stage_vulnerability_verification(
+                        result, jobs, executor)
         finally:
             if executor is not None:
                 executor.shutdown()
@@ -201,15 +210,24 @@ class OwlPipeline:
 
     def _stage_detect(self, result: PipelineResult, jobs: int,
                       executor) -> None:
-        with result.metrics.stage("detect", unit="reports") as stage:
+        with result.metrics.stage("detect", unit="reports") as stage, \
+                result.spans.span("stage:detect") as span:
             stats: List = []
             reports, _ = run_detector(
                 self.spec, jobs=jobs, executor=executor, stats_out=stats,
+                tracer=result.spans,
             )
             stage.absorb_run_stats(stats)
             stage.items = len(reports)
+            span.attrs.update(reports=len(reports), runs=stage.runs)
         result.raw_reports = reports
         result.counters.raw_reports = len(reports)
+        for report in reports:
+            result.provenance.record(
+                report, "detect", "reported",
+                detector=report.detector,
+                seeds=len(self.spec.detect_seeds),
+            )
 
     # ------------------------------------------------------------------
     # stage 2: schedule reduction (section 5.1)
@@ -217,7 +235,8 @@ class OwlPipeline:
     def _stage_schedule_reduction(self, result: PipelineResult, jobs: int,
                                   executor) -> None:
         with result.metrics.stage("schedule_reduction",
-                                  unit="reports") as stage:
+                                  unit="reports") as stage, \
+                result.spans.span("stage:schedule_reduction") as span:
             detector = AdhocSyncDetector()
             annotations = detector.analyze(result.raw_reports)
             result.annotations = annotations
@@ -226,15 +245,37 @@ class OwlPipeline:
                 stats: List = []
                 reports, _ = run_detector(
                     self.spec, annotations=annotations, jobs=jobs,
-                    executor=executor, stats_out=stats,
+                    executor=executor, stats_out=stats, tracer=result.spans,
                 )
                 stage.absorb_run_stats(stats)
             else:
                 reports = result.raw_reports
             stage.items = len(reports)
             stage.extra["adhoc_syncs"] = annotations.unique_static_count()
+            span.attrs.update(
+                adhoc_syncs=annotations.unique_static_count(),
+                reports=len(reports),
+            )
         result.annotated_reports = reports
         result.counters.after_annotation = len(reports)
+        survivors = {report.uid for report in reports}
+        for report in result.raw_reports:
+            annotation = report.tags.get(AdhocSyncDetector.TAG)
+            if annotation is not None:
+                result.provenance.record(
+                    report, "schedule_reduction", "pruned-adhoc",
+                    adhoc_sync=annotation.describe(),
+                )
+            elif report.uid not in survivors:
+                result.provenance.record(
+                    report, "schedule_reduction", "eliminated-by-annotation",
+                    adhoc_syncs_annotated=annotations.unique_static_count(),
+                )
+            else:
+                result.provenance.record(
+                    report, "schedule_reduction", "survived",
+                    adhoc_syncs_annotated=annotations.unique_static_count(),
+                )
 
     # ------------------------------------------------------------------
     # stage 3: dynamic race verification (section 5.2)
@@ -242,13 +283,17 @@ class OwlPipeline:
     def _stage_race_verification(self, result: PipelineResult, jobs: int,
                                  executor) -> None:
         with result.metrics.stage("race_verification",
-                                  unit="reports") as stage:
+                                  unit="reports") as stage, \
+                result.spans.span("stage:race_verification") as span:
             result.verifications = verify_races_batch(
                 self.spec, list(result.annotated_reports), jobs=jobs,
-                executor=executor,
+                executor=executor, tracer=result.spans,
             )
             stage.items = len(result.verifications)
             stage.runs = sum(v.runs_used for v in result.verifications)
+            span.attrs.update(
+                reports=len(result.verifications), runs=stage.runs,
+            )
         result.remaining_reports = [
             verification.report for verification in result.verifications
             if verification.verified
@@ -257,26 +302,72 @@ class OwlPipeline:
             result.counters.after_annotation - len(result.remaining_reports)
         )
         result.counters.remaining = len(result.remaining_reports)
+        for verification in result.verifications:
+            if verification.verified:
+                hints = verification.hints
+                evidence = {
+                    "runs_used": verification.runs_used,
+                    "livelocks_resolved": verification.livelocks_resolved,
+                }
+                if hints is not None:
+                    evidence.update(
+                        security_hints=hints.describe(),
+                        read_value=hints.read_value,
+                        write_value=hints.write_value,
+                        null_write=hints.null_write,
+                    )
+                result.provenance.record(
+                    verification.report, "race_verification", "verified",
+                    **evidence)
+            else:
+                result.provenance.record(
+                    verification.report, "race_verification", "unverified",
+                    runs_used=verification.runs_used,
+                    reason="never caught in the racing moment",
+                )
 
     # ------------------------------------------------------------------
     # stage 4: static vulnerability analysis (section 6.1)
 
     def _stage_vulnerability_analysis(self, result: PipelineResult) -> None:
         with result.metrics.stage("vulnerability_analysis",
-                                  unit="reports") as stage:
+                                  unit="reports") as stage, \
+                result.spans.span("stage:vulnerability_analysis") as span:
             analyzer = VulnerabilityAnalyzer(
                 self.spec.build(), options=self.analysis_options,
+                tracer=result.spans,
             )
             reports = usable_reports(result.remaining_reports)
             elapsed = 0.0
             vulnerabilities: List[VulnerabilityReport] = []
             for report in reports:
                 start = time.perf_counter()
-                vulnerabilities.extend(analyzer.analyze_report(report))
+                found = analyzer.analyze_report(report)
                 elapsed += time.perf_counter() - start
+                vulnerabilities.extend(found)
+                for vulnerability in found:
+                    result.provenance.record(
+                        report, "vulnerability_analysis", "site-reached",
+                        site=str(vulnerability.site.location),
+                        site_type=vulnerability.site_type.value,
+                        dependence=vulnerability.kind.value,
+                        corrupted_branches=[
+                            str(branch.location)
+                            for branch in vulnerability.branches
+                        ],
+                    )
+                if not found:
+                    result.provenance.record(
+                        report, "vulnerability_analysis", "no-vulnerable-site",
+                        budget_exhausted=analyzer.budget_exhausted,
+                    )
             result.vulnerabilities = self._dedup(vulnerabilities)
             stage.items = len(reports)
             stage.extra["vulnerability_reports"] = len(result.vulnerabilities)
+            span.attrs.update(
+                reports=len(reports),
+                vulnerability_reports=len(result.vulnerabilities),
+            )
         result.counters.vulnerability_reports = len(result.vulnerabilities)
         result.counters.analysis_seconds_per_report = (
             elapsed / len(reports) if reports else 0.0
@@ -295,17 +386,43 @@ class OwlPipeline:
     def _stage_vulnerability_verification(self, result: PipelineResult,
                                           jobs: int, executor) -> None:
         with result.metrics.stage("vulnerability_verification",
-                                  unit="vulnerabilities") as stage:
+                                  unit="vulnerabilities") as stage, \
+                result.spans.span("stage:vulnerability_verification") as span:
             pairs = verify_vulns_batch(
                 self.spec, result.vulnerabilities, jobs=jobs,
-                executor=executor,
+                executor=executor, tracer=result.spans,
             )
             for vulnerability, (verification, ground_truth) in zip(
                     result.vulnerabilities, pairs):
                 result.attacks.append(
                     DetectedAttack(vulnerability, verification, ground_truth)
                 )
+                if vulnerability.source is None:
+                    continue
+                verdict = (
+                    "attack-realized" if verification.attack_realized
+                    else "attack-not-realized"
+                )
+                evidence = {
+                    "outcome": verification.describe(),
+                    "site_reached": verification.site_reached,
+                    "runs_used": verification.runs_used,
+                    "faults": [kind.value
+                               for kind in verification.fault_kinds],
+                }
+                if ground_truth is not None:
+                    evidence["ground_truth"] = ground_truth.attack_id
+                result.provenance.record(
+                    vulnerability.source, "vulnerability_verification",
+                    verdict, **evidence)
             stage.items = len(pairs)
             stage.runs = sum(
                 verification.runs_used for verification, _ in pairs
+            )
+            span.attrs.update(
+                vulnerabilities=len(pairs),
+                realized=sum(
+                    1 for verification, _ in pairs
+                    if verification.attack_realized
+                ),
             )

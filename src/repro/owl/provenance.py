@@ -1,0 +1,230 @@
+"""Per-report decision provenance: why did OWL keep or prune each report?
+
+OWL's headline claim is report *reduction* (Table 3: tens of thousands of
+raw race reports pruned down to a handful of concurrency attacks), but the
+pipeline counters only say *how many* reports each stage removed, not *why
+this one*.  The provenance log closes that gap: as :class:`OwlPipeline`
+runs, every race report accumulates a :class:`Decision` per stage with the
+stage's actual evidence —
+
+- **schedule reduction** (§5.1): the matched adhoc-sync chain (spin-read,
+  breaking branch, constant write) that pruned the report;
+- **race verification** (§5.2): whether the verifier caught the race in the
+  racing moment, with its security hints (values about to be read/written,
+  NULL-write flag) or the failed-attempt budget;
+- **vulnerability analysis** (§6.1): each vulnerable site Algorithm 1
+  reached, with its dependence kind and corrupted-branch propagation chain;
+- **vulnerability verification** (§6.2): whether a re-run realized the
+  attack, with the observed faults and the matched ground truth.
+
+Each report ends in exactly one terminal disposition — ``pruned-adhoc``,
+``unverified``, ``verified-benign`` or ``attack`` — and ``owl explain
+<program> <report-uid>`` renders the whole record as a narrative.  Reports
+are keyed by :attr:`repro.detectors.report.RaceReport.uid`, which is derived
+from the static instruction pair and therefore stable across re-runs and
+job counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional
+
+from repro.detectors.report import RaceReport
+
+#: The four terminal dispositions a report can end in.
+DISPOSITION_PRUNED_ADHOC = "pruned-adhoc"
+DISPOSITION_UNVERIFIED = "unverified"
+DISPOSITION_VERIFIED_BENIGN = "verified-benign"
+DISPOSITION_ATTACK = "attack"
+
+SCHEMA_VERSION = 1
+
+
+class Decision:
+    """One stage's verdict on one report, with the evidence behind it."""
+
+    __slots__ = ("stage", "verdict", "evidence")
+
+    def __init__(self, stage: str, verdict: str,
+                 evidence: Optional[Dict] = None):
+        self.stage = stage
+        self.verdict = verdict
+        self.evidence = evidence if evidence is not None else {}
+
+    def as_dict(self) -> Dict:
+        return {"stage": self.stage, "verdict": self.verdict,
+                "evidence": self.evidence}
+
+    def __repr__(self) -> str:
+        return "<Decision %s: %s>" % (self.stage, self.verdict)
+
+
+class ReportProvenance:
+    """The decision record for one race report."""
+
+    def __init__(self, report: RaceReport):
+        self.uid = report.uid
+        self.variable = report.variable
+        self.detector = report.detector
+        self.first = "%s by t%d at %s" % (
+            "write" if report.first.is_write else "read",
+            report.first.thread_id, report.first.location,
+        )
+        self.second = "%s by t%d at %s" % (
+            "write" if report.second.is_write else "read",
+            report.second.thread_id, report.second.location,
+        )
+        self.decisions: List[Decision] = []
+
+    # ------------------------------------------------------------------
+
+    def record(self, stage: str, verdict: str, **evidence) -> Decision:
+        decision = Decision(stage, verdict, evidence)
+        self.decisions.append(decision)
+        return decision
+
+    def verdicts(self) -> List[str]:
+        return [decision.verdict for decision in self.decisions]
+
+    @property
+    def disposition(self) -> str:
+        """The terminal disposition, resolved from the recorded verdicts.
+
+        Precedence mirrors the pipeline: a realized attack trumps
+        everything; an adhoc prune means the verifier never saw the report;
+        an unverified race was eliminated (R.V.E.); everything else that was
+        caught in the racing moment is verified-benign.
+        """
+        verdicts = set(self.verdicts())
+        if "attack-realized" in verdicts:
+            return DISPOSITION_ATTACK
+        if "pruned-adhoc" in verdicts or "eliminated-by-annotation" in verdicts:
+            return DISPOSITION_PRUNED_ADHOC
+        if "verified" in verdicts:
+            return DISPOSITION_VERIFIED_BENIGN
+        return DISPOSITION_UNVERIFIED
+
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict:
+        return {
+            "uid": self.uid,
+            "variable": self.variable,
+            "detector": self.detector,
+            "first": self.first,
+            "second": self.second,
+            "decisions": [decision.as_dict() for decision in self.decisions],
+            "disposition": self.disposition,
+        }
+
+    def narrative(self) -> str:
+        """The human-readable story ``owl explain`` prints."""
+        lines = [
+            "report %s: data race on %s [%s]" % (
+                self.uid, self.variable or "?", self.detector,
+            ),
+            "  first:  %s" % self.first,
+            "  second: %s" % self.second,
+            "",
+        ]
+        for decision in self.decisions:
+            lines.append("  [%s] %s" % (decision.stage, decision.verdict))
+            for key in sorted(decision.evidence):
+                value = decision.evidence[key]
+                if isinstance(value, (list, tuple)):
+                    value = ", ".join(str(item) for item in value) or "none"
+                lines.append("      %s: %s" % (key, value))
+        lines.append("")
+        lines.append("  disposition: %s" % self.disposition)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "<ReportProvenance %s %s (%d decisions)>" % (
+            self.uid, self.disposition, len(self.decisions),
+        )
+
+
+class ProvenanceLog:
+    """All per-report provenance of one pipeline run, in detection order."""
+
+    def __init__(self, program: str):
+        self.program = program
+        self._records: Dict[str, ReportProvenance] = {}
+
+    # ------------------------------------------------------------------
+    # accumulation (called by OwlPipeline as the stages run)
+
+    def observe(self, report: RaceReport) -> ReportProvenance:
+        """The record for ``report``, created on first sight."""
+        record = self._records.get(report.uid)
+        if record is None:
+            record = ReportProvenance(report)
+            self._records[report.uid] = record
+        return record
+
+    def record(self, report: RaceReport, stage: str, verdict: str,
+               **evidence) -> Decision:
+        return self.observe(report).record(stage, verdict, **evidence)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def get(self, uid: str) -> Optional[ReportProvenance]:
+        return self._records.get(uid)
+
+    def uids(self) -> List[str]:
+        return list(self._records)
+
+    def by_disposition(self, disposition: str) -> List[ReportProvenance]:
+        return [record for record in self
+                if record.disposition == disposition]
+
+    def __iter__(self) -> Iterator[ReportProvenance]:
+        return iter(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def summary(self) -> str:
+        """One line per report: the ``owl explain <program>`` listing."""
+        lines = ["%-12s %-16s %s" % ("uid", "disposition", "race")]
+        for record in self:
+            lines.append("%-12s %-16s %s" % (
+                record.uid, record.disposition, record.variable or "?",
+            ))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # export
+
+    def as_dict(self) -> Dict:
+        counts: Dict[str, int] = {}
+        for record in self:
+            disposition = record.disposition
+            counts[disposition] = counts.get(disposition, 0) + 1
+        return {
+            "schema": SCHEMA_VERSION,
+            "program": self.program,
+            "dispositions": counts,
+            "reports": [record.as_dict() for record in self],
+        }
+
+    def save(self, path: str) -> str:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.as_dict(), handle, indent=2, default=str)
+            handle.write("\n")
+        return path
+
+    def __repr__(self) -> str:
+        return "<ProvenanceLog %s reports=%d>" % (
+            self.program, len(self),
+        )
+
+
+def provenance_path(out_dir: str, program: str) -> str:
+    """Canonical location of a program's provenance file under ``out_dir``."""
+    return os.path.join(out_dir, "provenance_%s.json" % program)

@@ -25,6 +25,7 @@ from repro.ir.module import Module
 from repro.runtime.debugger import Debugger, PendingAccess
 from repro.runtime.interpreter import VM, ExecutionResult
 from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.spans import SpanTracer, maybe_span
 
 
 class SecurityHints:
@@ -94,6 +95,7 @@ class DynamicRaceVerifier:
         seeds: Sequence[int] = range(6),
         max_steps: int = 200_000,
         vm_factory: Optional[Callable[[int], VM]] = None,
+        tracer: Optional[SpanTracer] = None,
     ):
         self.module = module
         self.entry = entry
@@ -101,19 +103,36 @@ class DynamicRaceVerifier:
         self.seeds = list(seeds)
         self.max_steps = max_steps
         self.vm_factory = vm_factory
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
     def verify(self, report: RaceReport) -> RaceVerification:
         """One race per run, possibly several runs (seeds)."""
+        with maybe_span(self.tracer, "verify_report",
+                        report=report.uid, variable=report.variable) as span:
+            verification = self._verify(report)
+            if span is not None:
+                span.attrs.update(
+                    verified=verification.verified,
+                    runs_used=verification.runs_used,
+                    livelocks_resolved=verification.livelocks_resolved,
+                )
+        return verification
+
+    def _verify(self, report: RaceReport) -> RaceVerification:
         livelocks = 0
         for attempt, seed in enumerate(self.seeds, start=1):
             vm = self._make_vm(seed)
             debugger = Debugger(vm)
             first = debugger.add_breakpoint(report.first.instruction)
             second = debugger.add_breakpoint(report.second.instruction)
-            vm.start(self.entry)
-            hints = self._drive(vm, debugger, report)
+            with maybe_span(self.tracer, "verify_attempt",
+                            seed=seed, attempt=attempt) as span:
+                vm.start(self.entry)
+                hints = self._drive(vm, debugger, report)
+                if span is not None:
+                    span.attrs["caught"] = isinstance(hints, SecurityHints)
             if isinstance(hints, SecurityHints):
                 report.tags[self.TAG] = hints
                 return RaceVerification(report, True, hints, attempt, livelocks)
@@ -149,6 +168,9 @@ class DynamicRaceVerifier:
                 if released is None:
                     return livelocks_resolved
                 livelocks_resolved += 1
+                if self.tracer is not None:
+                    self.tracer.instant("livelock_release",
+                                        release=livelocks_resolved)
 
     def _racing_moment(self, vm: VM, debugger: Debugger, halted,
                        race_instructions) -> Optional[SecurityHints]:

@@ -33,6 +33,7 @@ from repro.ir.instructions import Br, Call, Instruction, Load, Ret, Store
 from repro.ir.module import Module
 from repro.ir.values import Value
 from repro.owl.vuln_sites import DEFAULT_REGISTRY, VulnSiteRegistry, VulnSiteType
+from repro.runtime.spans import SpanTracer, maybe_span
 
 CallStack = Tuple[Tuple[str, str, int], ...]
 
@@ -141,11 +142,13 @@ class VulnerabilityAnalyzer:
         module: Module,
         registry: VulnSiteRegistry = DEFAULT_REGISTRY,
         options: Optional[AnalysisOptions] = None,
+        tracer: Optional[SpanTracer] = None,
     ):
         self.module = module
         self.registry = registry
         self.options = options or AnalysisOptions()
         self.call_graph = CallGraph(module)
+        self.tracer = tracer
         self._reset()
 
     def _reset(self) -> None:
@@ -174,6 +177,18 @@ class VulnerabilityAnalyzer:
     def analyze(self, start: Instruction, call_stack: CallStack,
                 source: Optional[RaceReport] = None) -> List[VulnerabilityReport]:
         """DetectAttack(prog, si, cs) from Algorithm 1."""
+        with maybe_span(self.tracer, "analyze_report",
+                        start=str(start.location),
+                        report=(source.uid if source is not None else None),
+                        ) as span:
+            reports = self._analyze(start, call_stack, source)
+            if span is not None:
+                span.attrs.update(sites=len(reports),
+                                  budget_exhausted=self.budget_exhausted)
+        return reports
+
+    def _analyze(self, start: Instruction, call_stack: CallStack,
+                 source: Optional[RaceReport]) -> List[VulnerabilityReport]:
         self._reset()
         self._source = source
         self._start = start
@@ -190,10 +205,15 @@ class VulnerabilityAnalyzer:
                 # Propagation through the return value of the popped call.
                 if previous_returned_corrupted and position is not None:
                     self.corrupted.add(position)
-            returned = self._do_detect(
-                function, position, include_start=False,
-                ctrl_dep=ctrl_dep, inherited_branches=carried_branches, depth=0,
-            )
+            with maybe_span(self.tracer, "propagate",
+                            function=function.name, frame=depth) as span:
+                returned = self._do_detect(
+                    function, position, include_start=False,
+                    ctrl_dep=ctrl_dep, inherited_branches=carried_branches,
+                    depth=0,
+                )
+                if span is not None:
+                    span.attrs["sites_so_far"] = len(self.reports)
             previous_returned_corrupted = returned
         if self.options.all_callers:
             self._explore_all_callers(frames)

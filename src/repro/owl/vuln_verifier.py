@@ -25,6 +25,7 @@ from repro.runtime.debugger import Debugger
 from repro.runtime.errors import FaultKind
 from repro.runtime.interpreter import VM, ExecutionResult
 from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.spans import SpanTracer, maybe_span
 
 #: fault kinds that realize each vulnerable site type at runtime
 _FAULTS_FOR_SITE = {
@@ -86,6 +87,7 @@ class DynamicVulnerabilityVerifier:
         vm_factory: Optional[Callable[[int], VM]] = None,
         attack_predicate: Optional[Callable[[VM], bool]] = None,
         racing_order: Optional[Tuple[str, str]] = None,
+        tracer: Optional[SpanTracer] = None,
     ):
         self.module = module
         self.entry = entry
@@ -96,13 +98,32 @@ class DynamicVulnerabilityVerifier:
         self.attack_predicate = attack_predicate
         #: ("write-first" | "read-first", applied when a source race exists)
         self.racing_order = racing_order
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
     def verify(self, vulnerability: VulnerabilityReport) -> VulnVerification:
+        with maybe_span(self.tracer, "verify_vulnerability",
+                        site=str(vulnerability.site.location),
+                        site_type=vulnerability.site_type.value) as span:
+            verification = self._verify(vulnerability)
+            if span is not None:
+                span.attrs.update(
+                    site_reached=verification.site_reached,
+                    attack_realized=verification.attack_realized,
+                    runs_used=verification.runs_used,
+                )
+        return verification
+
+    def _verify(self, vulnerability: VulnerabilityReport) -> VulnVerification:
         best: Optional[VulnVerification] = None
         for attempt, seed in enumerate(self.seeds, start=1):
-            outcome = self._one_run(vulnerability, seed, attempt)
+            with maybe_span(self.tracer, "vuln_attempt",
+                            seed=seed, attempt=attempt) as span:
+                outcome = self._one_run(vulnerability, seed, attempt)
+                if span is not None:
+                    span.attrs.update(site_reached=outcome.site_reached,
+                                      attack_realized=outcome.attack_realized)
             if outcome.attack_realized:
                 return outcome
             if best is None or (outcome.site_reached and not best.site_reached):

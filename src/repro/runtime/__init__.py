@@ -50,11 +50,14 @@ from repro.runtime.os_model import OSWorld
 from repro.runtime.interpreter import VM, ExecutionResult
 from repro.runtime.debugger import Breakpoint, Debugger
 from repro.runtime.metrics import (
+    MetricsSchemaError,
     PipelineMetrics,
     RunStats,
     StageMetrics,
+    load_metrics,
     metrics_path,
 )
+from repro.runtime.spans import Span, SpanTracer, maybe_span
 
 __all__ = [
     "FaultEvent",
@@ -83,8 +86,13 @@ __all__ = [
     "ExecutionResult",
     "Breakpoint",
     "Debugger",
+    "MetricsSchemaError",
     "PipelineMetrics",
     "RunStats",
     "StageMetrics",
+    "load_metrics",
     "metrics_path",
+    "Span",
+    "SpanTracer",
+    "maybe_span",
 ]

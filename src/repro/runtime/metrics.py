@@ -11,6 +11,7 @@ item throughput (reports verified per second, seeds explored per second,
 Schema of the exported JSON (one file per program run)::
 
     {
+      "schema": 1,                  # bump on incompatible layout changes
       "program": "apache",          # ProgramSpec name
       "jobs": 4,                    # worker processes (1 = serial)
       "total_seconds": 12.3,
@@ -42,6 +43,15 @@ import os
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional
+
+#: Version of the metrics JSON layout.  ``benchmarks/out/metrics_*.json``
+#: files are compared across PRs; the loader refuses files whose schema it
+#: does not understand rather than silently mis-reading them.
+SCHEMA_VERSION = 1
+
+
+class MetricsSchemaError(ValueError):
+    """A metrics file declares a schema this code cannot interpret."""
 
 
 class RunStats:
@@ -173,6 +183,7 @@ class PipelineMetrics:
 
     def as_dict(self) -> Dict:
         return {
+            "schema": SCHEMA_VERSION,
             "program": self.program,
             "jobs": self.jobs,
             "total_seconds": self.total_seconds,
@@ -214,3 +225,21 @@ class PipelineMetrics:
 def metrics_path(out_dir: str, program: str) -> str:
     """Canonical location of a program's metrics file under ``out_dir``."""
     return os.path.join(out_dir, "metrics_%s.json" % program)
+
+
+def load_metrics(path: str) -> Dict:
+    """Load a metrics JSON file, rejecting unknown schema versions.
+
+    Raises :class:`MetricsSchemaError` when the file declares no ``schema``
+    field (pre-versioning files cannot be compared safely) or a version this
+    code does not know how to read.
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    version = data.get("schema")
+    if version != SCHEMA_VERSION:
+        raise MetricsSchemaError(
+            "%s: unsupported metrics schema %r (expected %d)"
+            % (path, version, SCHEMA_VERSION)
+        )
+    return data

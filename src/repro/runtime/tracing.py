@@ -55,13 +55,18 @@ class TraceLogger(TraceObserver):
         self.records: List[TraceRecord] = []
         self.max_records = max_records
         self.kinds = set(kinds) if kinds is not None else None
-        self.truncated = False
+        self.dropped = 0
+
+    @property
+    def truncated(self) -> bool:
+        """Whether any event was dropped after ``max_records`` filled up."""
+        return self.dropped > 0
 
     def _add(self, record: TraceRecord) -> None:
         if self.kinds is not None and record.kind not in self.kinds:
             return
         if len(self.records) >= self.max_records:
-            self.truncated = True
+            self.dropped += 1
             return
         self.records.append(record)
 
@@ -120,8 +125,12 @@ class TraceLogger(TraceObserver):
         return self.filter(lambda r: r.kind == "FAULT")
 
     def to_lines(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
-        chosen = self.records if records is None else list(records)
-        return "\n".join(record.render() for record in chosen)
+        full_log = records is None
+        chosen = self.records if full_log else list(records)
+        lines = [record.render() for record in chosen]
+        if full_log and self.dropped:
+            lines.append("... truncated (%d dropped)" % self.dropped)
+        return "\n".join(lines)
 
     def __len__(self) -> int:
         return len(self.records)

@@ -1,0 +1,52 @@
+"""Tests for the metrics JSON schema version and its loader."""
+
+import json
+
+import pytest
+
+from repro.runtime.metrics import (
+    SCHEMA_VERSION,
+    MetricsSchemaError,
+    PipelineMetrics,
+    load_metrics,
+)
+
+
+def saved_metrics(tmp_path):
+    metrics = PipelineMetrics("demo", jobs=2)
+    with metrics.stage("detect", unit="reports") as stage:
+        stage.items = 3
+    path = str(tmp_path / "metrics_demo.json")
+    metrics.save(path)
+    return path
+
+
+class TestMetricsSchema:
+    def test_as_dict_declares_current_schema(self):
+        assert PipelineMetrics("demo").as_dict()["schema"] == SCHEMA_VERSION
+
+    def test_load_round_trips_saved_file(self, tmp_path):
+        path = saved_metrics(tmp_path)
+        data = load_metrics(path)
+        assert data["program"] == "demo"
+        assert data["stages"][0]["name"] == "detect"
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = saved_metrics(tmp_path)
+        with open(path) as handle:
+            data = json.load(handle)
+        data["schema"] = SCHEMA_VERSION + 1
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        with pytest.raises(MetricsSchemaError, match="unsupported"):
+            load_metrics(path)
+
+    def test_load_rejects_missing_schema_field(self, tmp_path):
+        path = saved_metrics(tmp_path)
+        with open(path) as handle:
+            data = json.load(handle)
+        del data["schema"]
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        with pytest.raises(MetricsSchemaError):
+            load_metrics(path)

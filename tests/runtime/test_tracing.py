@@ -52,6 +52,30 @@ class TestTraceLogger:
         assert len(logger) == 5
         assert logger.truncated
 
+    def test_dropped_counts_every_overflow_event(self):
+        _, full = traced_run()
+        _, logger = traced_run(max_records=5)
+        assert logger.dropped == len(full.records) - 5
+
+    def test_untruncated_logger_reports_zero_dropped(self):
+        _, logger = traced_run()
+        assert logger.dropped == 0
+        assert not logger.truncated
+
+    def test_to_lines_ends_with_truncation_marker(self):
+        _, logger = traced_run(max_records=5)
+        lines = logger.to_lines().splitlines()
+        assert lines[-1] == "... truncated (%d dropped)" % logger.dropped
+
+    def test_to_lines_on_explicit_records_omits_marker(self):
+        _, logger = traced_run(max_records=5)
+        text = logger.to_lines(logger.records[:3])
+        assert "truncated" not in text
+
+    def test_to_lines_without_truncation_has_no_marker(self):
+        _, logger = traced_run()
+        assert "truncated" not in logger.to_lines()
+
     def test_faults_recorded(self):
         from repro.ir import IRBuilder, Module, verify_module
         from repro.ir.types import I64, I32, ptr
