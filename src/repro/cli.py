@@ -11,12 +11,15 @@ Commands:
   Chrome ``trace_event`` + JSON-lines trace files.
 - ``owl explain <program> [report-uid]`` — print the provenance narrative
   for one race report, or the disposition listing for all of them.
+- ``owl resume <program>`` — finish an interrupted ``--cache`` run from
+  its journal (completed work is answered from the result cache).
 - ``owl study`` — print the section-3 study findings.
 - ``owl list`` — list available targets and attack ids.
 
 ``detect`` and ``export`` also accept ``--trace PATH`` to save the run's
 span tree (Chrome format when PATH ends in ``.json``, JSON lines
-otherwise).
+otherwise), and ``--cache``/``--no-cache`` to reuse stage results across
+invocations (see ``docs/OPERATIONS.md`` for the runbook).
 """
 
 from __future__ import annotations
@@ -24,6 +27,39 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+
+def _make_pipeline(spec, args, journal_config=None):
+    """An :class:`OwlPipeline` configured from the shared CLI flags.
+
+    Returns ``(pipeline, cache, journal)``; ``cache``/``journal`` are None
+    unless ``--cache`` was given.
+    """
+    from repro import OwlPipeline
+    from repro.owl.batch import BatchPolicy
+    from repro.owl.cache import ResultCache
+    from repro.owl.journal import BatchJournal, journal_path
+
+    policy = BatchPolicy(
+        timeout=getattr(args, "item_timeout", None),
+        retries=getattr(args, "retries", 2),
+    )
+    cache = journal = None
+    if getattr(args, "cache", False):
+        cache = ResultCache(args.cache_dir)
+        journal = BatchJournal(journal_path(args.cache_dir, spec.name))
+    pipeline = OwlPipeline(
+        spec, jobs=args.jobs, cache=cache, policy=policy,
+        journal=journal, journal_config=journal_config or {},
+    )
+    return pipeline, cache, journal
+
+
+def _finish_cached_run(cache, journal) -> None:
+    if cache is not None:
+        print(cache.describe())
+    if journal is not None:
+        journal.close()
 
 
 def _cmd_list(_args) -> int:
@@ -49,11 +85,12 @@ def _save_trace(result, path: str) -> None:
 
 
 def _cmd_detect(args) -> int:
-    from repro import OwlPipeline, spec_by_name
+    from repro import spec_by_name
     from repro.owl.hints import format_full_report
 
     spec = spec_by_name(args.program)
-    pipeline = OwlPipeline(spec, jobs=args.jobs)
+    pipeline, cache, journal = _make_pipeline(
+        spec, args, journal_config={"metrics_path": args.metrics})
     result = pipeline.run()
     counters = result.counters
     print("== OWL pipeline: %s ==" % spec.name)
@@ -79,6 +116,7 @@ def _cmd_detect(args) -> int:
         print("metrics written to %s" % args.metrics)
     if args.trace:
         _save_trace(result, args.trace)
+    _finish_cached_run(cache, journal)
     print()
     print(result.metrics.describe())
     return 0
@@ -109,11 +147,15 @@ def _cmd_exploits(args) -> int:
 
 
 def _cmd_export(args) -> int:
-    from repro import OwlPipeline, spec_by_name
+    from repro import spec_by_name
     from repro.owl.export import save_result
 
     spec = spec_by_name(args.program)
-    result = OwlPipeline(spec, jobs=args.jobs).run()
+    pipeline, cache, journal = _make_pipeline(
+        spec, args,
+        journal_config={"export_path": args.path,
+                        "metrics_path": args.metrics})
+    result = pipeline.run()
     save_result(result, args.path)
     print("wrote %s (%d vulnerability reports, %d realized attacks)" % (
         args.path, result.counters.vulnerability_reports,
@@ -124,6 +166,38 @@ def _cmd_export(args) -> int:
         print("metrics written to %s" % args.metrics)
     if args.trace:
         _save_trace(result, args.trace)
+    _finish_cached_run(cache, journal)
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from repro.owl.cache import DEFAULT_CACHE_DIR
+    from repro.owl.journal import journal_path, load_journal, resume
+
+    cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    path = args.journal or journal_path(cache_dir, args.program)
+    try:
+        state = load_journal(path)
+    except FileNotFoundError:
+        print("no journal at %s — nothing to resume (run with --cache "
+              "first)" % path, file=sys.stderr)
+        return 1
+    if state.completed:
+        print(state.describe())
+        print("run already completed; nothing to resume")
+        return 0
+    result, state = resume(path, jobs=args.jobs)
+    print(state.describe())
+    print()
+    counters = result.counters
+    print("resumed run finished: %d raw reports, %d remaining, "
+          "%d realized attacks" % (
+              counters.raw_reports, counters.remaining,
+              len(result.realized_attacks())))
+    if result.metrics is not None and result.metrics.cache is not None:
+        block = result.metrics.cache
+        print("cache: %d hits, %d misses, %d stored" % (
+            block["hits"], block["misses"], block["stores"]))
     return 0
 
 
@@ -207,6 +281,29 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list targets and attacks").set_defaults(
         func=_cmd_list)
+
+    def add_cache_arguments(command):
+        from repro.owl.cache import DEFAULT_CACHE_DIR
+
+        command.add_argument(
+            "--cache", dest="cache", action="store_true", default=False,
+            help="reuse stage results from the on-disk result cache and "
+                 "journal progress for `owl resume`")
+        command.add_argument(
+            "--no-cache", dest="cache", action="store_false",
+            help="run everything fresh (the default)")
+        command.add_argument(
+            "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+            help="cache root (default: %s)" % DEFAULT_CACHE_DIR)
+        command.add_argument(
+            "--item-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-item result-wait budget for pooled stages "
+                 "(default: wait; VM step budgets bound every run)")
+        command.add_argument(
+            "--retries", type=int, default=2, metavar="N",
+            help="retry waves for transient worker failures before "
+                 "falling back to in-process execution (default: 2)")
+
     detect = sub.add_parser("detect", help="run the OWL pipeline on a target")
     detect.add_argument("program")
     detect.add_argument("--jobs", type=int, default=1,
@@ -218,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the run's span tree to PATH (Chrome "
                              "trace_event when PATH ends in .json, JSON "
                              "lines otherwise)")
+    add_cache_arguments(detect)
     detect.set_defaults(func=_cmd_detect)
     exploit = sub.add_parser("exploit", help="run one exploit script")
     exploit.add_argument("attack_id")
@@ -238,7 +336,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the run's span tree to PATH (Chrome "
                              "trace_event when PATH ends in .json, JSON "
                              "lines otherwise)")
+    add_cache_arguments(export)
     export.set_defaults(func=_cmd_export)
+    resume = sub.add_parser(
+        "resume",
+        help="finish an interrupted --cache run from its journal")
+    resume.add_argument("program")
+    resume.add_argument("--journal", metavar="PATH", default=None,
+                        help="journal file (default: "
+                             "<cache-dir>/journal_<program>.jsonl)")
+    resume.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="cache root the interrupted run used")
+    resume.add_argument("--jobs", type=int, default=None,
+                        help="override the journaled job count")
+    resume.set_defaults(func=_cmd_resume)
     trace = sub.add_parser(
         "trace", help="run the pipeline with span tracing, save trace files")
     trace.add_argument("program")

@@ -79,6 +79,8 @@ def run_ski(
     module_source: Optional[Callable[[], Module]] = None,
     stats_out: Optional[List] = None,
     tracer=None,
+    cache=None,
+    policy=None,
 ) -> Tuple[ReportSet, List[ExecutionResult]]:
     """Systematically explore schedules of a kernel program.
 
@@ -86,16 +88,18 @@ def run_ski(
     change points), SKI's published exploration strategy class.  Reports are
     merged across seeds with static deduplication.
 
-    ``jobs``/``module_source``/``stats_out`` behave exactly as in
-    :func:`repro.detectors.tsan.run_tsan`.
+    ``jobs``/``module_source``/``stats_out``/``cache``/``policy`` behave
+    exactly as in :func:`repro.detectors.tsan.run_tsan`.
     """
-    if jobs and jobs > 1 and module_source is not None:
+    if ((jobs and jobs > 1) or cache is not None) \
+            and module_source is not None:
         from repro.owl.batch import run_seeds_parallel
 
         return run_seeds_parallel(
             "ski", module, module_source, entry=entry, inputs=inputs,
             seeds=seeds, annotations=annotations, max_steps=max_steps,
             depth=depth, jobs=jobs, stats_out=stats_out, tracer=tracer,
+            cache=cache, policy=policy,
         )
     reports = ReportSet()
     results: List[ExecutionResult] = []

@@ -289,6 +289,8 @@ def run_tsan(
     module_source: Optional[Callable[[], Module]] = None,
     stats_out: Optional[List] = None,
     tracer=None,
+    cache=None,
+    policy=None,
 ) -> Tuple[ReportSet, List[ExecutionResult]]:
     """Run the detector over several schedules and merge the reports.
 
@@ -300,16 +302,21 @@ def run_tsan(
     module-level factory function), seeds fan out across a process pool via
     :mod:`repro.owl.batch`; the merge stays in seed order, so the result is
     identical to the serial run.  ``stats_out``, when given a list, receives
-    one :class:`repro.runtime.metrics.RunStats` per seed.
+    one :class:`repro.runtime.metrics.RunStats` per seed.  A ``cache``
+    (:class:`repro.owl.cache.ResultCache`) also routes through the batch
+    path — already-computed seeds are answered from disk, even at
+    ``jobs=1`` — and ``policy`` (:class:`repro.owl.batch.BatchPolicy`)
+    bounds each pooled item's wait/retry budget.
     """
-    if jobs and jobs > 1 and module_source is not None:
+    if ((jobs and jobs > 1) or cache is not None) \
+            and module_source is not None:
         from repro.owl.batch import run_seeds_parallel
 
         return run_seeds_parallel(
             "tsan", module, module_source, entry=entry, inputs=inputs,
             seeds=seeds, annotations=annotations, max_steps=max_steps,
             entry_args=entry_args, jobs=jobs, stats_out=stats_out,
-            tracer=tracer,
+            tracer=tracer, cache=cache, policy=policy,
         )
     reports = ReportSet()
     results: List[ExecutionResult] = []

@@ -29,12 +29,45 @@ Parallel execution therefore requires the :class:`ProgramSpec` to be
 resolvable by name through :mod:`repro.apps.registry` (or an explicit
 picklable ``module_source``); anything else silently falls back to the
 serial path with identical results.
+
+**Determinism and parity invariants** (the contract every function here
+keeps, and the tests in ``tests/owl/test_batch.py`` enforce):
+
+1. *Order independence* — results are reassembled by seed / report /
+   vulnerability index, never by completion order, so
+   :meth:`StageCounters.parity_dict` is bit-identical at any job count.
+2. *Identity through payloads* — instruction identity crosses the process
+   boundary as the module uid; rehydrating against the parent's module
+   restores object identity, so breakpoints and tag lookups behave as in
+   a serial run.
+3. *Worker equivalence* — running a worker function in-process (the serial
+   fallback, or a cache miss at ``jobs=1``) produces the same payload the
+   pooled worker would, so fault-tolerant degradation never changes
+   results, only wall-clock.
+4. *Cache transparency* — a cache hit returns the exact payload the worker
+   originally produced (minus spans), so cached and uncached runs emit
+   bit-identical counters and provenance dispositions (see
+   :mod:`repro.owl.cache`).
+
+**Fault tolerance** (:class:`BatchPolicy`, :func:`run_tasks`): each item
+gets a per-item result-wait budget; transient failures — a crashed worker
+process, a broken pool, a timeout — are retried with exponential backoff,
+and items still failing after the retry budget are re-run serially
+in-process, so one bad worker degrades throughput rather than failing the
+batch.  Workers always terminate on their own eventually (every VM runs
+under a ``max_steps`` budget), so "hung" here means slow, and pool
+shutdown is bounded.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    as_completed,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -66,9 +99,13 @@ def access_to_payload(record: AccessRecord) -> Tuple:
 
 def access_from_payload(module: Module, payload: Tuple) -> AccessRecord:
     uid, thread_id, is_write, value, call_stack, address, step, size = payload
+    # Frames arrive as tuples from pickled payloads but as lists from
+    # JSON-round-tripped cache entries; normalize so both rehydrate to the
+    # same CallStack shape.
     return AccessRecord(
         module.instruction_by_uid(uid), thread_id, is_write, value,
-        tuple(call_stack), address, step=step, size=size,
+        tuple(tuple(frame) for frame in call_stack), address,
+        step=step, size=size,
     )
 
 
@@ -216,6 +253,173 @@ def make_executor(jobs: int) -> ProcessPoolExecutor:
 
 
 # ---------------------------------------------------------------------------
+# fault-tolerant task execution
+
+#: Sentinel distinguishing "no result yet" from any legitimate worker output.
+_UNSET = object()
+
+
+class BatchPolicy:
+    """Fault-tolerance budgets for batched worker tasks.
+
+    - ``timeout`` — per-item result-wait budget in seconds (None = wait
+      forever; workers always terminate on their own because every VM runs
+      under ``max_steps``).
+    - ``retries`` — how many extra parallel waves a failed item gets.
+    - ``backoff`` — sleep before the first retry wave, doubling each wave
+      (exponential backoff for transient failures).
+    - ``serial_fallback`` — whether items that exhaust the retry budget are
+      re-run in-process; when False they raise instead.
+
+    The instance also *accumulates* counters across every batch it
+    supervises (one policy serves a whole pipeline run); they surface in
+    the metrics JSON as the ``"batch"`` block (schema 2).
+    """
+
+    def __init__(self, timeout: Optional[float] = None, retries: int = 2,
+                 backoff: float = 0.1, serial_fallback: bool = True):
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+        self.serial_fallback = serial_fallback
+        self.timeouts = 0
+        self.retried = 0
+        self.worker_failures = 0
+        self.serial_fallbacks = 0
+
+    def counters(self) -> Dict:
+        """The metrics-JSON ``"batch"`` block (schema 2)."""
+        return {
+            "timeout_seconds": self.timeout,
+            "retry_budget": self.retries,
+            "backoff_seconds": self.backoff,
+            "timeouts": self.timeouts,
+            "retries": self.retried,
+            "worker_failures": self.worker_failures,
+            "serial_fallbacks": self.serial_fallbacks,
+        }
+
+    def __repr__(self) -> str:
+        return ("<BatchPolicy timeout=%s retries=%d timeouts=%d "
+                "failures=%d fallbacks=%d>") % (
+            self.timeout, self.retries, self.timeouts,
+            self.worker_failures, self.serial_fallbacks,
+        )
+
+
+def run_tasks(worker: Callable[[Dict], Dict], payloads: Sequence[Dict],
+              pool: Optional[ProcessPoolExecutor],
+              policy: Optional[BatchPolicy] = None) -> List[Dict]:
+    """Run ``worker`` over ``payloads`` on ``pool``; results in payload order.
+
+    Transient failures — a worker process dying (``BrokenExecutor``), an
+    exception escaping the worker, or an item exceeding the policy's
+    per-item timeout — are retried in waves with exponential backoff.
+    Items that exhaust the retry budget (or face a broken/absent pool) are
+    re-run serially in-process, so a flaky pool degrades to serial
+    execution with identical results instead of failing the batch.
+    Deterministic worker errors therefore surface exactly once, from the
+    in-process run, with a real traceback.
+    """
+    policy = policy if policy is not None else BatchPolicy()
+    results: List = [_UNSET] * len(payloads)
+    pending = list(range(len(payloads)))
+    broken = pool is None
+    wave = 0
+    while pending and not broken and wave <= policy.retries:
+        if wave:
+            policy.retried += len(pending)
+            time.sleep(policy.backoff * (2 ** (wave - 1)))
+        futures = {}
+        try:
+            for index in pending:
+                futures[pool.submit(worker, payloads[index])] = index
+        except Exception:
+            broken = True  # pool refused work (shut down or broken)
+        for future, index in futures.items():
+            try:
+                results[index] = future.result(timeout=policy.timeout)
+            except FuturesTimeoutError:
+                policy.timeouts += 1
+                future.cancel()
+            except BrokenExecutor:
+                policy.worker_failures += 1
+                broken = True
+            except Exception:
+                policy.worker_failures += 1
+        pending = [index for index in pending if results[index] is _UNSET]
+        wave += 1
+    if pending:
+        if not policy.serial_fallback:
+            raise RuntimeError(
+                "%d/%d batch items failed after %d retries"
+                % (len(pending), len(payloads), policy.retries))
+        for index in pending:
+            policy.serial_fallbacks += 1
+            results[index] = worker(payloads[index])
+    return results
+
+
+def _cacheable(output: Dict) -> Dict:
+    """What of a worker output goes into the result cache.
+
+    Spans are observations of one particular execution (timings, worker
+    ids), not results — replaying them from a warm cache would be lying
+    about where time went, so they are stripped; cache hits get a single
+    ``cached=True`` marker span instead.
+    """
+    return {key: value for key, value in output.items() if key != "spans"}
+
+
+def run_cached_tasks(
+    worker: Callable[[Dict], Dict],
+    payloads: Sequence[Dict],
+    cache=None,
+    stage: str = "",
+    keys: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    executor: Optional[ProcessPoolExecutor] = None,
+    policy: Optional[BatchPolicy] = None,
+) -> List[Dict]:
+    """Cache-aware, fault-tolerant fan-out of one stage's items.
+
+    Items whose key is already in ``cache`` are answered from disk (their
+    output gains ``"cached": True`` and carries no spans); the rest run
+    via :func:`run_tasks` on a pool when ``jobs > 1`` or an ``executor``
+    is supplied, in-process otherwise, and their stripped outputs are
+    stored.  Outputs always come back in payload order, so the merge the
+    caller performs is identical no matter which items were cached, pooled
+    or re-run serially.
+    """
+    results: List[Optional[Dict]] = [None] * len(payloads)
+    missing: List[int] = []
+    if cache is not None and keys is not None:
+        for index in range(len(payloads)):
+            value = cache.get(stage, keys[index])
+            if value is not None:
+                output = dict(value)
+                output["cached"] = True
+                results[index] = output
+            else:
+                missing.append(index)
+    else:
+        missing = list(range(len(payloads)))
+    if missing:
+        miss_payloads = [payloads[index] for index in missing]
+        if jobs > 1 or executor is not None:
+            with _pool(jobs, executor) as pool:
+                outputs = run_tasks(worker, miss_payloads, pool,
+                                    policy=policy)
+        else:
+            outputs = [worker(payload) for payload in miss_payloads]
+        for index, output in zip(missing, outputs):
+            results[index] = output
+            if cache is not None and keys is not None:
+                cache.put(stage, keys[index], _cacheable(output))
+    return results
+
+
+# ---------------------------------------------------------------------------
 # stage 1/2: detector fan-out across seeds (and programs)
 
 
@@ -268,6 +472,12 @@ def _detect_payload(kind: str, source, seed: int, entry: str, inputs,
     }
 
 
+def _detect_item_key(cache, module: Module, payload: Dict) -> str:
+    """Cache key of one detector seed: everything but the module source."""
+    parts = {key: value for key, value in payload.items() if key != "source"}
+    return cache.key("detect", module=module, **parts)
+
+
 def run_seeds_parallel(
     kind: str,
     module: Module,
@@ -283,6 +493,8 @@ def run_seeds_parallel(
     stats_out: Optional[List] = None,
     executor: Optional[ProcessPoolExecutor] = None,
     tracer: Optional[SpanTracer] = None,
+    cache=None,
+    policy: Optional[BatchPolicy] = None,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """Fan one program's seeds out over worker processes.
 
@@ -292,29 +504,39 @@ def run_seeds_parallel(
     order regardless of completion order, so the returned
     :class:`ReportSet` is identical to the serial run's — and so is the
     span tree adopted into ``tracer``.
+
+    With a ``cache`` (:class:`repro.owl.cache.ResultCache`), seeds whose
+    results are already on disk are not re-executed — including at
+    ``jobs=1``, where misses run in-process; ``policy`` adds per-item
+    timeout/retry fault tolerance to the pooled path.
     """
     seeds = list(seeds)
     annotations_payload = annotations_to_payload(annotations)
-    outputs: Dict[int, Dict] = {}
-    with _pool(jobs, executor) as pool:
-        futures = [
-            pool.submit(_detect_worker, _detect_payload(
-                kind, module_source, seed, entry, inputs,
-                annotations_payload, max_steps, depth, entry_args,
-            ))
-            for seed in seeds
-        ]
-        for future in as_completed(futures):
-            output = future.result()
-            outputs[output["seed"]] = output
+    payloads = [
+        _detect_payload(kind, module_source, seed, entry, inputs,
+                        annotations_payload, max_steps, depth, entry_args)
+        for seed in seeds
+    ]
+    keys = (
+        [_detect_item_key(cache, module, payload) for payload in payloads]
+        if cache is not None else None
+    )
+    outputs = run_cached_tasks(
+        _detect_worker, payloads, cache=cache, stage="detect", keys=keys,
+        jobs=jobs, executor=executor, policy=policy,
+    )
     merged = ReportSet()
     stats: List[RunStats] = []
-    for seed in seeds:  # deterministic, completion-order independent
-        output = outputs[seed]
+    for seed, output in zip(seeds, outputs):  # seed order, always
         merged.merge(reports_from_payloads(module, output["reports"]))
         stats.append(RunStats(*output["stats"]))
         if tracer is not None:
-            tracer.adopt(output["spans"])
+            if output.get("cached"):
+                with tracer.span("detect_seed", seed=seed, detector=kind,
+                                 cached=True, reports=output["stats"][4]):
+                    pass
+            else:
+                tracer.adopt(output["spans"])
     if stats_out is not None:
         stats_out.extend(stats)
     return merged, stats
@@ -327,9 +549,19 @@ def run_detector_batch(
     executor: Optional[ProcessPoolExecutor] = None,
     stats_out: Optional[List] = None,
     tracer: Optional[SpanTracer] = None,
+    cache=None,
+    policy: Optional[BatchPolicy] = None,
 ) -> Tuple[ReportSet, List[RunStats]]:
-    """The spec's front-end detector over its seeds, parallel when possible."""
-    if (jobs <= 1 and executor is None) or not can_parallelize(spec):
+    """The spec's front-end detector over its seeds, parallel when possible.
+
+    Caching, like parallelism, requires the spec to be resolvable by name
+    through the registry; for anything else ``cache`` is ignored and the
+    serial path runs as before.
+    """
+    if not can_parallelize(spec):
+        cache = None  # keys need the registry-rebuilt module
+    if ((jobs <= 1 and executor is None) and cache is None) \
+            or not can_parallelize(spec):
         from repro.owl.integration import run_detector
 
         stats: List[RunStats] = []
@@ -343,6 +575,7 @@ def run_detector_batch(
         inputs=spec.workload_inputs, seeds=spec.detect_seeds,
         annotations=annotations, max_steps=spec.max_steps, jobs=jobs,
         stats_out=stats_out, executor=executor, tracer=tracer,
+        cache=cache, policy=policy,
     )
 
 
@@ -350,6 +583,8 @@ def run_detectors_batch(
     specs: Sequence[ProgramSpec],
     jobs: int = 2,
     executor: Optional[ProcessPoolExecutor] = None,
+    cache=None,
+    policy: Optional[BatchPolicy] = None,
 ) -> Dict[str, Tuple[ReportSet, List[RunStats]]]:
     """Fan *all* ``(program × seed)`` detector runs out over one pool.
 
@@ -359,25 +594,33 @@ def run_detectors_batch(
     """
     parallel = [spec for spec in specs if can_parallelize(spec)]
     serial = [spec for spec in specs if not can_parallelize(spec)]
-    outputs: Dict[str, Dict[int, Dict]] = {spec.name: {} for spec in parallel}
-    with _pool(jobs, executor) as pool:
-        futures = {}
-        for spec in parallel:
-            for seed in spec.detect_seeds:
-                future = pool.submit(_detect_worker, _detect_payload(
-                    spec.detector, spec.name, seed, spec.entry,
-                    spec.workload_inputs, None, spec.max_steps, 3, (),
-                ))
-                futures[future] = spec.name
-        for future in as_completed(futures):
-            output = future.result()
-            outputs[futures[future]][output["seed"]] = output
+    payloads: List[Dict] = []
+    owners: List[ProgramSpec] = []
+    for spec in parallel:
+        for seed in spec.detect_seeds:
+            payloads.append(_detect_payload(
+                spec.detector, spec.name, seed, spec.entry,
+                spec.workload_inputs, None, spec.max_steps, 3, (),
+            ))
+            owners.append(spec)
+    keys = (
+        [_detect_item_key(cache, spec.build(), payload)
+         for spec, payload in zip(owners, payloads)]
+        if cache is not None else None
+    )
+    outputs = run_cached_tasks(
+        _detect_worker, payloads, cache=cache, stage="detect", keys=keys,
+        jobs=jobs, executor=executor, policy=policy,
+    )
+    grouped: Dict[str, Dict[int, Dict]] = {spec.name: {} for spec in parallel}
+    for spec, output in zip(owners, outputs):
+        grouped[spec.name][output["seed"]] = output
     results: Dict[str, Tuple[ReportSet, List[RunStats]]] = {}
     for spec in parallel:
         merged = ReportSet()
         stats: List[RunStats] = []
         for seed in spec.detect_seeds:
-            output = outputs[spec.name][seed]
+            output = grouped[spec.name][seed]
             merged.merge(reports_from_payloads(spec.build(), output["reports"]))
             stats.append(RunStats(*output["stats"]))
         results[spec.name] = (merged, stats)
@@ -430,12 +673,17 @@ def verify_races_batch(
     jobs: int = 1,
     executor: Optional[ProcessPoolExecutor] = None,
     tracer: Optional[SpanTracer] = None,
+    cache=None,
+    policy: Optional[BatchPolicy] = None,
 ) -> List[RaceVerification]:
     """Verify each report in its own worker; results keep report order."""
     reports = list(reports)
     if not reports:
         return []
-    if (jobs <= 1 and executor is None) or not can_parallelize(spec):
+    if not can_parallelize(spec):
+        cache = None
+    if ((jobs <= 1 and executor is None) and cache is None) \
+            or not can_parallelize(spec):
         verifier = DynamicRaceVerifier(
             spec.build(), entry=spec.entry, inputs=spec.workload_inputs,
             seeds=spec.verify_seeds, max_steps=spec.max_steps,
@@ -455,29 +703,41 @@ def verify_races_batch(
         }
         for index, report in enumerate(reports)
     ]
-    outcomes: List[Optional[RaceVerification]] = [None] * len(reports)
-    spans: List[Optional[List]] = [None] * len(reports)
-    with _pool(jobs, executor) as pool:
-        futures = [pool.submit(_race_verify_worker, p) for p in payloads]
-        for future in as_completed(futures):
-            output = future.result()
-            report = reports[output["index"]]
-            hints = (
-                SecurityHints(**output["hints"])
-                if output["hints"] is not None else None
-            )
-            if output["verified"]:
-                report.tags[DynamicRaceVerifier.TAG] = hints
-            outcomes[output["index"]] = RaceVerification(
-                report, output["verified"], hints, output["runs_used"],
-                output["livelocks_resolved"],
-            )
-            spans[output["index"]] = output["spans"]
-    if tracer is not None:
-        for payload in spans:  # report order, not completion order
-            if payload:
-                tracer.adopt(payload)
-    return [outcome for outcome in outcomes if outcome is not None]
+    keys = None
+    if cache is not None:
+        module = spec.build()
+        keys = [
+            cache.key("race_verify", module=module, **{
+                key: value for key, value in payload.items()
+                if key != "index"
+            })
+            for payload in payloads
+        ]
+    outputs = run_cached_tasks(
+        _race_verify_worker, payloads, cache=cache, stage="race_verify",
+        keys=keys, jobs=jobs, executor=executor, policy=policy,
+    )
+    outcomes: List[RaceVerification] = []
+    for index, output in enumerate(outputs):  # report order, always
+        report = reports[index]
+        hints = (
+            SecurityHints(**output["hints"])
+            if output["hints"] is not None else None
+        )
+        if output["verified"]:
+            report.tags[DynamicRaceVerifier.TAG] = hints
+        outcomes.append(RaceVerification(
+            report, output["verified"], hints, output["runs_used"],
+            output["livelocks_resolved"],
+        ))
+        if tracer is not None:
+            if output.get("cached"):
+                with tracer.span("verify_report", report=report.uid,
+                                 cached=True, verified=output["verified"]):
+                    pass
+            elif output["spans"]:
+                tracer.adopt(output["spans"])
+    return outcomes
 
 
 # ---------------------------------------------------------------------------
@@ -527,6 +787,8 @@ def verify_vulns_batch(
     jobs: int = 1,
     executor: Optional[ProcessPoolExecutor] = None,
     tracer: Optional[SpanTracer] = None,
+    cache=None,
+    policy: Optional[BatchPolicy] = None,
 ) -> List[Tuple[VulnVerification, Optional[AttackGroundTruth]]]:
     """Verify each vulnerability in its own worker; results keep input order.
 
@@ -538,7 +800,10 @@ def verify_vulns_batch(
     vulnerabilities = list(vulnerabilities)
     if not vulnerabilities:
         return []
-    if (jobs <= 1 and executor is None) or not can_parallelize(spec):
+    if not can_parallelize(spec):
+        cache = None
+    if ((jobs <= 1 and executor is None) and cache is None) \
+            or not can_parallelize(spec):
         return [
             _verify_vuln_serial(spec, vulnerability, tracer=tracer)
             for vulnerability in vulnerabilities
@@ -556,30 +821,43 @@ def verify_vulns_batch(
         }
         for index, vulnerability in enumerate(vulnerabilities)
     ]
-    outcomes: List[Optional[Tuple[VulnVerification, Optional[AttackGroundTruth]]]]
-    outcomes = [None] * len(vulnerabilities)
-    spans: List[Optional[List]] = [None] * len(vulnerabilities)
-    with _pool(jobs, executor) as pool:
-        futures = [pool.submit(_vuln_verify_worker, p) for p in payloads]
-        for future in as_completed(futures):
-            output = future.result()
-            vulnerability = vulnerabilities[output["index"]]
-            ground_truth = spec.attack_for_site(vulnerability.site.location)
-            verification = VulnVerification(
-                vulnerability,
-                output["site_reached"],
-                output["attack_realized"],
-                [module.instruction_by_uid(uid) for uid in output["diverged"]],
-                [FaultKind(value) for value in output["faults"]],
-                output["runs_used"],
-            )
-            outcomes[output["index"]] = (verification, ground_truth)
-            spans[output["index"]] = output["spans"]
-    if tracer is not None:
-        for payload in spans:  # vulnerability order, not completion order
-            if payload:
-                tracer.adopt(payload)
-    return [outcome for outcome in outcomes if outcome is not None]
+    keys = None
+    if cache is not None:
+        keys = [
+            cache.key("vuln_verify", module=module, **{
+                key: value for key, value in payload.items()
+                if key != "index"
+            })
+            for payload in payloads
+        ]
+    outputs = run_cached_tasks(
+        _vuln_verify_worker, payloads, cache=cache, stage="vuln_verify",
+        keys=keys, jobs=jobs, executor=executor, policy=policy,
+    )
+    outcomes: List[Tuple[VulnVerification, Optional[AttackGroundTruth]]] = []
+    for index, output in enumerate(outputs):  # vulnerability order, always
+        vulnerability = vulnerabilities[index]
+        ground_truth = spec.attack_for_site(vulnerability.site.location)
+        verification = VulnVerification(
+            vulnerability,
+            output["site_reached"],
+            output["attack_realized"],
+            [module.instruction_by_uid(uid) for uid in output["diverged"]],
+            [FaultKind(value) for value in output["faults"]],
+            output["runs_used"],
+        )
+        outcomes.append((verification, ground_truth))
+        if tracer is not None:
+            if output.get("cached"):
+                with tracer.span(
+                    "verify_vulnerability",
+                    site=str(vulnerability.site.location),
+                    cached=True, realized=output["attack_realized"],
+                ):
+                    pass
+            elif output["spans"]:
+                tracer.adopt(output["spans"])
+    return outcomes
 
 
 def _verify_vuln_serial(

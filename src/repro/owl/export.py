@@ -86,6 +86,10 @@ def result_to_dict(result: PipelineResult) -> Dict:
         "provenance": (
             result.provenance.as_dict() if result.provenance else None
         ),
+        "cache": (
+            result.metrics.cache
+            if result.metrics is not None else None
+        ),
     }
 
 

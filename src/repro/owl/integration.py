@@ -31,6 +31,8 @@ def run_detector(
     executor=None,
     stats_out: Optional[List] = None,
     tracer=None,
+    cache=None,
+    policy=None,
 ) -> Tuple[ReportSet, List]:
     """Run the spec's front-end detector over its configured schedules.
 
@@ -43,13 +45,20 @@ def run_detector(
     boundaries); ``stats_out`` receives the stats in both modes.  ``tracer``
     (a :class:`repro.runtime.spans.SpanTracer`) collects one ``detect_seed``
     span per execution, adopted in seed order in the parallel case.
+
+    A ``cache`` (:class:`repro.owl.cache.ResultCache`) also routes through
+    the batch path — even at ``jobs=1``, where cache misses execute
+    in-process — so already-computed seeds are never re-executed; the
+    per-seed stats then come back as :class:`RunStats` as in the parallel
+    case.  ``policy`` (:class:`repro.owl.batch.BatchPolicy`) supplies the
+    pooled path's timeout/retry budgets.
     """
-    if (jobs and jobs > 1) or executor is not None:
+    if (jobs and jobs > 1) or executor is not None or cache is not None:
         from repro.owl.batch import run_detector_batch
 
         return run_detector_batch(
             spec, annotations=annotations, jobs=jobs, executor=executor,
-            stats_out=stats_out, tracer=tracer,
+            stats_out=stats_out, tracer=tracer, cache=cache, policy=policy,
         )
     if spec.detector == "ski":
         return run_ski(

@@ -1,0 +1,237 @@
+"""Crash-resilient run journal: the breadcrumbs ``owl resume`` follows.
+
+A :class:`BatchJournal` is an append-only JSON-lines file recording one
+pipeline run: a ``begin`` line with the program and configuration, one
+``item`` line per completed unit of cached work (written by
+:class:`repro.owl.cache.ResultCache` as results land), and an ``end`` line
+when the run finishes.  Every line is flushed as it is written, so a
+killed or crashed run leaves a *half journal*: a ``begin`` line, some
+``item`` lines, no ``end``.
+
+Resume is then cheap by construction: every item journaled as done has its
+result in the content-addressed cache, so :func:`resume` simply re-runs
+the pipeline with the same configuration and the same cache — completed
+work is a cache hit, only the missing tail re-executes — and appends a
+``resume`` marker plus the new items to the same journal.  Because cached
+and fresh results are bit-identical (see :mod:`repro.owl.cache`), a
+resumed run's counters and provenance match what the uninterrupted run
+would have produced.
+
+Journal layout (one JSON object per line)::
+
+    {"event": "begin", "schema": 1, "program": "apache", "jobs": 2,
+     "cache_dir": "...", "config": {"export_path": ..., "metrics_path": ...}}
+    {"event": "item", "stage": "detect", "key": "3f2a...", "status": "done"}
+    {"event": "item", "stage": "race_verify", "key": "...", "status": "hit"}
+    {"event": "resume"}           # appended by each `owl resume`
+    {"event": "end", "status": "completed", ...}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+JOURNAL_SCHEMA = 1
+
+
+def journal_path(out_dir: str, program: str) -> str:
+    """Canonical location of a program's run journal under ``out_dir``."""
+    return os.path.join(out_dir, "journal_%s.jsonl" % program)
+
+
+class BatchJournal:
+    """Append-only, line-flushed record of one (possibly resumed) run."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # writing
+
+    def _write(self, record: Dict) -> None:
+        if self._handle is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            # A crashed run can leave a torn last line with no newline;
+            # terminate it so the first appended record starts a fresh line
+            # instead of fusing with (and losing itself to) the fragment.
+            needs_newline = False
+            try:
+                with open(self.path, "rb") as existing:
+                    existing.seek(-1, os.SEEK_END)
+                    needs_newline = existing.read(1) != b"\n"
+            except (OSError, ValueError):
+                pass  # absent or empty file
+            self._handle = open(self.path, "a")
+            if needs_newline:
+                self._handle.write("\n")
+        self._handle.write(json.dumps(record, default=repr) + "\n")
+        self._handle.flush()
+
+    def begin(self, program: str, jobs: int = 1,
+              cache_dir: Optional[str] = None,
+              config: Optional[Dict] = None, fresh: bool = True) -> None:
+        """Start a new run; ``fresh`` truncates any previous journal."""
+        if fresh and os.path.exists(self.path):
+            os.unlink(self.path)
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+        self._write({
+            "event": "begin",
+            "schema": JOURNAL_SCHEMA,
+            "program": program,
+            "jobs": jobs,
+            "cache_dir": cache_dir,
+            "config": config or {},
+        })
+
+    def resumed(self) -> None:
+        self._write({"event": "resume"})
+
+    def record(self, stage: str, key: str, status: str = "done",
+               **info) -> None:
+        record = {"event": "item", "stage": stage, "key": key,
+                  "status": status}
+        record.update(info)
+        self._write(record)
+
+    def complete(self, status: str = "completed", **summary) -> None:
+        record = {"event": "end", "status": status}
+        record.update(summary)
+        self._write(record)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:
+        return "<BatchJournal %s>" % self.path
+
+
+class JournalState:
+    """What a parsed journal says about a run."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.program: Optional[str] = None
+        self.jobs: int = 1
+        self.cache_dir: Optional[str] = None
+        self.config: Dict = {}
+        self.items: List[Tuple[str, str, str]] = []
+        self.completed = False
+        self.resumes = 0
+
+    @property
+    def begun(self) -> bool:
+        return self.program is not None
+
+    def items_by_stage(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for stage, _key, _status in self.items:
+            counts[stage] = counts.get(stage, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        status = "completed" if self.completed else "interrupted"
+        lines = ["journal %s: %s run of %s (jobs=%d%s)" % (
+            self.path, status, self.program or "?", self.jobs,
+            ", resumed %dx" % self.resumes if self.resumes else "",
+        )]
+        for stage, count in sorted(self.items_by_stage().items()):
+            lines.append("  %-16s %d items journaled" % (stage, count))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "<JournalState %s %s items=%d>" % (
+            self.program, "completed" if self.completed else "interrupted",
+            len(self.items),
+        )
+
+
+def load_journal(path: str) -> JournalState:
+    """Parse a journal, tolerating a torn (partially written) last line."""
+    state = JournalState(path)
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail of a crashed run
+            event = record.get("event")
+            if event == "begin":
+                if record.get("schema") != JOURNAL_SCHEMA:
+                    raise ValueError(
+                        "journal %s declares unsupported schema %r "
+                        "(supported: %d)"
+                        % (path, record.get("schema"), JOURNAL_SCHEMA))
+                state.program = record.get("program")
+                state.jobs = int(record.get("jobs") or 1)
+                state.cache_dir = record.get("cache_dir")
+                state.config = record.get("config") or {}
+                state.completed = False
+            elif event == "item":
+                state.items.append((
+                    record.get("stage", "?"), record.get("key", "?"),
+                    record.get("status", "done"),
+                ))
+            elif event == "resume":
+                state.resumes += 1
+                state.completed = False
+            elif event == "end":
+                state.completed = record.get("status") == "completed"
+    return state
+
+
+def resume(path: str, jobs: Optional[int] = None):
+    """Finish the run a journal describes; returns ``(result, state)``.
+
+    Re-runs the pipeline with the journal's program, job count and cache
+    directory: work journaled as done is a warm cache hit, only the
+    interrupted tail executes.  Output files recorded in the journal's
+    config (``export_path``, ``metrics_path``) are (re)written, the
+    journal gains a ``resume`` marker and, on success, an ``end`` line.
+    ``result`` is None when the journal already records a completed run.
+    """
+    from repro.apps.registry import spec_by_name
+    from repro.owl.batch import BatchPolicy
+    from repro.owl.cache import DEFAULT_CACHE_DIR, ResultCache
+    from repro.owl.pipeline import OwlPipeline
+
+    state = load_journal(path)
+    if not state.begun:
+        raise ValueError("journal %s has no begin record" % path)
+    if state.completed:
+        return None, state
+    spec = spec_by_name(state.program)
+    cache = ResultCache(state.cache_dir or DEFAULT_CACHE_DIR)
+    journal = BatchJournal(path)
+    journal.resumed()
+    pipeline = OwlPipeline(
+        spec,
+        jobs=jobs if jobs is not None else state.jobs,
+        cache=cache,
+        policy=BatchPolicy(),
+        journal=journal,
+        journal_fresh=False,
+    )
+    try:
+        result = pipeline.run()
+    finally:
+        journal.close()
+    export_path = state.config.get("export_path")
+    if export_path:
+        from repro.owl.export import save_result
+
+        save_result(result, export_path)
+    metrics_path = state.config.get("metrics_path")
+    if metrics_path and result.metrics is not None:
+        result.metrics.save(metrics_path)
+    return result, state

@@ -22,14 +22,18 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
-from repro.detectors.annotations import AnnotationSet
+from repro.detectors.annotations import AdhocSyncAnnotation, AnnotationSet
 from repro.detectors.report import RaceReport, ReportSet
 from repro.owl.adhoc import AdhocSyncDetector
 from repro.owl.batch import (
     can_parallelize,
     make_executor,
+    report_to_payload,
+    reports_to_payloads,
     verify_races_batch,
     verify_vulns_batch,
+    vuln_from_payload,
+    vuln_to_payload,
 )
 from repro.owl.integration import run_detector, usable_reports
 from repro.owl.race_verifier import RaceVerification
@@ -162,6 +166,16 @@ class OwlPipeline:
     seeds.  Per-stage wall time and VM throughput are recorded in
     ``result.metrics`` (:class:`repro.runtime.metrics.PipelineMetrics`)
     for both serial and parallel runs.
+
+    With a ``cache`` (:class:`repro.owl.cache.ResultCache`) every stage's
+    unit results are answered from disk when their content key matches a
+    previous run — bit-identical counters and provenance, zero VM
+    re-execution for unchanged work.  ``policy``
+    (:class:`repro.owl.batch.BatchPolicy`) adds per-item timeout/retry
+    fault tolerance to the pooled stages, and ``journal``
+    (:class:`repro.owl.journal.BatchJournal`) records progress so
+    ``owl resume`` can finish an interrupted run; both contribute blocks
+    to the schema-2 metrics JSON.
     """
 
     def __init__(
@@ -170,11 +184,21 @@ class OwlPipeline:
         analysis_options: Optional[AnalysisOptions] = None,
         verify_vulnerabilities: bool = True,
         jobs: int = 1,
+        cache=None,
+        policy=None,
+        journal=None,
+        journal_fresh: bool = True,
+        journal_config: Optional[Dict] = None,
     ):
         self.spec = spec
         self.analysis_options = analysis_options or AnalysisOptions()
         self.verify_vulnerabilities = verify_vulnerabilities
         self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.policy = policy
+        self.journal = journal
+        self.journal_fresh = journal_fresh
+        self.journal_config = journal_config
 
     # ------------------------------------------------------------------
 
@@ -186,6 +210,17 @@ class OwlPipeline:
         result.metrics = PipelineMetrics(self.spec.name, jobs=jobs)
         result.spans = SpanTracer()
         result.provenance = ProvenanceLog(self.spec.name)
+        if self.journal is not None:
+            if self.cache is not None:
+                self.cache.journal = self.journal
+            if self.journal_fresh:
+                self.journal.begin(
+                    self.spec.name, jobs=jobs,
+                    cache_dir=(
+                        self.cache.root if self.cache is not None else None
+                    ),
+                    config=self.journal_config or {},
+                )
         executor = make_executor(jobs) if jobs > 1 else None
         started = time.perf_counter()
         try:
@@ -203,7 +238,32 @@ class OwlPipeline:
                 executor.shutdown()
         result.counters.total_seconds = time.perf_counter() - started
         result.metrics.total_seconds = result.counters.total_seconds
+        if self.cache is not None:
+            result.metrics.cache = self.cache.counters()
+        if self.policy is not None:
+            result.metrics.batch = self.policy.counters()
+        if self.journal is not None:
+            self.journal.complete(
+                status="completed",
+                raw_reports=result.counters.raw_reports,
+                remaining=result.counters.remaining,
+                attacks=len(result.realized_attacks()),
+            )
         return result
+
+    # ------------------------------------------------------------------
+    # cache accounting: per-pipeline-stage hit/miss deltas
+
+    def _cache_marks(self) -> Optional[Tuple[int, int]]:
+        if self.cache is None:
+            return None
+        return self.cache.hits, self.cache.misses
+
+    def _record_cache_delta(self, stage, marks: Optional[Tuple[int, int]]):
+        if marks is None:
+            return
+        stage.extra["cache_hits"] = self.cache.hits - marks[0]
+        stage.extra["cache_misses"] = self.cache.misses - marks[1]
 
     # ------------------------------------------------------------------
     # stage 1: concurrency error detection
@@ -212,13 +272,15 @@ class OwlPipeline:
                       executor) -> None:
         with result.metrics.stage("detect", unit="reports") as stage, \
                 result.spans.span("stage:detect") as span:
+            marks = self._cache_marks()
             stats: List = []
             reports, _ = run_detector(
                 self.spec, jobs=jobs, executor=executor, stats_out=stats,
-                tracer=result.spans,
+                tracer=result.spans, cache=self.cache, policy=self.policy,
             )
             stage.absorb_run_stats(stats)
             stage.items = len(reports)
+            self._record_cache_delta(stage, marks)
             span.attrs.update(reports=len(reports), runs=stage.runs)
         result.raw_reports = reports
         result.counters.raw_reports = len(reports)
@@ -237,8 +299,8 @@ class OwlPipeline:
         with result.metrics.stage("schedule_reduction",
                                   unit="reports") as stage, \
                 result.spans.span("stage:schedule_reduction") as span:
-            detector = AdhocSyncDetector()
-            annotations = detector.analyze(result.raw_reports)
+            marks = self._cache_marks()
+            annotations = self._classify_adhoc(result)
             result.annotations = annotations
             result.counters.adhoc_syncs = annotations.unique_static_count()
             if len(annotations):
@@ -246,12 +308,14 @@ class OwlPipeline:
                 reports, _ = run_detector(
                     self.spec, annotations=annotations, jobs=jobs,
                     executor=executor, stats_out=stats, tracer=result.spans,
+                    cache=self.cache, policy=self.policy,
                 )
                 stage.absorb_run_stats(stats)
             else:
                 reports = result.raw_reports
             stage.items = len(reports)
             stage.extra["adhoc_syncs"] = annotations.unique_static_count()
+            self._record_cache_delta(stage, marks)
             span.attrs.update(
                 adhoc_syncs=annotations.unique_static_count(),
                 reports=len(reports),
@@ -277,6 +341,52 @@ class OwlPipeline:
                     adhoc_syncs_annotated=annotations.unique_static_count(),
                 )
 
+    def _classify_adhoc(self, result: PipelineResult) -> AnnotationSet:
+        """Adhoc-sync classification of the raw reports, cached when possible.
+
+        The cached value stores, in classification order, which report uid
+        each annotation tagged; replaying it re-tags the same reports and
+        rebuilds the same :class:`AnnotationSet` (same order — the
+        annotation payload feeds the detector re-run's cache key).
+        """
+        module = self.spec.build()
+        key = None
+        if self.cache is not None:
+            key = self.cache.key(
+                "adhoc", module=module,
+                reports=reports_to_payloads(result.raw_reports),
+            )
+            value = self.cache.get("adhoc", key)
+            if value is not None:
+                by_uid = {report.uid: report
+                          for report in result.raw_reports}
+                annotations = AnnotationSet()
+                for report_uid, read_uid, write_uid, variable in value["tagged"]:
+                    annotation = AdhocSyncAnnotation(
+                        module.instruction_by_uid(read_uid),
+                        module.instruction_by_uid(write_uid),
+                        variable,
+                    )
+                    annotations.add(annotation)
+                    report = by_uid.get(report_uid)
+                    if report is not None:
+                        report.tags[AdhocSyncDetector.TAG] = annotation
+                return annotations
+        annotations = AdhocSyncDetector().analyze(result.raw_reports)
+        if self.cache is not None:
+            tagged = []
+            for report in result.raw_reports:
+                annotation = report.tags.get(AdhocSyncDetector.TAG)
+                if annotation is not None:
+                    tagged.append([
+                        report.uid,
+                        annotation.read_instruction.uid or 0,
+                        annotation.write_instruction.uid or 0,
+                        annotation.variable,
+                    ])
+            self.cache.put("adhoc", key, {"tagged": tagged})
+        return annotations
+
     # ------------------------------------------------------------------
     # stage 3: dynamic race verification (section 5.2)
 
@@ -285,12 +395,15 @@ class OwlPipeline:
         with result.metrics.stage("race_verification",
                                   unit="reports") as stage, \
                 result.spans.span("stage:race_verification") as span:
+            marks = self._cache_marks()
             result.verifications = verify_races_batch(
                 self.spec, list(result.annotated_reports), jobs=jobs,
                 executor=executor, tracer=result.spans,
+                cache=self.cache, policy=self.policy,
             )
             stage.items = len(result.verifications)
             stage.runs = sum(v.runs_used for v in result.verifications)
+            self._record_cache_delta(stage, marks)
             span.attrs.update(
                 reports=len(result.verifications), runs=stage.runs,
             )
@@ -333,37 +446,52 @@ class OwlPipeline:
         with result.metrics.stage("vulnerability_analysis",
                                   unit="reports") as stage, \
                 result.spans.span("stage:vulnerability_analysis") as span:
+            marks = self._cache_marks()
+            module = self.spec.build()
             analyzer = VulnerabilityAnalyzer(
-                self.spec.build(), options=self.analysis_options,
+                module, options=self.analysis_options,
                 tracer=result.spans,
             )
             reports = usable_reports(result.remaining_reports)
             elapsed = 0.0
             vulnerabilities: List[VulnerabilityReport] = []
             for report in reports:
+                key = None
+                if self.cache is not None:
+                    key = self.cache.key(
+                        "vuln_analysis", module=module,
+                        report=report_to_payload(report),
+                        options=vars(self.analysis_options),
+                    )
+                    value = self.cache.get("vuln_analysis", key)
+                    if value is not None:
+                        found = [vuln_from_payload(module, payload)
+                                 for payload in value["vulns"]]
+                        budget_exhausted = value["budget_exhausted"]
+                        with result.spans.span("analyze_report",
+                                               report=report.uid,
+                                               cached=True,
+                                               sites=len(found)):
+                            pass
+                        self._record_analysis(result, report, found,
+                                              budget_exhausted)
+                        vulnerabilities.extend(found)
+                        continue
                 start = time.perf_counter()
                 found = analyzer.analyze_report(report)
                 elapsed += time.perf_counter() - start
+                if self.cache is not None:
+                    self.cache.put("vuln_analysis", key, {
+                        "vulns": [vuln_to_payload(v) for v in found],
+                        "budget_exhausted": analyzer.budget_exhausted,
+                    })
+                self._record_analysis(result, report, found,
+                                      analyzer.budget_exhausted)
                 vulnerabilities.extend(found)
-                for vulnerability in found:
-                    result.provenance.record(
-                        report, "vulnerability_analysis", "site-reached",
-                        site=str(vulnerability.site.location),
-                        site_type=vulnerability.site_type.value,
-                        dependence=vulnerability.kind.value,
-                        corrupted_branches=[
-                            str(branch.location)
-                            for branch in vulnerability.branches
-                        ],
-                    )
-                if not found:
-                    result.provenance.record(
-                        report, "vulnerability_analysis", "no-vulnerable-site",
-                        budget_exhausted=analyzer.budget_exhausted,
-                    )
             result.vulnerabilities = self._dedup(vulnerabilities)
             stage.items = len(reports)
             stage.extra["vulnerability_reports"] = len(result.vulnerabilities)
+            self._record_cache_delta(stage, marks)
             span.attrs.update(
                 reports=len(reports),
                 vulnerability_reports=len(result.vulnerabilities),
@@ -372,6 +500,28 @@ class OwlPipeline:
         result.counters.analysis_seconds_per_report = (
             elapsed / len(reports) if reports else 0.0
         )
+
+    @staticmethod
+    def _record_analysis(result: PipelineResult, report: RaceReport,
+                         found: List[VulnerabilityReport],
+                         budget_exhausted: bool) -> None:
+        """Provenance for one analyzed report — same for cached and fresh."""
+        for vulnerability in found:
+            result.provenance.record(
+                report, "vulnerability_analysis", "site-reached",
+                site=str(vulnerability.site.location),
+                site_type=vulnerability.site_type.value,
+                dependence=vulnerability.kind.value,
+                corrupted_branches=[
+                    str(branch.location)
+                    for branch in vulnerability.branches
+                ],
+            )
+        if not found:
+            result.provenance.record(
+                report, "vulnerability_analysis", "no-vulnerable-site",
+                budget_exhausted=budget_exhausted,
+            )
 
     @staticmethod
     def _dedup(vulnerabilities: List[VulnerabilityReport]) -> List[VulnerabilityReport]:
@@ -388,9 +538,11 @@ class OwlPipeline:
         with result.metrics.stage("vulnerability_verification",
                                   unit="vulnerabilities") as stage, \
                 result.spans.span("stage:vulnerability_verification") as span:
+            marks = self._cache_marks()
             pairs = verify_vulns_batch(
                 self.spec, result.vulnerabilities, jobs=jobs,
                 executor=executor, tracer=result.spans,
+                cache=self.cache, policy=self.policy,
             )
             for vulnerability, (verification, ground_truth) in zip(
                     result.vulnerabilities, pairs):
@@ -419,6 +571,7 @@ class OwlPipeline:
             stage.runs = sum(
                 verification.runs_used for verification, _ in pairs
             )
+            self._record_cache_delta(stage, marks)
             span.attrs.update(
                 vulnerabilities=len(pairs),
                 realized=sum(

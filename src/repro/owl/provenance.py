@@ -19,10 +19,26 @@ stage's actual evidence —
 
 Each report ends in exactly one terminal disposition — ``pruned-adhoc``,
 ``unverified``, ``verified-benign`` or ``attack`` — and ``owl explain
-<program> <report-uid>`` renders the whole record as a narrative.  Reports
-are keyed by :attr:`repro.detectors.report.RaceReport.uid`, which is derived
-from the static instruction pair and therefore stable across re-runs and
-job counts.
+<program> <report-uid>`` renders the whole record as a narrative.
+
+**Determinism and parity invariants** (what makes provenance comparable
+across runs, and what the cache/journal layer relies on):
+
+1. *Stable keys* — reports are keyed by
+   :attr:`repro.detectors.report.RaceReport.uid`, derived from the static
+   instruction pair (``"r<a>-<b>"``), so the same logical report has the
+   same uid across re-runs, job counts, and process boundaries.
+2. *Order independence* — decisions are recorded in stage order and, within
+   a stage, in report (not completion) order, so ``as_dict()`` of a
+   ``jobs=8`` run equals that of a serial run on the same seeds.
+3. *Cache transparency* — a cached stage result replays the same evidence
+   the live stage recorded (see :mod:`repro.owl.cache`), so a warm-cache
+   run's provenance log is bit-identical to the cold run's; the tests in
+   ``tests/owl/test_cache.py`` compare the full ``as_dict()``.
+4. *Evidence is data, not prose* — decision evidence holds plain values
+   (uids, counts, describe() strings of deterministic objects), never
+   wall-clock readings or memory addresses, which is what makes invariant
+   3 possible.
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ item throughput (reports verified per second, seeds explored per second,
 Schema of the exported JSON (one file per program run)::
 
     {
-      "schema": 1,                  # bump on incompatible layout changes
+      "schema": 2,                  # bump on incompatible layout changes
       "program": "apache",          # ProgramSpec name
       "jobs": 4,                    # worker processes (1 = serial)
       "total_seconds": 12.3,
@@ -25,11 +25,32 @@ Schema of the exported JSON (one file per program run)::
           "vm_steps": 2400000,      # interpreter steps across those runs
           "accesses": 310000,       # shared accesses the detector shadowed
           "steps_per_second": 296296.3,
-          "items_per_second": 88.3
+          "items_per_second": 88.3,
+          "cache_hits": 12,         # cache-enabled runs only (schema 2)
+          "cache_misses": 0
         },
         ...
-      ]
+      ],
+      # schema 2, present when the run used a ResultCache / BatchPolicy:
+      "cache": {
+        "root": "benchmarks/out/cache",
+        "code_version": "2f7a...",  # digest of the repro package source
+        "hits": 34, "misses": 2, "stores": 2,
+        "stages": {"detect": {"hits": 12, "misses": 0, "stores": 0}, ...}
+      },
+      "batch": {
+        "timeout_seconds": null,    # per-item result-wait budget
+        "retry_budget": 2,
+        "backoff_seconds": 0.1,
+        "timeouts": 0,              # items that exceeded the budget
+        "retries": 0,               # items re-submitted to the pool
+        "worker_failures": 0,       # exceptions / dead worker processes
+        "serial_fallbacks": 0       # items re-run in-process after retries
+      }
     }
+
+Schema 1 files are identical minus the ``cache``/``batch`` blocks and the
+per-stage ``cache_hits``/``cache_misses`` extras; the loader accepts both.
 
 Counters (:class:`repro.owl.pipeline.StageCounters`) stay byte-identical
 between serial and parallel runs; metrics are *observations* and naturally
@@ -47,7 +68,12 @@ from typing import Dict, Iterable, List, Optional
 #: Version of the metrics JSON layout.  ``benchmarks/out/metrics_*.json``
 #: files are compared across PRs; the loader refuses files whose schema it
 #: does not understand rather than silently mis-reading them.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions :func:`load_metrics` can still read.  Schema 1 is a strict
+#: subset of schema 2 (no ``cache``/``batch`` blocks), so old files remain
+#: loadable.
+SUPPORTED_SCHEMAS = (1, 2)
 
 
 class MetricsSchemaError(ValueError):
@@ -153,6 +179,10 @@ class PipelineMetrics:
         self.jobs = jobs
         self.stages: List[StageMetrics] = []
         self.total_seconds = 0.0
+        #: ``ResultCache.counters()`` of a cache-enabled run (schema 2).
+        self.cache: Optional[Dict] = None
+        #: ``BatchPolicy.counters()`` of a fault-tolerant run (schema 2).
+        self.batch: Optional[Dict] = None
 
     # ------------------------------------------------------------------
 
@@ -182,7 +212,7 @@ class PipelineMetrics:
         return sum(stage.accesses for stage in self.stages)
 
     def as_dict(self) -> Dict:
-        return {
+        data = {
             "schema": SCHEMA_VERSION,
             "program": self.program,
             "jobs": self.jobs,
@@ -191,6 +221,11 @@ class PipelineMetrics:
             "accesses": self.accesses,
             "stages": [stage.as_dict() for stage in self.stages],
         }
+        if self.cache is not None:
+            data["cache"] = self.cache
+        if self.batch is not None:
+            data["batch"] = self.batch
+        return data
 
     def save(self, path: str) -> str:
         """Write the metrics JSON; returns the path written."""
@@ -237,9 +272,11 @@ def load_metrics(path: str) -> Dict:
     with open(path) as handle:
         data = json.load(handle)
     version = data.get("schema")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMAS:
         raise MetricsSchemaError(
-            "%s: unsupported metrics schema %r (expected %d)"
-            % (path, version, SCHEMA_VERSION)
+            "metrics file %s declares unsupported schema version %r "
+            "(supported: %s)"
+            % (path, version,
+               ", ".join(str(v) for v in SUPPORTED_SCHEMAS))
         )
     return data

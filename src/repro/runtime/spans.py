@@ -22,6 +22,21 @@ seed/report order, never completion order — so the span *tree* is identical
 no matter how many jobs ran it.  Adopted groups get their own Chrome track
 (``tid``), which keeps ``B``/``E`` nesting well-formed even though worker
 spans overlap in time.
+
+**Determinism and parity invariants**:
+
+1. *Structure over timing* — span names, nesting and per-item order are
+   deterministic at any job count (:meth:`SpanTracer.structure` is the
+   comparison helper); timestamps and durations are observations and vary
+   between any two runs.
+2. *Adoption order* — worker payloads are adopted in seed/report/
+   vulnerability index order, so the tree never depends on which worker
+   finished first.
+3. *Spans are never cached* — a result-cache hit (:mod:`repro.owl.cache`)
+   replays a stage's *result*, not its execution, so the batch layer strips
+   spans before storing and emits one ``cached=True`` marker span per hit
+   instead of replaying the original execution's timings.  A warm-cache
+   trace therefore truthfully shows where *this* run spent its time.
 """
 
 from __future__ import annotations

@@ -1,0 +1,130 @@
+"""Tests for the run journal and ``owl resume`` (repro.owl.journal).
+
+The contract under test: an interrupted ``--cache`` run leaves a half
+journal (``begin`` + some ``item`` lines, possibly a torn last line, no
+``end``); resuming re-runs the pipeline against the same cache, so
+completed work is a warm hit and the finished run's counters and
+provenance are bit-identical to an uninterrupted run.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.apps.registry import spec_by_name
+from repro.owl.batch import BatchPolicy
+from repro.owl.cache import ResultCache
+from repro.owl.journal import (
+    BatchJournal,
+    JOURNAL_SCHEMA,
+    journal_path,
+    load_journal,
+    resume,
+)
+from repro.owl.pipeline import OwlPipeline
+
+
+def completed_run(tmp_path, config=None):
+    """A full cached+journaled libsafe run; returns (result, paths)."""
+    spec = spec_by_name("libsafe")
+    cache_dir = str(tmp_path / "cache")
+    path = journal_path(cache_dir, spec.name)
+    journal = BatchJournal(path)
+    result = OwlPipeline(
+        spec, cache=ResultCache(cache_dir), policy=BatchPolicy(),
+        journal=journal, journal_config=config or {},
+    ).run()
+    journal.close()
+    return result, path, cache_dir
+
+
+def interrupt(path, cache_dir, drop_lines=3, torn=True, delete_entries=2):
+    """Rewind a completed journal to look like a crashed run."""
+    lines = open(path).read().splitlines()
+    assert json.loads(lines[-1])["event"] == "end"
+    kept = lines[:-drop_lines]
+    text = "\n".join(kept) + "\n"
+    if torn:
+        text += '{"event": "item", "stage": "race_ver'  # torn mid-write
+    with open(path, "w") as handle:
+        handle.write(text)
+    victims = sorted(glob.glob(
+        os.path.join(cache_dir, "race_verify", "*", "*.json")))
+    for victim in victims[:delete_entries]:
+        os.unlink(victim)
+    return len(victims[:delete_entries])
+
+
+class TestJournalFile:
+    def test_records_every_item_and_the_end(self, tmp_path):
+        result, path, _ = completed_run(tmp_path)
+        state = load_journal(path)
+        assert state.begun and state.completed
+        assert state.program == "libsafe"
+        counts = state.items_by_stage()
+        assert counts["detect"] == len(result.spec.detect_seeds)
+        assert counts["adhoc"] == 1
+        assert "race_verify" in counts and "vuln_analysis" in counts
+
+    def test_begin_truncates_a_previous_journal(self, tmp_path):
+        _, path, cache_dir = completed_run(tmp_path)
+        journal = BatchJournal(path)
+        journal.begin("libsafe", jobs=1, cache_dir=cache_dir)
+        journal.close()
+        state = load_journal(path)
+        assert state.begun and not state.completed and not state.items
+
+    def test_unsupported_schema_is_rejected(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({
+                "event": "begin", "schema": JOURNAL_SCHEMA + 1,
+                "program": "libsafe",
+            }) + "\n")
+        with pytest.raises(ValueError, match="unsupported schema"):
+            load_journal(path)
+
+    def test_torn_last_line_is_tolerated(self, tmp_path):
+        _, path, cache_dir = completed_run(tmp_path)
+        interrupt(path, cache_dir, delete_entries=0)
+        state = load_journal(path)
+        assert state.begun and not state.completed
+        assert state.items  # everything before the torn line parsed
+
+
+class TestResume:
+    def test_resume_finishes_a_half_journaled_run(self, tmp_path):
+        baseline = OwlPipeline(spec_by_name("libsafe")).run()
+        export = str(tmp_path / "out.json")
+        metrics = str(tmp_path / "metrics.json")
+        _, path, cache_dir = completed_run(
+            tmp_path, config={"export_path": export, "metrics_path": metrics})
+        os.unlink(export) if os.path.exists(export) else None
+        deleted = interrupt(path, cache_dir)
+        assert deleted > 0
+
+        result, state = resume(path)
+        assert result is not None
+        assert result.counters.parity_dict() == baseline.counters.parity_dict()
+        assert result.provenance.as_dict() == baseline.provenance.as_dict()
+        # only the interrupted tail re-executed
+        assert result.metrics.cache["misses"] == deleted
+        assert result.metrics.cache["hits"] > 0
+        # the journal's configured outputs were (re)written
+        assert os.path.exists(export) and os.path.exists(metrics)
+        finished = load_journal(path)
+        assert finished.completed and finished.resumes == 1
+
+    def test_resume_of_a_completed_run_is_a_noop(self, tmp_path):
+        _, path, _ = completed_run(tmp_path)
+        result, state = resume(path)
+        assert result is None and state.completed
+
+    def test_resume_without_begin_raises(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"event": "item", "stage": "detect", "key": "x"}\n')
+        with pytest.raises(ValueError, match="no begin record"):
+            resume(path)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's markdown docs resolve.
+
+Scans README.md, DESIGN.md, EXPERIMENTS.md, and docs/*.md for inline
+markdown links (``[text](target)``) and reference definitions
+(``[label]: target``), resolves every relative target against the linking
+file's directory, and fails if any points at a file that does not exist.
+External links (http/https/mailto) are skipped, not fetched — this is an
+offline structural check, suitable for CI.
+
+Usage::
+
+    python tools/check_doc_links.py [repo-root]
+
+Exit status 0 when every link resolves, 1 otherwise (each broken link is
+printed as ``file:line: broken link -> target``).
+"""
+
+import os
+import re
+import sys
+
+DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+             "PAPER.md", "CHANGES.md")
+DOC_DIRS = ("docs",)
+
+# [text](target) — target stops at the first unbalanced ')'; markdown
+# images ![alt](target) match too via the optional leading '!'.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# [label]: target
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root):
+    found = []
+    for name in DOC_GLOBS:
+        path = os.path.join(root, name)
+        if os.path.isfile(path):
+            found.append(path)
+    for directory in DOC_DIRS:
+        full = os.path.join(root, directory)
+        if os.path.isdir(full):
+            for name in sorted(os.listdir(full)):
+                if name.endswith(".md"):
+                    found.append(os.path.join(full, name))
+    return found
+
+
+def targets_in(path):
+    """Yield (line_number, raw_target) for every link in ``path``."""
+    in_code_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            for match in INLINE_LINK.finditer(line):
+                yield number, match.group(1)
+            match = REFERENCE_DEF.match(line)
+            if match:
+                yield number, match.group(1)
+
+
+def check(root):
+    broken = []
+    checked = 0
+    for path in doc_files(root):
+        base = os.path.dirname(path)
+        for number, target in targets_in(path):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            checked += 1
+            resolved = os.path.normpath(os.path.join(base, relative))
+            if not os.path.exists(resolved):
+                broken.append("%s:%d: broken link -> %s" % (
+                    os.path.relpath(path, root), number, target))
+    return checked, broken
+
+
+def main(argv):
+    root = os.path.abspath(argv[1]) if len(argv) > 1 else \
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    checked, broken = check(root)
+    for line in broken:
+        print(line)
+    print("checked %d relative links in %d files: %s" % (
+        checked, len(doc_files(root)),
+        "%d broken" % len(broken) if broken else "all resolve"))
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
