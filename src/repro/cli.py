@@ -18,8 +18,10 @@ Commands:
 
 ``detect`` and ``export`` also accept ``--trace PATH`` to save the run's
 span tree (Chrome format when PATH ends in ``.json``, JSON lines
-otherwise), and ``--cache``/``--no-cache`` to reuse stage results across
-invocations (see ``docs/OPERATIONS.md`` for the runbook).
+otherwise), ``--cache``/``--no-cache`` to reuse stage results across
+invocations, and ``--explore`` (with ``--max-seeds``/``--wave-size``/
+``--saturation-k``) to replace the fixed detect-seed sweep with
+coverage-guided exploration (see ``docs/OPERATIONS.md`` for the runbook).
 """
 
 from __future__ import annotations
@@ -48,9 +50,19 @@ def _make_pipeline(spec, args, journal_config=None):
     if getattr(args, "cache", False):
         cache = ResultCache(args.cache_dir)
         journal = BatchJournal(journal_path(args.cache_dir, spec.name))
+    explore = None
+    if getattr(args, "explore", False):
+        from repro.owl.explore import ExplorePolicy
+
+        explore = ExplorePolicy(
+            max_seeds=getattr(args, "max_seeds", 20),
+            wave_size=getattr(args, "wave_size", 4),
+            saturation_k=getattr(args, "saturation_k", 2),
+        )
     pipeline = OwlPipeline(
         spec, jobs=args.jobs, cache=cache, policy=policy,
         journal=journal, journal_config=journal_config or {},
+        explore=explore,
     )
     return pipeline, cache, journal
 
@@ -102,6 +114,9 @@ def _cmd_detect(args) -> int:
     print("vulnerability reports:          %d" % counters.vulnerability_reports)
     print("report reduction:               %.1f%%" % (
         100.0 * counters.reduction_ratio))
+    if result.explore is not None:
+        print()
+        print(result.explore.describe())
     for vulnerability in result.vulnerabilities:
         print()
         print(format_full_report(vulnerability))
@@ -304,6 +319,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="retry waves for transient worker failures before "
                  "falling back to in-process execution (default: 2)")
 
+    def add_explore_arguments(command):
+        command.add_argument(
+            "--explore", action="store_true", default=False,
+            help="replace the fixed detect-seed sweep with coverage-guided "
+                 "exploration: seeds run in waves until interleaving "
+                 "coverage saturates (see docs/OPERATIONS.md)")
+        command.add_argument(
+            "--max-seeds", type=int, default=20, metavar="N",
+            help="exploration seed budget (default: 20)")
+        command.add_argument(
+            "--wave-size", type=int, default=4, metavar="N",
+            help="seeds per exploration wave (default: 4)")
+        command.add_argument(
+            "--saturation-k", type=int, default=2, metavar="K",
+            help="stop after K consecutive waves with no new coverage "
+                 "(default: 2)")
+
     detect = sub.add_parser("detect", help="run the OWL pipeline on a target")
     detect.add_argument("program")
     detect.add_argument("--jobs", type=int, default=1,
@@ -316,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "trace_event when PATH ends in .json, JSON "
                              "lines otherwise)")
     add_cache_arguments(detect)
+    add_explore_arguments(detect)
     detect.set_defaults(func=_cmd_detect)
     exploit = sub.add_parser("exploit", help="run one exploit script")
     exploit.add_argument("attack_id")
@@ -337,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "trace_event when PATH ends in .json, JSON "
                              "lines otherwise)")
     add_cache_arguments(export)
+    add_explore_arguments(export)
     export.set_defaults(func=_cmd_export)
     resume = sub.add_parser(
         "resume",

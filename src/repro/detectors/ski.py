@@ -49,11 +49,23 @@ def run_ski_seed(
     max_steps: int = 200_000,
     depth: int = 3,
     tracer=None,
+    coverage_out: Optional[List] = None,
 ) -> Tuple[ReportSet, ExecutionResult, SkiDetector]:
-    """One kernel execution under one PCT schedule, into a fresh report set."""
+    """One kernel execution under one PCT schedule, into a fresh report set.
+
+    ``coverage_out``, when given a list, receives one
+    :class:`repro.runtime.coverage.SeedCoverage` for the execution; the
+    switch tracker delegates every decision, so the schedule is unchanged.
+    """
     from repro.runtime.spans import maybe_span
 
     scheduler = PCTScheduler(seed=seed, depth=depth)
+    tracker = None
+    if coverage_out is not None:
+        from repro.runtime.coverage import SwitchTracker
+
+        tracker = SwitchTracker(scheduler)
+        scheduler = tracker
     vm = VM(module, scheduler=scheduler, inputs=inputs, max_steps=max_steps,
             seed=seed)
     detector = SkiDetector(annotations=annotations, reports=ReportSet())
@@ -64,6 +76,11 @@ def run_ski_seed(
         if span is not None:
             span.attrs.update(steps=result.steps, reason=result.reason,
                               reports=len(detector.reports))
+    if coverage_out is not None:
+        from repro.runtime.coverage import SeedCoverage
+
+        coverage_out.append(
+            SeedCoverage.from_run(seed, detector.reports, tracker))
     return detector.reports, result, detector
 
 
@@ -81,6 +98,8 @@ def run_ski(
     tracer=None,
     cache=None,
     policy=None,
+    explore=None,
+    coverage_out: Optional[List] = None,
 ) -> Tuple[ReportSet, List[ExecutionResult]]:
     """Systematically explore schedules of a kernel program.
 
@@ -88,9 +107,21 @@ def run_ski(
     change points), SKI's published exploration strategy class.  Reports are
     merged across seeds with static deduplication.
 
-    ``jobs``/``module_source``/``stats_out``/``cache``/``policy`` behave
-    exactly as in :func:`repro.detectors.tsan.run_tsan`.
+    ``jobs``/``module_source``/``stats_out``/``cache``/``policy``/
+    ``explore``/``coverage_out`` behave exactly as in
+    :func:`repro.detectors.tsan.run_tsan`; with ``explore`` the dry-wave
+    escalation raises the PCT ``depth`` instead of switching scheduler
+    family.
     """
+    if explore is not None:
+        from repro.owl.explore import explore_seeds
+
+        return explore_seeds(
+            "ski", module, module_source=module_source, entry=entry,
+            inputs=inputs, annotations=annotations, max_steps=max_steps,
+            depth=depth, jobs=jobs, stats_out=stats_out, tracer=tracer,
+            cache=cache, policy=policy, explore=explore,
+        )
     if ((jobs and jobs > 1) or cache is not None) \
             and module_source is not None:
         from repro.owl.batch import run_seeds_parallel
@@ -99,7 +130,7 @@ def run_ski(
             "ski", module, module_source, entry=entry, inputs=inputs,
             seeds=seeds, annotations=annotations, max_steps=max_steps,
             depth=depth, jobs=jobs, stats_out=stats_out, tracer=tracer,
-            cache=cache, policy=policy,
+            cache=cache, policy=policy, coverage_out=coverage_out,
         )
     reports = ReportSet()
     results: List[ExecutionResult] = []
@@ -108,6 +139,7 @@ def run_ski(
         seed_reports, result, detector = run_ski_seed(
             module, seed, entry=entry, inputs=inputs, annotations=annotations,
             max_steps=max_steps, depth=depth, tracer=tracer,
+            coverage_out=coverage_out,
         )
         reports.merge(seed_reports)
         results.append(result)

@@ -246,6 +246,7 @@ def run_tsan_seed(
     scheduler_factory=None,
     entry_args: Sequence[int] = (),
     tracer=None,
+    coverage_out: Optional[List] = None,
 ) -> Tuple[ReportSet, ExecutionResult, TSanDetector]:
     """One program execution under one schedule, into a fresh report set.
 
@@ -254,7 +255,10 @@ def run_tsan_seed(
     one report set shared across all seeds (dedup keeps the first static
     occurrence and appends later watch data either way).  ``tracer``
     (a :class:`repro.runtime.spans.SpanTracer`) records the execution as a
-    ``detect_seed`` span.
+    ``detect_seed`` span.  ``coverage_out``, when given a list, receives
+    one :class:`repro.runtime.coverage.SeedCoverage` for the execution
+    (racy pair set plus context-switch signature); tracking never perturbs
+    the schedule itself.
     """
     from repro.runtime.spans import maybe_span
 
@@ -262,6 +266,12 @@ def run_tsan_seed(
         scheduler_factory(seed) if scheduler_factory is not None
         else RandomScheduler(seed)
     )
+    tracker = None
+    if coverage_out is not None:
+        from repro.runtime.coverage import SwitchTracker
+
+        tracker = SwitchTracker(scheduler)
+        scheduler = tracker
     vm = VM(module, scheduler=scheduler, inputs=inputs, max_steps=max_steps,
             seed=seed)
     detector = TSanDetector(annotations=annotations, reports=ReportSet())
@@ -273,6 +283,11 @@ def run_tsan_seed(
         if span is not None:
             span.attrs.update(steps=result.steps, reason=result.reason,
                               reports=len(detector.reports))
+    if coverage_out is not None:
+        from repro.runtime.coverage import SeedCoverage
+
+        coverage_out.append(
+            SeedCoverage.from_run(seed, detector.reports, tracker))
     return detector.reports, result, detector
 
 
@@ -291,6 +306,8 @@ def run_tsan(
     tracer=None,
     cache=None,
     policy=None,
+    explore=None,
+    coverage_out: Optional[List] = None,
 ) -> Tuple[ReportSet, List[ExecutionResult]]:
     """Run the detector over several schedules and merge the reports.
 
@@ -307,7 +324,25 @@ def run_tsan(
     path — already-computed seeds are answered from disk, even at
     ``jobs=1`` — and ``policy`` (:class:`repro.owl.batch.BatchPolicy`)
     bounds each pooled item's wait/retry budget.
+
+    An ``explore`` policy (:class:`repro.owl.explore.ExplorePolicy`)
+    replaces the blind sweep over ``seeds`` with coverage-guided adaptive
+    budgeting: seeds run in waves, exploration stops early once coverage
+    saturates, and the schedule family escalates when a wave goes dry (see
+    :mod:`repro.owl.explore`).  ``coverage_out``, when given a list,
+    receives one :class:`repro.runtime.coverage.SeedCoverage` per seed in
+    seed order (serial path only; the batch/explore paths collect coverage
+    themselves).
     """
+    if explore is not None:
+        from repro.owl.explore import explore_seeds
+
+        return explore_seeds(
+            "tsan", module, module_source=module_source, entry=entry,
+            inputs=inputs, annotations=annotations, max_steps=max_steps,
+            entry_args=entry_args, jobs=jobs, stats_out=stats_out,
+            tracer=tracer, cache=cache, policy=policy, explore=explore,
+        )
     if ((jobs and jobs > 1) or cache is not None) \
             and module_source is not None:
         from repro.owl.batch import run_seeds_parallel
@@ -317,6 +352,7 @@ def run_tsan(
             seeds=seeds, annotations=annotations, max_steps=max_steps,
             entry_args=entry_args, jobs=jobs, stats_out=stats_out,
             tracer=tracer, cache=cache, policy=policy,
+            coverage_out=coverage_out,
         )
     reports = ReportSet()
     results: List[ExecutionResult] = []
@@ -325,7 +361,7 @@ def run_tsan(
         seed_reports, result, detector = run_tsan_seed(
             module, seed, entry=entry, inputs=inputs, annotations=annotations,
             max_steps=max_steps, scheduler_factory=scheduler_factory,
-            entry_args=entry_args, tracer=tracer,
+            entry_args=entry_args, tracer=tracer, coverage_out=coverage_out,
         )
         reports.merge(seed_reports)
         results.append(result)

@@ -424,27 +424,44 @@ def run_cached_tasks(
 
 
 def _detect_worker(payload: Dict) -> Dict:
-    """Run one detector seed; return reports, stats and spans as payloads."""
+    """Run one detector seed; return reports, stats and spans as payloads.
+
+    Every run also reports its interleaving coverage
+    (:class:`repro.runtime.coverage.SeedCoverage` payload) — the signal
+    the exploration driver budgets on; collecting it never perturbs the
+    schedule.  ``payload["scheduler"]`` optionally overrides the TSan
+    schedule family (``"pct"`` swaps the uniform random scheduler for a
+    PCT one at ``payload["depth"]`` — the explore driver's escalation).
+    """
     from repro.detectors.ski import run_ski_seed
     from repro.detectors.tsan import run_tsan_seed
 
     module = _resolve_module(payload["source"])
     annotations = annotations_from_payload(module, payload["annotations"])
     tracer = SpanTracer()
+    coverage: List = []
     started = time.perf_counter()
     if payload["kind"] == "ski":
         reports, result, detector = run_ski_seed(
             module, payload["seed"], entry=payload["entry"],
             inputs=payload["inputs"], annotations=annotations,
             max_steps=payload["max_steps"], depth=payload["depth"],
-            tracer=tracer,
+            tracer=tracer, coverage_out=coverage,
         )
     else:
+        scheduler_factory = None
+        if payload.get("scheduler") == "pct":
+            from repro.runtime.scheduler import PCTScheduler
+
+            depth = payload["depth"]
+            scheduler_factory = (
+                lambda seed: PCTScheduler(seed=seed, depth=depth))
         reports, result, detector = run_tsan_seed(
             module, payload["seed"], entry=payload["entry"],
             inputs=payload["inputs"], annotations=annotations,
             max_steps=payload["max_steps"], entry_args=payload["entry_args"],
-            tracer=tracer,
+            scheduler_factory=scheduler_factory, tracer=tracer,
+            coverage_out=coverage,
         )
     return {
         "seed": payload["seed"],
@@ -452,13 +469,15 @@ def _detect_worker(payload: Dict) -> Dict:
         "stats": (payload["seed"], result.reason, result.steps,
                   detector.access_count, len(reports),
                   time.perf_counter() - started),
+        "coverage": coverage[0].to_payload(),
         "spans": tracer.export_payload(),
     }
 
 
 def _detect_payload(kind: str, source, seed: int, entry: str, inputs,
                     annotations_payload, max_steps: int, depth: int,
-                    entry_args: Sequence[int]) -> Dict:
+                    entry_args: Sequence[int],
+                    scheduler: Optional[str] = None) -> Dict:
     return {
         "kind": kind,
         "source": source,
@@ -469,6 +488,7 @@ def _detect_payload(kind: str, source, seed: int, entry: str, inputs,
         "max_steps": max_steps,
         "depth": depth,
         "entry_args": tuple(entry_args),
+        "scheduler": scheduler,
     }
 
 
@@ -495,6 +515,8 @@ def run_seeds_parallel(
     tracer: Optional[SpanTracer] = None,
     cache=None,
     policy: Optional[BatchPolicy] = None,
+    scheduler: Optional[str] = None,
+    coverage_out: Optional[List] = None,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """Fan one program's seeds out over worker processes.
 
@@ -509,12 +531,20 @@ def run_seeds_parallel(
     results are already on disk are not re-executed — including at
     ``jobs=1``, where misses run in-process; ``policy`` adds per-item
     timeout/retry fault tolerance to the pooled path.
+
+    ``scheduler`` overrides the TSan schedule family per seed (``"pct"``;
+    part of every cache key, so escalated re-runs of a seed never collide
+    with its base-family entry).  ``coverage_out``, when given a list,
+    receives one :class:`repro.runtime.coverage.SeedCoverage` per seed
+    **in seed order** — the deterministic merge input the exploration
+    driver's budgeting (and its jobs=1 vs jobs=2 parity) relies on.
     """
     seeds = list(seeds)
     annotations_payload = annotations_to_payload(annotations)
     payloads = [
         _detect_payload(kind, module_source, seed, entry, inputs,
-                        annotations_payload, max_steps, depth, entry_args)
+                        annotations_payload, max_steps, depth, entry_args,
+                        scheduler=scheduler)
         for seed in seeds
     ]
     keys = (
@@ -530,6 +560,10 @@ def run_seeds_parallel(
     for seed, output in zip(seeds, outputs):  # seed order, always
         merged.merge(reports_from_payloads(module, output["reports"]))
         stats.append(RunStats(*output["stats"]))
+        if coverage_out is not None and output.get("coverage") is not None:
+            from repro.runtime.coverage import SeedCoverage
+
+            coverage_out.append(SeedCoverage.from_payload(output["coverage"]))
         if tracer is not None:
             if output.get("cached"):
                 with tracer.span("detect_seed", seed=seed, detector=kind,

@@ -1,0 +1,389 @@
+"""Coverage-guided schedule exploration with adaptive seed budgets.
+
+The detectors' fixed seed sweep (``seeds=range(N)``) is blind: it spends
+the same compute whether the last ten schedules found new races or nothing
+at all.  Paper §6.3 runs SKI/TSan over *many* schedules precisely because
+races only surface when the perturbation reaches a new interleaving — and
+as RaceFixer observes for triage, duplicate observations dominate cost.
+This driver replaces the blind sweep with a measured, early-stopping
+exploration loop:
+
+1. seeds run in **waves** (fanned out over the existing
+   :mod:`repro.owl.batch` process pool when ``jobs > 1``);
+2. after each wave the per-seed :class:`repro.runtime.coverage.SeedCoverage`
+   is merged — in seed order, deterministically — into a
+   :class:`repro.runtime.coverage.CoverageMap`, yielding the wave's
+   ``new_pairs`` delta;
+3. a wave that adds nothing is *dry*; a dry wave **escalates** the
+   schedule family (TSan: uniform random → PCT; SKI: deeper PCT) while
+   budget remains, because more of the same family has stopped paying;
+4. exploration stops at **saturation** — ``saturation_k`` consecutive dry
+   waves — or when the ``max_seeds`` budget is spent, whichever is first.
+
+Determinism: wave composition, escalation and stopping depend only on the
+seed-ordered coverage merge, so the explored seed set, the merged
+:class:`ReportSet` and every wave counter are bit-identical at any job
+count — the same parity contract :class:`repro.owl.pipeline.StageCounters`
+keeps, and tested the same way (jobs=1 vs jobs=2).  Per-seed results
+(reports, stats, coverage snapshot) are cacheable through the ordinary
+``detect`` stage of :class:`repro.owl.cache.ResultCache`; the schedule
+family and depth are part of each key, so escalated re-runs of a seed
+never collide with its base-family entry.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.detectors.report import ReportSet
+from repro.runtime.coverage import CoverageMap, SeedCoverage
+from repro.runtime.metrics import RunStats
+
+#: Schedule-family ladders: the base rung first, then each escalation.
+#: TSan escalates from uniform random into PCT (a stronger bug-finding
+#: family); SKI is PCT already, so escalation deepens it.
+_TSAN_LADDER: Tuple[Tuple[str, int], ...] = (
+    ("random", 3), ("pct", 3), ("pct", 5),
+)
+
+
+def _ski_ladder(depth: int) -> Tuple[Tuple[str, int], ...]:
+    return (("pct", depth), ("pct", depth + 2), ("pct", depth + 4))
+
+
+class ExplorePolicy:
+    """Knobs of one exploration run (and the sink for its results).
+
+    - ``max_seeds`` — the total seed budget (the blind sweep this replaces
+      is ``range(20)``; exploration may stop well short of it).
+    - ``wave_size`` — seeds per wave; coverage is measured between waves.
+    - ``saturation_k`` — consecutive dry waves before declaring saturation.
+    - ``escalate`` — whether a dry wave climbs the schedule-family ladder
+      before the budget runs out; ``False`` keeps the base family for the
+      whole run (useful when comparing against a fixed sweep).
+    - ``ladder`` — explicit ``((family, depth), ...)`` override; by default
+      derived from the detector kind.
+
+    Every exploration run driven by this policy appends its
+    :class:`ExplorationResult` to :attr:`history` (the pipeline runs the
+    detector twice — raw and after annotation — so there can be several).
+    """
+
+    def __init__(self, max_seeds: int = 20, wave_size: int = 4,
+                 saturation_k: int = 2, escalate: bool = True,
+                 ladder: Optional[Sequence[Tuple[str, int]]] = None):
+        if max_seeds <= 0:
+            raise ValueError("max_seeds must be positive")
+        if wave_size <= 0:
+            raise ValueError("wave_size must be positive")
+        if saturation_k <= 0:
+            raise ValueError("saturation_k must be positive")
+        self.max_seeds = int(max_seeds)
+        self.wave_size = int(wave_size)
+        self.saturation_k = int(saturation_k)
+        self.escalate = escalate
+        self.ladder = tuple(ladder) if ladder is not None else None
+        self.history: List["ExplorationResult"] = []
+
+    def ladder_for(self, kind: str, depth: int) -> Tuple[Tuple[str, int], ...]:
+        if self.ladder is not None:
+            return self.ladder
+        return _ski_ladder(depth) if kind == "ski" else _TSAN_LADDER
+
+    @property
+    def last(self) -> Optional["ExplorationResult"]:
+        return self.history[-1] if self.history else None
+
+    def as_dict(self) -> Dict:
+        return {
+            "max_seeds": self.max_seeds,
+            "wave_size": self.wave_size,
+            "saturation_k": self.saturation_k,
+            "escalate": self.escalate,
+        }
+
+    def __repr__(self) -> str:
+        return "<ExplorePolicy max_seeds=%d wave=%d k=%d escalate=%s>" % (
+            self.max_seeds, self.wave_size, self.saturation_k, self.escalate,
+        )
+
+
+class WaveRecord:
+    """One wave of the exploration loop, as recorded in the metrics JSON."""
+
+    __slots__ = ("index", "seeds", "scheduler", "depth", "new_pairs",
+                 "new_signatures", "total_pairs", "dry", "escalated")
+
+    def __init__(self, index: int, seeds: List[int], scheduler: str,
+                 depth: int, new_pairs: int, new_signatures: int,
+                 total_pairs: int, escalated: bool = False):
+        self.index = index
+        self.seeds = list(seeds)
+        self.scheduler = scheduler
+        self.depth = depth
+        self.new_pairs = new_pairs
+        self.new_signatures = new_signatures
+        self.total_pairs = total_pairs
+        self.dry = new_pairs == 0
+        self.escalated = escalated
+
+    def as_dict(self) -> Dict:
+        return {
+            "index": self.index,
+            "seeds": list(self.seeds),
+            "scheduler": self.scheduler,
+            "depth": self.depth,
+            "new_pairs": self.new_pairs,
+            "new_signatures": self.new_signatures,
+            "total_pairs": self.total_pairs,
+            "dry": self.dry,
+            "escalated": self.escalated,
+        }
+
+    def __repr__(self) -> str:
+        return "<Wave %d %s/d%d seeds=%s new_pairs=%d>" % (
+            self.index, self.scheduler, self.depth, self.seeds,
+            self.new_pairs,
+        )
+
+
+class ExplorationResult:
+    """Everything one exploration run produced, beyond the report set."""
+
+    def __init__(self, kind: str, policy: ExplorePolicy):
+        self.kind = kind
+        self.policy = policy
+        self.waves: List[WaveRecord] = []
+        self.coverage = CoverageMap()
+        self.saturated = False
+        #: Index of the wave that sealed saturation (None: budget ran out).
+        self.saturation_wave: Optional[int] = None
+        self.seeds_executed = 0
+        self.wall_seconds = 0.0
+
+    @property
+    def seeds_skipped(self) -> int:
+        """Budgeted seeds the early stop never had to execute."""
+        return self.policy.max_seeds - self.seeds_executed
+
+    def metrics_block(self) -> Dict:
+        """The metrics-JSON ``"explore"`` block (schema 3)."""
+        return {
+            "detector": self.kind,
+            "policy": self.policy.as_dict(),
+            "seeds_executed": self.seeds_executed,
+            "seeds_skipped": self.seeds_skipped,
+            "saturated": self.saturated,
+            "saturation_wave": self.saturation_wave,
+            "total_pairs": self.coverage.total_pairs,
+            "distinct_schedules": self.coverage.distinct_schedules,
+            "waves": [wave.as_dict() for wave in self.waves],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            "exploration: %d/%d seeds (%s), %d racy pairs, %d schedules" % (
+                self.seeds_executed, self.policy.max_seeds,
+                "saturated at wave %s" % self.saturation_wave
+                if self.saturated else "budget exhausted",
+                self.coverage.total_pairs, self.coverage.distinct_schedules,
+            )
+        ]
+        for wave in self.waves:
+            lines.append(
+                "  wave %d: seeds %s  %s/d%d  +%d pairs (%d total)%s" % (
+                    wave.index, wave.seeds, wave.scheduler, wave.depth,
+                    wave.new_pairs, wave.total_pairs,
+                    "  [dry]" if wave.dry else "",
+                )
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "<ExplorationResult %s waves=%d executed=%d saturated=%s>" % (
+            self.kind, len(self.waves), self.seeds_executed, self.saturated,
+        )
+
+
+# ---------------------------------------------------------------------------
+# wave execution
+
+
+def _scheduler_factory(family: str, depth: int):
+    """TSan scheduler factory for one ladder rung (None = default random)."""
+    if family == "pct":
+        from repro.runtime.scheduler import PCTScheduler
+
+        return lambda seed: PCTScheduler(seed=seed, depth=depth)
+    return None
+
+
+def _run_wave_serial(
+    kind: str, module, seeds: Sequence[int], family: str, depth: int,
+    entry: str, inputs, annotations, max_steps: int, entry_args,
+    tracer,
+) -> Tuple[ReportSet, List[RunStats], List[SeedCoverage]]:
+    """One wave without a registry spec: plain in-process seed runs."""
+    from repro.detectors.ski import run_ski_seed
+    from repro.detectors.tsan import run_tsan_seed
+
+    merged = ReportSet()
+    stats: List[RunStats] = []
+    coverage: List[SeedCoverage] = []
+    for seed in seeds:
+        started = time.perf_counter()
+        if kind == "ski":
+            seed_reports, result, detector = run_ski_seed(
+                module, seed, entry=entry, inputs=inputs,
+                annotations=annotations, max_steps=max_steps, depth=depth,
+                tracer=tracer, coverage_out=coverage,
+            )
+        else:
+            seed_reports, result, detector = run_tsan_seed(
+                module, seed, entry=entry, inputs=inputs,
+                annotations=annotations, max_steps=max_steps,
+                scheduler_factory=_scheduler_factory(family, depth),
+                entry_args=entry_args, tracer=tracer,
+                coverage_out=coverage,
+            )
+        merged.merge(seed_reports)
+        stats.append(RunStats(
+            seed=seed, reason=result.reason, steps=result.steps,
+            accesses=detector.access_count, reports=len(seed_reports),
+            wall_seconds=time.perf_counter() - started,
+        ))
+    return merged, stats, coverage
+
+
+# ---------------------------------------------------------------------------
+# the exploration loop
+
+
+def explore_seeds(
+    kind: str,
+    module,
+    module_source=None,
+    entry: str = "main",
+    inputs: Optional[Dict] = None,
+    annotations=None,
+    max_steps: int = 200_000,
+    entry_args: Sequence[int] = (),
+    depth: int = 3,
+    jobs: int = 1,
+    executor=None,
+    stats_out: Optional[List] = None,
+    tracer=None,
+    cache=None,
+    policy=None,
+    explore: Optional[ExplorePolicy] = None,
+) -> Tuple[ReportSet, List[RunStats]]:
+    """Coverage-guided exploration over seeds ``0 .. max_seeds - 1``.
+
+    Drop-in replacement for the fixed sweep of
+    :func:`repro.detectors.tsan.run_tsan` /
+    :func:`repro.detectors.ski.run_ski` (same ``(reports, stats)`` return
+    contract; ``policy`` is the batch fault-tolerance policy, ``explore``
+    the exploration policy).  The seed values are the prefix of the same
+    ``range()`` the blind sweep uses, under the same base schedule family,
+    so a run that saturates before escalating has — by construction —
+    found exactly the races of the fixed sweep's prefix.  The full
+    :class:`ExplorationResult` (waves, saturation, coverage) is appended
+    to ``explore.history``.
+    """
+    explore = explore if explore is not None else ExplorePolicy()
+    ladder = explore.ladder_for(kind, depth)
+    result = ExplorationResult(kind, explore)
+    merged = ReportSet()
+    stats: List[RunStats] = []
+    started = time.perf_counter()
+    rung = 0
+    dry = 0
+    cursor = 0
+    while cursor < explore.max_seeds:
+        wave_seeds = list(range(
+            cursor, min(cursor + explore.wave_size, explore.max_seeds)))
+        cursor += len(wave_seeds)
+        family, wave_depth = ladder[rung]
+        if module_source is not None:
+            from repro.owl.batch import run_seeds_parallel
+
+            wave_coverage: List[SeedCoverage] = []
+            wave_stats: List[RunStats] = []
+            wave_reports, _ = run_seeds_parallel(
+                kind, module, module_source, entry=entry, inputs=inputs,
+                seeds=wave_seeds, annotations=annotations,
+                max_steps=max_steps, entry_args=entry_args, depth=wave_depth,
+                jobs=jobs, stats_out=wave_stats, executor=executor,
+                tracer=tracer, cache=cache, policy=policy,
+                scheduler=family, coverage_out=wave_coverage,
+            )
+        else:
+            wave_reports, wave_stats, wave_coverage = _run_wave_serial(
+                kind, module, wave_seeds, family, wave_depth, entry, inputs,
+                annotations, max_steps, entry_args, tracer,
+            )
+        signatures_before = result.coverage.distinct_schedules
+        deltas = result.coverage.merge_all(wave_coverage)  # seed order
+        merged.merge(wave_reports)
+        stats.extend(wave_stats)
+        result.seeds_executed += len(wave_seeds)
+        new_pairs = sum(deltas)
+        escalated = False
+        if new_pairs == 0:
+            dry += 1
+            if dry >= explore.saturation_k:
+                result.saturated = True
+                result.saturation_wave = len(result.waves)
+            elif explore.escalate and rung + 1 < len(ladder):
+                # A wave of this family stopped paying while budget
+                # remains: climb the ladder before giving up.
+                rung += 1
+                escalated = True
+        else:
+            dry = 0
+        result.waves.append(WaveRecord(
+            len(result.waves), wave_seeds, family, wave_depth, new_pairs,
+            result.coverage.distinct_schedules - signatures_before,
+            result.coverage.total_pairs, escalated=escalated,
+        ))
+        if result.saturated:
+            break
+    result.wall_seconds = time.perf_counter() - started
+    explore.history.append(result)
+    if stats_out is not None:
+        stats_out.extend(stats)
+    return merged, stats
+
+
+def explore_program(
+    spec,
+    annotations=None,
+    jobs: int = 1,
+    executor=None,
+    stats_out: Optional[List] = None,
+    tracer=None,
+    cache=None,
+    policy=None,
+    explore: Optional[ExplorePolicy] = None,
+) -> Tuple[ReportSet, List[RunStats]]:
+    """Exploration over one :class:`repro.spec.ProgramSpec`'s detector.
+
+    The spec-level analogue of :func:`repro.owl.integration.run_detector`:
+    registry-resolvable specs fan waves out over the process pool (and
+    through the result cache); anything else explores serially with
+    identical results.
+    """
+    from repro.owl.batch import can_parallelize
+
+    parallel = can_parallelize(spec)
+    if not parallel:
+        cache = None  # keys need the registry-rebuilt module
+    return explore_seeds(
+        spec.detector, spec.build(),
+        module_source=spec.name if parallel else None,
+        entry=spec.entry, inputs=spec.workload_inputs,
+        annotations=annotations, max_steps=spec.max_steps,
+        jobs=jobs, executor=executor, stats_out=stats_out, tracer=tracer,
+        cache=cache, policy=policy, explore=explore,
+    )

@@ -33,6 +33,7 @@ def run_detector(
     tracer=None,
     cache=None,
     policy=None,
+    explore=None,
 ) -> Tuple[ReportSet, List]:
     """Run the spec's front-end detector over its configured schedules.
 
@@ -52,7 +53,20 @@ def run_detector(
     per-seed stats then come back as :class:`RunStats` as in the parallel
     case.  ``policy`` (:class:`repro.owl.batch.BatchPolicy`) supplies the
     pooled path's timeout/retry budgets.
+
+    An ``explore`` policy (:class:`repro.owl.explore.ExplorePolicy`)
+    replaces the spec's fixed ``detect_seeds`` sweep with coverage-guided
+    adaptive budgeting; the run's :class:`ExplorationResult` lands in
+    ``explore.history``.
     """
+    if explore is not None:
+        from repro.owl.explore import explore_program
+
+        return explore_program(
+            spec, annotations=annotations, jobs=jobs, executor=executor,
+            stats_out=stats_out, tracer=tracer, cache=cache, policy=policy,
+            explore=explore,
+        )
     if (jobs and jobs > 1) or executor is not None or cache is not None:
         from repro.owl.batch import run_detector_batch
 

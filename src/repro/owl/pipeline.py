@@ -129,6 +129,9 @@ class PipelineResult:
         self.metrics: Optional[PipelineMetrics] = None
         self.spans: Optional[SpanTracer] = None
         self.provenance: Optional[ProvenanceLog] = None
+        #: The detect stage's :class:`repro.owl.explore.ExplorationResult`
+        #: when the run used coverage-guided exploration.
+        self.explore = None
         self.raw_reports: Optional[ReportSet] = None
         self.annotations: Optional[AnnotationSet] = None
         self.annotated_reports: Optional[ReportSet] = None
@@ -176,6 +179,15 @@ class OwlPipeline:
     (:class:`repro.owl.journal.BatchJournal`) records progress so
     ``owl resume`` can finish an interrupted run; both contribute blocks
     to the schema-2 metrics JSON.
+
+    An ``explore`` policy (:class:`repro.owl.explore.ExplorePolicy`)
+    replaces the detect stages' blind ``detect_seeds`` sweep with
+    coverage-guided adaptive budgeting: seeds run in waves until
+    interleaving coverage saturates, escalating the schedule family when a
+    wave goes dry.  The detect stage's saturation curve lands in the
+    schema-3 metrics JSON (``"explore"`` block) and on
+    ``result.explore``; exploration decisions depend only on seed-ordered
+    coverage merges, so counters stay job-count invariant.
     """
 
     def __init__(
@@ -189,6 +201,7 @@ class OwlPipeline:
         journal=None,
         journal_fresh: bool = True,
         journal_config: Optional[Dict] = None,
+        explore=None,
     ):
         self.spec = spec
         self.analysis_options = analysis_options or AnalysisOptions()
@@ -199,6 +212,7 @@ class OwlPipeline:
         self.journal = journal
         self.journal_fresh = journal_fresh
         self.journal_config = journal_config
+        self.explore = explore
 
     # ------------------------------------------------------------------
 
@@ -277,19 +291,49 @@ class OwlPipeline:
             reports, _ = run_detector(
                 self.spec, jobs=jobs, executor=executor, stats_out=stats,
                 tracer=result.spans, cache=self.cache, policy=self.policy,
+                explore=self.explore,
             )
             stage.absorb_run_stats(stats)
             stage.items = len(reports)
             self._record_cache_delta(stage, marks)
+            self._record_explore(result, stage, span, primary=True)
             span.attrs.update(reports=len(reports), runs=stage.runs)
         result.raw_reports = reports
         result.counters.raw_reports = len(reports)
+        seeds_run = (
+            result.explore.seeds_executed if result.explore is not None
+            else len(self.spec.detect_seeds)
+        )
         for report in reports:
             result.provenance.record(
                 report, "detect", "reported",
                 detector=report.detector,
-                seeds=len(self.spec.detect_seeds),
+                seeds=seeds_run,
             )
+
+    def _record_explore(self, result: PipelineResult, stage, span,
+                        primary: bool = False) -> None:
+        """Fold the latest exploration run into stage extras and metrics.
+
+        ``primary`` marks the raw detect stage, whose saturation curve
+        becomes the metrics JSON's top-level ``"explore"`` block (schema 3)
+        and ``result.explore``; the annotated re-run only contributes its
+        per-stage extras.
+        """
+        if self.explore is None or self.explore.last is None:
+            return
+        exploration = self.explore.last
+        stage.extra["seeds_executed"] = exploration.seeds_executed
+        stage.extra["seeds_skipped"] = exploration.seeds_skipped
+        stage.extra["saturation_wave"] = exploration.saturation_wave
+        stage.extra["explored_pairs"] = exploration.coverage.total_pairs
+        span.attrs.update(
+            seeds_executed=exploration.seeds_executed,
+            saturated=exploration.saturated,
+        )
+        if primary:
+            result.explore = exploration
+            result.metrics.explore = exploration.metrics_block()
 
     # ------------------------------------------------------------------
     # stage 2: schedule reduction (section 5.1)
@@ -309,8 +353,10 @@ class OwlPipeline:
                     self.spec, annotations=annotations, jobs=jobs,
                     executor=executor, stats_out=stats, tracer=result.spans,
                     cache=self.cache, policy=self.policy,
+                    explore=self.explore,
                 )
                 stage.absorb_run_stats(stats)
+                self._record_explore(result, stage, span)
             else:
                 reports = result.raw_reports
             stage.items = len(reports)

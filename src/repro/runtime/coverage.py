@@ -1,0 +1,166 @@
+"""Interleaving-coverage tracking for schedule exploration.
+
+The detectors find a race only if the schedule perturbation actually
+explores a *new* interleaving (paper §6.3 runs SKI/TSan over many
+schedules).  This module measures what one detector seed contributed, so
+the exploration driver (:mod:`repro.owl.explore`) can spend its seed
+budget where coverage is still growing and stop once it saturates:
+
+- **racy access-pair coverage** — the set of static instruction-uid pairs
+  the seed's reports raced on (the same ``static_key`` the report dedup
+  uses), the signal that directly bounds how many distinct races the
+  pipeline can ever surface;
+- a **context-switch-point signature** — a digest of *where* the schedule
+  preempted (the (step, incoming thread) sequence of context switches),
+  which distinguishes schedules even when they find the same races.
+
+Both are plain data: a :class:`SeedCoverage` round-trips through the JSON
+payloads :mod:`repro.owl.batch` ships across process boundaries and the
+result cache stores on disk, and :class:`CoverageMap` merges are
+deterministic in seed order — merging the same seeds in the same order
+always yields the same per-seed ``new_pairs`` deltas, regardless of job
+count (the same parity contract :class:`repro.owl.pipeline.StageCounters`
+keeps).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.thread import ThreadContext
+
+PairKey = Tuple[int, int]
+
+
+class SwitchTracker(Scheduler):
+    """Wraps a scheduler and records its context-switch points.
+
+    Delegates every decision unchanged (the tracked schedule is identical
+    to the untracked one) while noting each point where the chosen thread
+    differs from the previous choice.  The switch-point sequence is the
+    raw material for a :class:`SeedCoverage` signature.
+    """
+
+    def __init__(self, inner: Scheduler):
+        self.inner = inner
+        #: ``(step, incoming thread id)`` for every context switch.
+        self.switch_points: List[Tuple[int, int]] = []
+        self._last_thread: Optional[int] = None
+
+    def choose(self, runnable: List[ThreadContext], step: int) -> ThreadContext:
+        chosen = self.inner.choose(runnable, step)
+        if self._last_thread is not None and chosen.thread_id != self._last_thread:
+            self.switch_points.append((step, chosen.thread_id))
+        self._last_thread = chosen.thread_id
+        return chosen
+
+    def on_thread_created(self, thread: ThreadContext) -> None:
+        self.inner.on_thread_created(thread)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.switch_points = []
+        self._last_thread = None
+
+    def signature(self) -> str:
+        """Digest of the switch-point sequence (stable across processes)."""
+        digest = hashlib.sha256()
+        for step, thread_id in self.switch_points:
+            digest.update(b"%d:%d;" % (step, thread_id))
+        return digest.hexdigest()[:16]
+
+
+class SeedCoverage:
+    """What one detector seed contributed to interleaving coverage."""
+
+    __slots__ = ("seed", "pairs", "signature", "switches")
+
+    def __init__(self, seed: int, pairs: FrozenSet[PairKey],
+                 signature: str, switches: int = 0):
+        self.seed = seed
+        self.pairs = frozenset(pairs)
+        self.signature = signature
+        self.switches = switches
+
+    @classmethod
+    def from_run(cls, seed: int, reports,
+                 tracker: Optional[SwitchTracker] = None) -> "SeedCoverage":
+        """Coverage of one finished seed: its reports plus its schedule."""
+        pairs = frozenset(report.static_key for report in reports)
+        signature = tracker.signature() if tracker is not None else ""
+        switches = len(tracker.switch_points) if tracker is not None else 0
+        return cls(seed, pairs, signature, switches)
+
+    # ------------------------------------------------------------------
+    # payload round-trip (process boundary + result cache)
+
+    def to_payload(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "pairs": sorted(list(pair) for pair in self.pairs),
+            "signature": self.signature,
+            "switches": self.switches,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "SeedCoverage":
+        return cls(
+            payload["seed"],
+            frozenset((int(a), int(b)) for a, b in payload["pairs"]),
+            payload["signature"],
+            payload.get("switches", 0),
+        )
+
+    def __repr__(self) -> str:
+        return "<SeedCoverage seed=%d pairs=%d sig=%s>" % (
+            self.seed, len(self.pairs), self.signature or "-",
+        )
+
+
+class CoverageMap:
+    """Accumulated interleaving coverage across seeds.
+
+    ``merge`` must be called in seed order; the per-merge ``new_pairs``
+    delta is then deterministic — the exploration driver's early-stopping
+    decisions (and the metrics it records) are identical at any job count.
+    """
+
+    def __init__(self):
+        self.pairs: set = set()
+        self.signatures: set = set()
+        self.seeds_merged: List[int] = []
+
+    def merge(self, coverage: SeedCoverage) -> int:
+        """Fold one seed in; returns how many racy pairs were new."""
+        new_pairs = len(coverage.pairs - self.pairs)
+        self.pairs |= coverage.pairs
+        if coverage.signature:
+            self.signatures.add(coverage.signature)
+        self.seeds_merged.append(coverage.seed)
+        return new_pairs
+
+    def merge_all(self, coverages: Sequence[SeedCoverage]) -> List[int]:
+        """Merge a wave of seeds (already in seed order); per-seed deltas."""
+        return [self.merge(coverage) for coverage in coverages]
+
+    @property
+    def total_pairs(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def distinct_schedules(self) -> int:
+        return len(self.signatures)
+
+    def as_dict(self) -> Dict:
+        return {
+            "total_pairs": self.total_pairs,
+            "distinct_schedules": self.distinct_schedules,
+            "seeds_merged": list(self.seeds_merged),
+        }
+
+    def __repr__(self) -> str:
+        return "<CoverageMap pairs=%d schedules=%d seeds=%d>" % (
+            self.total_pairs, self.distinct_schedules, len(self.seeds_merged),
+        )

@@ -11,7 +11,7 @@ item throughput (reports verified per second, seeds explored per second,
 Schema of the exported JSON (one file per program run)::
 
     {
-      "schema": 2,                  # bump on incompatible layout changes
+      "schema": 3,                  # bump on incompatible layout changes
       "program": "apache",          # ProgramSpec name
       "jobs": 4,                    # worker processes (1 = serial)
       "total_seconds": 12.3,
@@ -46,11 +46,31 @@ Schema of the exported JSON (one file per program run)::
         "retries": 0,               # items re-submitted to the pool
         "worker_failures": 0,       # exceptions / dead worker processes
         "serial_fallbacks": 0       # items re-run in-process after retries
+      },
+      # schema 3, present when the run used coverage-guided exploration
+      # (the detect stage's saturation curve; see repro.owl.explore):
+      "explore": {
+        "detector": "tsan",
+        "policy": {"max_seeds": 20, "wave_size": 4, "saturation_k": 2,
+                   "escalate": true},
+        "seeds_executed": 12,       # seeds actually run
+        "seeds_skipped": 8,         # budget the early stop never spent
+        "saturated": true,
+        "saturation_wave": 2,       # wave that sealed saturation (or null)
+        "total_pairs": 23,          # racy access pairs covered
+        "distinct_schedules": 12,   # context-switch signatures seen
+        "waves": [
+          {"index": 0, "seeds": [0, 1, 2, 3], "scheduler": "random",
+           "depth": 3, "new_pairs": 21, "new_signatures": 4,
+           "total_pairs": 21, "dry": false, "escalated": false},
+          ...
+        ]
       }
     }
 
-Schema 1 files are identical minus the ``cache``/``batch`` blocks and the
-per-stage ``cache_hits``/``cache_misses`` extras; the loader accepts both.
+Schema 2 files are identical minus the ``explore`` block; schema 1 files
+additionally lack the ``cache``/``batch`` blocks and the per-stage
+``cache_hits``/``cache_misses`` extras.  The loader accepts all three.
 
 Counters (:class:`repro.owl.pipeline.StageCounters`) stay byte-identical
 between serial and parallel runs; metrics are *observations* and naturally
@@ -68,12 +88,12 @@ from typing import Dict, Iterable, List, Optional
 #: Version of the metrics JSON layout.  ``benchmarks/out/metrics_*.json``
 #: files are compared across PRs; the loader refuses files whose schema it
 #: does not understand rather than silently mis-reading them.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
-#: Versions :func:`load_metrics` can still read.  Schema 1 is a strict
-#: subset of schema 2 (no ``cache``/``batch`` blocks), so old files remain
+#: Versions :func:`load_metrics` can still read.  Schemas 1 and 2 are
+#: strict subsets of schema 3 (fewer optional blocks), so old files remain
 #: loadable.
-SUPPORTED_SCHEMAS = (1, 2)
+SUPPORTED_SCHEMAS = (1, 2, 3)
 
 
 class MetricsSchemaError(ValueError):
@@ -183,6 +203,9 @@ class PipelineMetrics:
         self.cache: Optional[Dict] = None
         #: ``BatchPolicy.counters()`` of a fault-tolerant run (schema 2).
         self.batch: Optional[Dict] = None
+        #: ``ExplorationResult.metrics_block()`` of a coverage-guided run
+        #: (schema 3): the detect stage's per-wave saturation curve.
+        self.explore: Optional[Dict] = None
 
     # ------------------------------------------------------------------
 
@@ -225,6 +248,8 @@ class PipelineMetrics:
             data["cache"] = self.cache
         if self.batch is not None:
             data["batch"] = self.batch
+        if self.explore is not None:
+            data["explore"] = self.explore
         return data
 
     def save(self, path: str) -> str:

@@ -58,13 +58,17 @@ class RoundRobinScheduler(Scheduler):
             self._remaining -= 1
             return current
         ordered = sorted(runnable, key=lambda t: t.thread_id)
-        if current is None:
+        if self._current_id is None:
             chosen = ordered[0]
         else:
-            index = next(
-                i for i, t in enumerate(ordered) if t.thread_id == current.thread_id
+            # Continue the rotation from the last scheduled id even when that
+            # thread is no longer runnable (blocked/exited).  Restarting at
+            # the lowest id instead would starve high-id threads whenever a
+            # low-id thread keeps blocking and unblocking.
+            chosen = next(
+                (t for t in ordered if t.thread_id > self._current_id),
+                ordered[0],
             )
-            chosen = ordered[(index + 1) % len(ordered)]
         self._current_id = chosen.thread_id
         self._remaining = self.quantum - 1
         return chosen
@@ -106,11 +110,21 @@ class PCTScheduler(Scheduler):
         self._rng = random.Random(self.seed)
         self._priorities = {}
         self._next_priority = 1_000_000
-        self._change_points = set(
-            self._rng.randrange(max(1, self.expected_steps))
-            for _ in range(max(0, self.depth - 1))
-        )
+        # PCT's probabilistic guarantee needs exactly d-1 *distinct* change
+        # points; colliding draws would silently shrink the effective depth.
+        # Redraw until distinct, clamped to the population of step indices.
+        population = max(1, self.expected_steps)
+        target = min(max(0, self.depth - 1), population)
+        points: set = set()
+        while len(points) < target:
+            points.add(self._rng.randrange(population))
+        self._change_points = points
         self._low_water = 0
+
+    @property
+    def change_points(self) -> frozenset:
+        """The d-1 distinct priority-change step indices of this schedule."""
+        return frozenset(self._change_points)
 
     def _priority(self, thread: ThreadContext) -> int:
         if thread.thread_id not in self._priorities:
@@ -136,39 +150,66 @@ class ScriptedScheduler(Scheduler):
     is a thread id or name.  If the scripted thread is not currently runnable
     the scheduler waits on it by running other threads one step at a time
     (lowest id first) — this is how a verifier expresses "let the write side
-    reach its breakpoint first".
+    reach its breakpoint first".  The wait is *bounded*: a scripted thread
+    that stays non-runnable for ``wait_limit`` consecutive choices (it may
+    have exited for good) has its segment skipped and recorded in
+    :attr:`skipped_segments`, instead of spinning the other threads forever.
     """
 
-    def __init__(self, script: Sequence[ScriptSegment], fallback: Optional[Scheduler] = None):
+    def __init__(self, script: Sequence[ScriptSegment],
+                 fallback: Optional[Scheduler] = None,
+                 wait_limit: int = 1000):
+        if wait_limit <= 0:
+            raise ValueError("wait_limit must be positive")
         self.script: List[ScriptSegment] = list(script)
         self.fallback = fallback or RoundRobinScheduler()
+        self.wait_limit = wait_limit
+        #: ``(segment_index, thread_key, steps_left)`` of segments abandoned
+        #: after ``wait_limit`` consecutive waits on a non-runnable thread.
+        self.skipped_segments: List[Tuple[int, Union[int, str], int]] = []
         self._segment = 0
         self._remaining = self.script[0][1] if self.script else 0
+        self._waited = 0
 
     def _matches(self, thread: ThreadContext, key: Union[int, str]) -> bool:
         if isinstance(key, int):
             return thread.thread_id == key
         return thread.name == key
 
+    def _advance_segment(self) -> None:
+        self._segment += 1
+        self._waited = 0
+        if self._segment < len(self.script):
+            self._remaining = self.script[self._segment][1]
+
     def choose(self, runnable: List[ThreadContext], step: int) -> ThreadContext:
         while self._segment < len(self.script):
             key, _ = self.script[self._segment]
             if self._remaining <= 0:
-                self._segment += 1
-                if self._segment < len(self.script):
-                    self._remaining = self.script[self._segment][1]
+                self._advance_segment()
                 continue
             target = next((t for t in runnable if self._matches(t, key)), None)
             if target is not None:
+                self._waited = 0
                 self._remaining -= 1
                 return target
-            # Scripted thread not runnable: nudge others forward.
+            # Scripted thread not runnable: nudge others forward, but only
+            # up to wait_limit times — a permanently exited thread must not
+            # stall the rest of the script.
+            self._waited += 1
+            if self._waited >= self.wait_limit:
+                self.skipped_segments.append(
+                    (self._segment, key, self._remaining))
+                self._advance_segment()
+                continue
             return min(runnable, key=lambda t: t.thread_id)
         return self.fallback.choose(runnable, step)
 
     def reset(self) -> None:
         self._segment = 0
         self._remaining = self.script[0][1] if self.script else 0
+        self._waited = 0
+        self.skipped_segments = []
         self.fallback.reset()
 
 

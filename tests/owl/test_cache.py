@@ -22,6 +22,7 @@ from repro.owl.cache import (
     stable_hash,
 )
 from repro.owl.pipeline import OwlPipeline
+from repro.runtime.metrics import SCHEMA_VERSION
 
 
 def run_pipeline(spec, cache=None, jobs=1):
@@ -105,7 +106,7 @@ class TestWarmParity:
         cache = ResultCache(str(tmp_path))
         result = run_pipeline(spec, cache=cache)
         data = result.metrics.as_dict()
-        assert data["schema"] == 2
+        assert data["schema"] == SCHEMA_VERSION
         assert data["cache"]["stores"] == cache.stores
         assert data["cache"]["code_version"] == cache.version
         assert "detect" in data["cache"]["stages"]

@@ -6,6 +6,7 @@ import pytest
 
 from repro.runtime.metrics import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
     MetricsSchemaError,
     PipelineMetrics,
     load_metrics,
@@ -24,6 +25,34 @@ def saved_metrics(tmp_path):
 class TestMetricsSchema:
     def test_as_dict_declares_current_schema(self):
         assert PipelineMetrics("demo").as_dict()["schema"] == SCHEMA_VERSION
+
+    def test_current_schema_is_three_and_supports_ancestors(self):
+        assert SCHEMA_VERSION == 3
+        assert SUPPORTED_SCHEMAS == (1, 2, 3)
+
+    def test_loader_accepts_all_supported_versions(self, tmp_path):
+        path = saved_metrics(tmp_path)
+        for version in SUPPORTED_SCHEMAS:
+            with open(path) as handle:
+                data = json.load(handle)
+            data["schema"] = version
+            with open(path, "w") as handle:
+                json.dump(data, handle)
+            assert load_metrics(path)["schema"] == version
+
+    def test_explore_block_round_trips(self, tmp_path):
+        metrics = PipelineMetrics("demo", jobs=1)
+        metrics.explore = {"detector": "tsan", "saturation_wave": 2,
+                           "seeds_executed": 12, "waves": []}
+        path = str(tmp_path / "metrics_explore.json")
+        metrics.save(path)
+        data = load_metrics(path)
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["explore"]["saturation_wave"] == 2
+
+    def test_explore_block_absent_by_default(self, tmp_path):
+        data = load_metrics(saved_metrics(tmp_path))
+        assert "explore" not in data
 
     def test_load_round_trips_saved_file(self, tmp_path):
         path = saved_metrics(tmp_path)

@@ -42,6 +42,28 @@ class TestRoundRobin:
         with pytest.raises(ValueError):
             RoundRobinScheduler(quantum=0)
 
+    def test_rotation_continues_past_blocked_thread(self):
+        # When the current thread blocks, the rotation must continue from
+        # its id, not restart at the lowest one.
+        scheduler = RoundRobinScheduler(quantum=1)
+        threads = [_FakeThread(1), _FakeThread(2), _FakeThread(3)]
+        assert scheduler.choose(threads, 0).thread_id == 1
+        assert scheduler.choose(threads, 1).thread_id == 2
+        # thread 2 blocks; the next pick must be 3, not back to 1
+        assert scheduler.choose([threads[0], threads[2]], 2).thread_id == 3
+
+    def test_no_starvation_with_alternating_runnable_sets(self):
+        # A low-id thread that keeps blocking and unblocking must not starve
+        # the highest-id thread: runnable alternates {1,3} / {2,3}, so a
+        # rotation restarting at the lowest id would pick 1,2,1,2,... forever.
+        scheduler = RoundRobinScheduler(quantum=1)
+        one, two, three = _FakeThread(1), _FakeThread(2), _FakeThread(3)
+        picks = []
+        for step in range(12):
+            runnable = [one, three] if step % 2 == 0 else [two, three]
+            picks.append(scheduler.choose(runnable, step).thread_id)
+        assert 3 in picks
+
 
 class TestRandom:
     def test_deterministic_per_seed(self):
@@ -82,6 +104,29 @@ class TestPCT:
         picks = [scheduler.choose(threads, s).thread_id for s in range(20)]
         assert len(set(picks)) >= 2  # priority changes switch threads
 
+    def test_exactly_depth_minus_one_distinct_change_points(self):
+        # PCT's probability guarantee needs d-1 *distinct* change points;
+        # with a small step population, colliding draws are likely for many
+        # seeds unless the scheduler redraws them.
+        for seed in range(200):
+            scheduler = PCTScheduler(seed=seed, depth=5, expected_steps=10)
+            assert len(scheduler.change_points) == 4, "seed %d" % seed
+            assert all(0 <= p < 10 for p in scheduler.change_points)
+
+    def test_change_points_clamped_to_step_population(self):
+        scheduler = PCTScheduler(seed=1, depth=50, expected_steps=10)
+        assert len(scheduler.change_points) == 10  # can't exceed the steps
+
+    def test_depth_one_has_no_change_points(self):
+        scheduler = PCTScheduler(seed=1, depth=1, expected_steps=10)
+        assert scheduler.change_points == frozenset()
+
+    def test_reset_redraws_the_same_points(self):
+        scheduler = PCTScheduler(seed=11, depth=6, expected_steps=100)
+        first = scheduler.change_points
+        scheduler.reset()
+        assert scheduler.change_points == first
+
 
 class TestScripted:
     def test_follows_script(self):
@@ -102,6 +147,39 @@ class TestScripted:
         threads = [_FakeThread(2, "b")]
         scheduler = ScriptedScheduler([("a", 5)])
         assert scheduler.choose(threads, 0).thread_id == 2
+
+    def test_dead_scripted_thread_skips_segment_after_wait_limit(self):
+        # Thread "a" never becomes runnable (it exited for good): after
+        # wait_limit waits its segment is abandoned — and recorded — and
+        # the script moves on instead of spinning forever.
+        threads = [_FakeThread(2, "b")]
+        scheduler = ScriptedScheduler([("a", 5), ("b", 2)], wait_limit=3)
+        picks = [scheduler.choose(threads, s).thread_id for s in range(5)]
+        assert picks == [2] * 5
+        assert scheduler.skipped_segments == [(0, "a", 5)]
+        # the "b" segment ran normally once "a" was skipped
+        assert scheduler._segment >= 1
+
+    def test_wait_counter_resets_when_target_reappears(self):
+        a, b = _FakeThread(1, "a"), _FakeThread(2, "b")
+        scheduler = ScriptedScheduler([("a", 3)], wait_limit=2)
+        scheduler.choose([b], 0)          # wait 1
+        scheduler.choose([a, b], 1)       # target back: counter resets
+        scheduler.choose([b], 2)          # wait 1 again, not 2
+        assert scheduler.skipped_segments == []
+
+    def test_invalid_wait_limit(self):
+        with pytest.raises(ValueError):
+            ScriptedScheduler([("a", 1)], wait_limit=0)
+
+    def test_reset_clears_skip_state(self):
+        threads = [_FakeThread(2, "b")]
+        scheduler = ScriptedScheduler([("a", 5)], wait_limit=1)
+        scheduler.choose(threads, 0)
+        assert scheduler.skipped_segments
+        scheduler.reset()
+        assert scheduler.skipped_segments == []
+        assert scheduler._segment == 0
 
 
 def _debug_session():
