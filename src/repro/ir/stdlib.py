@@ -26,6 +26,7 @@ STDLIB_PROTOTYPES: Dict[str, FunctionType] = {
     # --- memory management -------------------------------------------------
     "malloc": _ft(_PTR, I64),
     "free": _ft(VOID, _PTR),
+    "realloc": _ft(_PTR, _PTR, I64),
     # --- memory operations (vulnerable site type: MEMORY_OP) ---------------
     "strcpy": _ft(_PTR, _PTR, _PTR),
     "strncpy": _ft(_PTR, _PTR, _PTR, I64),

@@ -47,8 +47,20 @@ from repro.runtime.scheduler import (
 )
 from repro.runtime.thread import Frame, ThreadContext, ThreadState
 from repro.runtime.os_model import OSWorld
-from repro.runtime.interpreter import VM, ExecutionResult
+from repro.runtime.interpreter import VM, ExecutionResult, reference_execution
 from repro.runtime.debugger import Breakpoint, Debugger
+from repro.runtime.diffcheck import (
+    Divergence,
+    ExecutionFingerprint,
+    ProgramDiff,
+    TraceRecorder,
+    compare_fingerprints,
+    diff_counters,
+    diff_program,
+    diff_reports,
+    diff_seed,
+    fingerprint_run,
+)
 from repro.runtime.metrics import (
     MetricsSchemaError,
     PipelineMetrics,
@@ -84,8 +96,19 @@ __all__ = [
     "OSWorld",
     "VM",
     "ExecutionResult",
+    "reference_execution",
     "Breakpoint",
     "Debugger",
+    "Divergence",
+    "ExecutionFingerprint",
+    "ProgramDiff",
+    "TraceRecorder",
+    "compare_fingerprints",
+    "diff_counters",
+    "diff_program",
+    "diff_reports",
+    "diff_seed",
+    "fingerprint_run",
     "MetricsSchemaError",
     "PipelineMetrics",
     "RunStats",

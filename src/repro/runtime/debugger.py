@@ -142,6 +142,7 @@ class Debugger:
                 if breakpoint.enabled and breakpoint.instruction is instruction:
                     breakpoint.skip_once(thread.thread_id)
         thread.state = ThreadState.RUNNABLE
+        self.vm._halted_count -= 1
 
     def release_one(self) -> Optional[ThreadContext]:
         """Livelock resolution: temporarily release one triggered breakpoint.

@@ -27,11 +27,18 @@ class TraceEvent:
 
 
 class AccessEvent(TraceEvent):
-    """A shared-memory read or write."""
+    """A shared-memory read or write.
+
+    ``variable`` — the human-readable description of the accessed location
+    (``memory.describe``'s field scan plus formatting) — may be passed as a
+    zero-argument callable; it is then resolved lazily on first attribute
+    access and cached, keeping description work off the per-access hot path
+    for observers that never read it.
+    """
 
     __slots__ = (
         "instruction", "address", "size", "is_write", "value", "is_atomic",
-        "call_stack", "variable",
+        "call_stack", "_variable",
     )
 
     def __init__(
@@ -45,7 +52,7 @@ class AccessEvent(TraceEvent):
         value: int,
         is_atomic: bool,
         call_stack: CallStack,
-        variable: Optional[str] = None,
+        variable=None,
     ):
         super().__init__(thread_id, step)
         self.instruction = instruction
@@ -55,7 +62,19 @@ class AccessEvent(TraceEvent):
         self.value = value
         self.is_atomic = is_atomic
         self.call_stack = call_stack
-        self.variable = variable
+        self._variable = variable
+
+    @property
+    def variable(self) -> Optional[str]:
+        value = self._variable
+        if callable(value):
+            value = value()
+            self._variable = value
+        return value
+
+    @variable.setter
+    def variable(self, value) -> None:
+        self._variable = value
 
     def __repr__(self) -> str:
         mode = "W" if self.is_write else "R"

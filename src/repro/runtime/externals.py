@@ -93,6 +93,26 @@ def _free(vm, thread, call, args):
     return 0
 
 
+@external("realloc")
+def _realloc(vm, thread, call, args):
+    address, size = args[0], args[1]
+    if address == 0:
+        return _malloc(vm, thread, call, [size])
+    old = vm.memory.block_at(address)
+    fault = vm.memory.free(address, thread.thread_id, vm.step, thread.call_stack())
+    if fault is not None:
+        # free() already classified the failure (invalid/double free).
+        vm.raise_fault(fault)
+        return 0
+    vm.emit_free(thread, address)
+    new = vm.memory.allocate(size, MemoryBlock.HEAP, name="heap#%d" % vm.step,
+                             step=vm.step)
+    preserved = min(old.size, new.size)
+    new.data[:preserved] = old.data[:preserved]
+    vm.emit_alloc(thread, new)
+    return new.base
+
+
 # ---------------------------------------------------------------------------
 # memory operations (vulnerable site type MEMORY_OP)
 

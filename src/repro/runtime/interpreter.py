@@ -23,6 +23,7 @@ Key behaviours:
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.ir.function import ExternalFunction, Function
@@ -64,6 +65,24 @@ MASK64 = (1 << 64) - 1
 #: Faults that corrupt state but let execution continue (attack material).
 NONFATAL_FAULTS = frozenset({FaultKind.FIELD_OVERFLOW})
 
+#: When True, newly constructed VMs default to the reference configuration:
+#: isinstance-chain dispatch and no memoization anywhere.  The differential
+#: oracle (:mod:`repro.runtime.diffcheck`) flips this to re-execute whole
+#: pipeline stages with the pre-optimization semantics.
+_REFERENCE_MODE = False
+
+
+@contextmanager
+def reference_execution():
+    """Every VM constructed inside the block runs in reference mode."""
+    global _REFERENCE_MODE
+    previous = _REFERENCE_MODE
+    _REFERENCE_MODE = True
+    try:
+        yield
+    finally:
+        _REFERENCE_MODE = previous
+
 
 class ExecutionResult:
     """Outcome of a (partial) run."""
@@ -100,11 +119,19 @@ class VM:
         max_steps: int = 200_000,
         seed: int = 0,
         nonfatal_faults: frozenset = NONFATAL_FAULTS,
+        reference: Optional[bool] = None,
     ):
         self.module = module
         self.scheduler = scheduler or RoundRobinScheduler()
         self.world = world or OSWorld()
-        self.memory = Memory()
+        #: reference=True disables every hot-path shortcut (dispatch table,
+        #: call-stack memo, block/description caches) so the differential
+        #: oracle can compare against the plain implementation.  None picks
+        #: up the ambient :func:`reference_execution` mode.
+        self.reference = _REFERENCE_MODE if reference is None else reference
+        self.memory = Memory(memoize=not self.reference)
+        if self.reference:
+            self.execute = self._execute_reference  # type: ignore[assignment]
         self.inputs: Dict = dict(inputs or {})
         self._input_cursors: Dict = {}
         self.max_steps = max_steps
@@ -112,6 +139,15 @@ class VM:
         self.nonfatal_faults = nonfatal_faults
         self.step = 0
         self.threads: Dict[int, ThreadContext] = {}
+        # Incremental scheduling state: the run loop must not rescan every
+        # thread ever created on every step.  ``_alive`` holds non-finished
+        # threads in creation order (matching ``threads.values()`` minus the
+        # finished ones), ``_blocked`` the currently blocked ones, and
+        # ``_halted_count`` the debugger-halted ones, so the common case —
+        # nothing blocked, nothing halted — schedules straight off ``_alive``.
+        self._alive: List[ThreadContext] = []
+        self._blocked: List[ThreadContext] = []
+        self._halted_count = 0
         self._next_thread_id = 1
         self.mutexes: Dict[int, Optional[int]] = {}
         self.cond_waiters: Dict[int, List[int]] = {}
@@ -162,9 +198,17 @@ class VM:
             return
         if not self.observers:
             return
+        offset = address - block.base
+        if self.reference:
+            variable = block.describe_offset(offset)
+        else:
+            # Lazy: the description is formatted only if an observer reads
+            # ``event.variable``, and then from the per-(block, offset) memo.
+            def variable(block=block, offset=offset):
+                return block.describe_offset_cached(offset)
         event = AccessEvent(
             thread.thread_id, self.step, instruction, address, size, is_write,
-            value, is_atomic, thread.call_stack(), self.memory.describe(address),
+            value, is_atomic, thread.call_stack(), variable,
         )
         for observer in self.observers:
             observer.on_access(event)
@@ -221,9 +265,11 @@ class VM:
             name or function.name,
             function,
             list(argument_values),
+            memoize_stack=not self.reference,
         )
         self._next_thread_id += 1
         self.threads[thread.thread_id] = thread
+        self._alive.append(thread)
         self.scheduler.on_thread_created(thread)
         creator_id = creator.thread_id if creator is not None else 0
         event = ThreadLifecycleEvent(
@@ -236,7 +282,11 @@ class VM:
     def finish_thread(self, thread: ThreadContext, return_value: Optional[int]) -> None:
         thread.state = ThreadState.FINISHED
         thread.return_value = return_value
-        thread.frames = []
+        thread.clear_frames()
+        try:
+            self._alive.remove(thread)
+        except ValueError:
+            pass
         event = ThreadLifecycleEvent(
             thread.thread_id, self.step, ThreadLifecycleEvent.EXIT, thread.thread_id,
         )
@@ -255,6 +305,11 @@ class VM:
             thread.state = ThreadState.RUNNABLE
             thread.blocked_on = None
             thread.wake_step = None
+            thread.blocked_kind = None
+            try:
+                self._blocked.remove(thread)
+            except ValueError:
+                pass
 
     # ------------------------------------------------------------------
     # address helpers
@@ -342,8 +397,28 @@ class VM:
                     self.unblock(thread.thread_id)
 
     def run(self, max_steps: Optional[int] = None) -> ExecutionResult:
-        """Run until completion, fault, deadlock, breakpoint or step limit."""
-        limit = self.step + max_steps if max_steps is not None else self.max_steps
+        """Run until completion, fault, deadlock, breakpoint or step limit.
+
+        ``max_steps`` bounds this call only and is clamped to the VM's
+        global ``self.max_steps`` budget, so resumed runs (the verifiers
+        re-entering ``run`` after a breakpoint) can never overshoot the
+        process-wide step limit.
+        """
+        if max_steps is None:
+            limit = self.max_steps
+        else:
+            limit = min(self.step + max_steps, self.max_steps)
+        if self.reference:
+            return self._run_reference_loop(limit)
+        return self._run_fast_loop(limit)
+
+    def _run_reference_loop(self, limit: int) -> ExecutionResult:
+        """The pre-optimization scheduling loop, preserved for the oracle.
+
+        Rescans every thread on every step (``_retry_blocked`` re-parses
+        block reasons, ``runnable_threads`` refilters ``threads.values()``);
+        :meth:`_run_fast_loop` must stay schedule-identical to this.
+        """
         while True:
             if self._finished:
                 return ExecutionResult(self._result_reason or
@@ -361,11 +436,80 @@ class VM:
             if self.debugger is not None:
                 instruction = thread.current_instruction()
                 if instruction is not None and self.debugger.check(thread, instruction):
-                    thread.state = ThreadState.HALTED
+                    self._halt_thread(thread)
                     return ExecutionResult(ExecutionResult.BREAKPOINT, self)
             outcome = self.step_thread(thread)
             if outcome is not None:
                 return outcome
+
+    def _run_fast_loop(self, limit: int) -> ExecutionResult:
+        """Incremental scheduling loop: only blocked threads are re-polled.
+
+        Semantically identical to :meth:`_run_reference_loop` — blocked
+        threads are retried and sleepers woken before each filter, and the
+        runnable list preserves creation order — but the common case (no
+        thread blocked or halted) schedules directly off ``_alive`` without
+        rescanning or re-filtering anything.
+        """
+        alive = self._alive
+        blocked = self._blocked
+        threads = self.threads
+        mutexes = self.mutexes
+        scheduler_choose = self.scheduler.choose
+        step_thread = self.step_thread
+        RUNNABLE = ThreadState.RUNNABLE
+        FINISHED = ThreadState.FINISHED
+        while True:
+            if self._finished:
+                return ExecutionResult(self._result_reason or
+                                       ExecutionResult.FINISHED, self)
+            step = self.step
+            if step >= limit:
+                return ExecutionResult(ExecutionResult.STEP_LIMIT, self)
+            if blocked:
+                # One pass over only the blocked threads, with the reasons
+                # parsed once at block time: retry mutex/join waits, then
+                # wake expired sleepers — the same set the reference loop's
+                # _retry_blocked + _wake_sleepers unblocks.
+                for thread in blocked[:]:
+                    kind = thread.blocked_kind
+                    if kind == "mutex":
+                        if mutexes.get(thread.blocked_arg) is None:
+                            self.unblock(thread.thread_id)
+                            continue
+                    elif kind == "join":
+                        target = threads.get(thread.blocked_arg)
+                        if target is not None and target.state is FINISHED:
+                            self.unblock(thread.thread_id)
+                            continue
+                    wake = thread.wake_step
+                    if wake is not None and wake <= step:
+                        self.unblock(thread.thread_id)
+                runnable = [t for t in alive if t.state is RUNNABLE]
+            elif self._halted_count:
+                runnable = [t for t in alive if t.state is RUNNABLE]
+            else:
+                # Nothing blocked or halted: every live thread is runnable.
+                runnable = alive
+            if not runnable:
+                outcome = self._handle_idle()
+                if outcome is not None:
+                    return outcome
+                continue
+            thread = scheduler_choose(runnable, step)
+            if self.debugger is not None:
+                instruction = thread.current_instruction()
+                if instruction is not None and self.debugger.check(thread, instruction):
+                    self._halt_thread(thread)
+                    return ExecutionResult(ExecutionResult.BREAKPOINT, self)
+            outcome = step_thread(thread)
+            if outcome is not None:
+                return outcome
+
+    def _halt_thread(self, thread: ThreadContext) -> None:
+        """Debugger halt; ``Debugger.resume`` undoes the count."""
+        thread.state = ThreadState.HALTED
+        self._halted_count += 1
 
     def _handle_idle(self) -> Optional[ExecutionResult]:
         alive = [t for t in self.threads.values() if t.state != ThreadState.FINISHED]
@@ -408,9 +552,19 @@ class VM:
         try:
             self.execute(thread, instruction)
         except externals.Block as block:
+            reason = block.reason
             thread.state = ThreadState.BLOCKED
-            thread.blocked_on = block.reason
+            thread.blocked_on = reason
             thread.wake_step = block.wake_step
+            if reason.startswith("mutex "):
+                thread.blocked_kind = "mutex"
+                thread.blocked_arg = int(reason.split()[1], 16)
+            elif reason.startswith("join t"):
+                thread.blocked_kind = "join"
+                thread.blocked_arg = int(reason[6:])
+            else:
+                thread.blocked_kind = None
+            self._blocked.append(thread)
             return None
         except externals.ProcessExit as exit_request:
             self.world.exit_code = exit_request.code
@@ -436,6 +590,35 @@ class VM:
     # instruction execution
 
     def execute(self, thread: ThreadContext, instruction: Instruction) -> None:
+        """Dispatch one instruction through the per-class handler table.
+
+        The table maps each concrete instruction class to its handler and is
+        resolved once at module load; subclasses fall back to an
+        isinstance-order walk on first sight and are cached.  Reference-mode
+        VMs shadow this method with :meth:`_execute_reference` (the original
+        isinstance chain) so the differential oracle can compare both.
+        """
+        handler = _DISPATCH.get(instruction.__class__)
+        if handler is None:
+            handler = self._resolve_handler(thread, instruction)
+        handler(self, thread, thread.top, instruction)
+
+    def _resolve_handler(self, thread: ThreadContext, instruction: Instruction):
+        """Cache a handler for an instruction subclass, isinstance order."""
+        for base, handler in _DISPATCH_BASES:
+            if isinstance(instruction, base):
+                _DISPATCH[instruction.__class__] = handler
+                return handler
+        raise RuntimeFault(FaultEvent(
+            FaultKind.WILD_ACCESS, thread.thread_id,
+            "unsupported instruction %s" % instruction.describe(),
+        ))
+
+    def _execute_reference(self, thread: ThreadContext,
+                           instruction: Instruction) -> None:
+        """The pre-dispatch-table execution path, kept as the oracle's
+        reference implementation (semantically identical by construction —
+        the differential oracle asserts it stays that way)."""
         frame = thread.top
         if isinstance(instruction, Alloca):
             self._exec_alloca(thread, frame, instruction)
@@ -450,12 +633,7 @@ class VM:
         elif isinstance(instruction, GetElementPtr):
             self._exec_gep(thread, frame, instruction)
         elif isinstance(instruction, Cast):
-            value = self._truncate(
-                self.evaluate(frame, instruction.value), instruction.type,
-            )
-            frame.registers[instruction] = value
-            self._maybe_type_block(instruction, value)
-            frame.index += 1
+            self._exec_cast(thread, frame, instruction)
         elif isinstance(instruction, AtomicRMW):
             self._exec_atomicrmw(thread, frame, instruction)
         elif isinstance(instruction, Br):
@@ -469,6 +647,14 @@ class VM:
                 FaultKind.WILD_ACCESS, thread.thread_id,
                 "unsupported instruction %s" % instruction.describe(),
             ))
+
+    def _exec_cast(self, thread, frame, instruction: Cast) -> None:
+        value = self._truncate(
+            self.evaluate(frame, instruction.value), instruction.type,
+        )
+        frame.registers[instruction] = value
+        self._maybe_type_block(instruction, value)
+        frame.index += 1
 
     def _maybe_type_block(self, instruction: Cast, value: int) -> None:
         """Casting a raw pointer to a struct pointer types the allocation.
@@ -490,6 +676,9 @@ class VM:
         if block is not None and not block.fields and block.base == value:
             block.value_type = pointee
             block.fields = pointee.layout()
+            # The field layout changed, so memoized offset descriptions
+            # ("heap#12+8") are stale; they must re-resolve to field names.
+            block.invalidate_descriptions()
 
     @staticmethod
     def _truncate(value: int, type_) -> int:
@@ -688,7 +877,7 @@ class VM:
             callee_frame = Frame(target, call_site=instruction)
             for parameter, value in zip(target.arguments, argument_values):
                 callee_frame.registers[parameter] = value
-            thread.frames.append(callee_frame)
+            thread.push_frame(callee_frame)
 
     def _exec_external(self, thread, frame, instruction: Call,
                        target: ExternalFunction, argument_values: List[int]) -> None:
@@ -716,7 +905,7 @@ class VM:
         for block in frame.allocas:
             block.freed = True
             block.free_step = self.step
-        thread.frames.pop()
+        thread.pop_frame()
         if not thread.frames:
             self.finish_thread(thread, value)
             return
@@ -728,3 +917,25 @@ class VM:
             elif call_site.type.size() > 0:
                 caller.registers[call_site] = 0
             caller.index += 1
+
+
+#: Concrete instruction class -> handler, resolved once at import.  The
+#: pairs below double as the isinstance fallback order for subclasses —
+#: identical to the order of the original dispatch chain
+#: (:meth:`VM._execute_reference`), which the differential oracle holds the
+#: table path to.
+_DISPATCH_BASES = (
+    (Alloca, VM._exec_alloca),
+    (Load, VM._exec_load),
+    (Store, VM._exec_store),
+    (BinOp, VM._exec_binop),
+    (ICmp, VM._exec_icmp),
+    (GetElementPtr, VM._exec_gep),
+    (Cast, VM._exec_cast),
+    (AtomicRMW, VM._exec_atomicrmw),
+    (Br, VM._exec_br),
+    (Call, VM._exec_call),
+    (Ret, VM._exec_ret),
+)
+
+_DISPATCH = {base: handler for base, handler in _DISPATCH_BASES}

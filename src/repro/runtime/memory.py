@@ -50,6 +50,9 @@ class MemoryBlock:
         self.fields: List[Tuple[str, int, int]] = []
         if isinstance(value_type, StructType):
             self.fields = value_type.layout()
+        # offset -> description memo; must be cleared whenever the block's
+        # field layout changes (see invalidate_descriptions).
+        self._describe_memo: Dict[int, str] = {}
 
     @property
     def end(self) -> int:
@@ -74,6 +77,24 @@ class MemoryBlock:
             return self.name or hex(self.base)
         return "%s+%d" % (self.name or hex(self.base), offset)
 
+    def describe_offset_cached(self, offset: int) -> str:
+        """Memoized :meth:`describe_offset` — the per-access hot path.
+
+        The linear field scan plus string formatting runs once per distinct
+        (block, offset); repeated accesses to the same location (the common
+        case for racy variables) hit the memo.
+        """
+        memo = self._describe_memo
+        text = memo.get(offset)
+        if text is None:
+            text = self.describe_offset(offset)
+            memo[offset] = text
+        return text
+
+    def invalidate_descriptions(self) -> None:
+        """Drop memoized descriptions after the field layout changed."""
+        self._describe_memo.clear()
+
     def __repr__(self) -> str:
         state = " freed" if self.freed else ""
         return "<MemoryBlock %s %s base=0x%x size=%d%s>" % (
@@ -82,12 +103,23 @@ class MemoryBlock:
 
 
 class Memory:
-    """The process address space."""
+    """The process address space.
 
-    def __init__(self):
+    ``memoize=False`` disables the repeated-address ``block_at`` cache and
+    the per-(block, offset) description memo — the reference configuration
+    of the differential oracle (:mod:`repro.runtime.diffcheck`).
+    """
+
+    def __init__(self, memoize: bool = True):
         self._blocks: Dict[int, MemoryBlock] = {}
         self._bases: List[int] = []
         self._next_address = BASE_ADDRESS
+        self._memoize = memoize
+        # Consecutive accesses overwhelmingly hit the same block; checking
+        # the previous hit first skips the bisect.  Blocks are never moved
+        # or removed (freed blocks stay mapped), so a cached hit can never
+        # go stale.
+        self._last_block: Optional[MemoryBlock] = None
         #: faults recorded when fault-tolerant access is requested
         self.recorded_faults: List[FaultEvent] = []
 
@@ -130,17 +162,27 @@ class Memory:
 
     def block_at(self, address: int) -> Optional[MemoryBlock]:
         """The block containing ``address``, freed blocks included."""
+        last = self._last_block
+        if last is not None and last.contains(address):
+            return last
         index = bisect.bisect_right(self._bases, address) - 1
         if index < 0:
             return None
         block = self._blocks[self._bases[index]]
-        return block if block.contains(address) else None
+        if not block.contains(address):
+            return None
+        if self._memoize:
+            self._last_block = block
+        return block
 
     def describe(self, address: int) -> str:
         block = self.block_at(address)
         if block is None:
             return hex(address)
-        return block.describe_offset(address - block.base)
+        offset = address - block.base
+        if self._memoize:
+            return block.describe_offset_cached(offset)
+        return block.describe_offset(offset)
 
     def blocks(self) -> List[MemoryBlock]:
         return [self._blocks[base] for base in self._bases]
@@ -198,25 +240,52 @@ class Memory:
         return block, None
 
     def read_bytes(self, address: int, size: int) -> bytes:
-        """Raw read; caller must have validated the access."""
+        """Raw read; caller must have validated the access.
+
+        A read crossing the block end returns exactly ``size`` bytes with
+        the out-of-block tail zero-filled (the guard gap reads as zeros).
+        Returning a silently short buffer here made ``read_int`` decode a
+        value of the wrong width after a fault-tolerated intra-block
+        overflow access; zero-padding keeps the decoded value well-defined.
+        """
         block = self.block_at(address)
         if block is None:
             raise RuntimeFault(FaultEvent(
                 FaultKind.WILD_ACCESS, -1, "raw read at 0x%x" % address, address,
             ))
         offset = address - block.base
-        return bytes(block.data[offset:offset + size])
+        end = offset + size
+        if end <= block.size:
+            return bytes(block.data[offset:end])
+        return bytes(block.data[offset:block.size]) + b"\x00" * (end - block.size)
 
     def write_bytes(self, address: int, data: bytes) -> None:
-        """Raw write; caller must have validated the access."""
+        """Raw write; caller must have validated the access.
+
+        A write crossing the block end stores the in-block prefix and
+        records a :data:`FaultKind.BUFFER_OVERFLOW` event in
+        :attr:`recorded_faults` — consistent with the ``check_access``
+        fault model — instead of silently dropping the tail bytes.
+        """
         block = self.block_at(address)
         if block is None:
             raise RuntimeFault(FaultEvent(
                 FaultKind.WILD_ACCESS, -1, "raw write at 0x%x" % address, address,
             ))
         offset = address - block.base
-        end = min(offset + len(data), block.size)
-        block.data[offset:end] = data[: end - offset]
+        end = offset + len(data)
+        if end <= block.size:
+            block.data[offset:end] = data
+            return
+        writable = block.size - offset
+        self.recorded_faults.append(FaultEvent(
+            FaultKind.BUFFER_OVERFLOW, -1,
+            "raw write of %d bytes at %s truncated to %d (block of %d bytes)" % (
+                len(data), block.describe_offset(offset), writable, block.size,
+            ),
+            address=address,
+        ))
+        block.data[offset:block.size] = data[:writable]
 
     # ------------------------------------------------------------------
     # typed scalar access

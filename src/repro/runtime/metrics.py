@@ -47,6 +47,17 @@ Schema of the exported JSON (one file per program run)::
         "worker_failures": 0,       # exceptions / dead worker processes
         "serial_fallbacks": 0       # items re-run in-process after retries
       },
+      # schema 4, present when the run came from the differential-execution
+      # oracle (tools/diff_oracle.py; see repro.runtime.diffcheck):
+      "diff_oracle": {
+        "seeds": 10,                # seeds swept per program
+        "divergences": 0,           # first-divergence records (0 = identical)
+        "reference_steps_per_second": 120000.0,
+        "optimized_steps_per_second": 260000.0,
+        "speedup": 2.167,           # optimized / reference steps/s
+        "report_sets_identical": true,
+        "counters_identical": true
+      },
       # schema 3, present when the run used coverage-guided exploration
       # (the detect stage's saturation curve; see repro.owl.explore):
       "explore": {
@@ -68,9 +79,10 @@ Schema of the exported JSON (one file per program run)::
       }
     }
 
-Schema 2 files are identical minus the ``explore`` block; schema 1 files
-additionally lack the ``cache``/``batch`` blocks and the per-stage
-``cache_hits``/``cache_misses`` extras.  The loader accepts all three.
+Schema 3 files are identical minus the ``diff_oracle`` block; schema 2
+files additionally lack the ``explore`` block; schema 1 files further lack
+the ``cache``/``batch`` blocks and the per-stage
+``cache_hits``/``cache_misses`` extras.  The loader accepts all four.
 
 Counters (:class:`repro.owl.pipeline.StageCounters`) stay byte-identical
 between serial and parallel runs; metrics are *observations* and naturally
@@ -88,12 +100,12 @@ from typing import Dict, Iterable, List, Optional
 #: Version of the metrics JSON layout.  ``benchmarks/out/metrics_*.json``
 #: files are compared across PRs; the loader refuses files whose schema it
 #: does not understand rather than silently mis-reading them.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
-#: Versions :func:`load_metrics` can still read.  Schemas 1 and 2 are
-#: strict subsets of schema 3 (fewer optional blocks), so old files remain
+#: Versions :func:`load_metrics` can still read.  Schemas 1–3 are strict
+#: subsets of schema 4 (fewer optional blocks), so old files remain
 #: loadable.
-SUPPORTED_SCHEMAS = (1, 2, 3)
+SUPPORTED_SCHEMAS = (1, 2, 3, 4)
 
 
 class MetricsSchemaError(ValueError):
@@ -206,6 +218,9 @@ class PipelineMetrics:
         #: ``ExplorationResult.metrics_block()`` of a coverage-guided run
         #: (schema 3): the detect stage's per-wave saturation curve.
         self.explore: Optional[Dict] = None
+        #: ``ProgramDiff.as_dict()`` of a differential-oracle run (schema 4):
+        #: reference vs optimized steps/s and the divergence count.
+        self.diff_oracle: Optional[Dict] = None
 
     # ------------------------------------------------------------------
 
@@ -250,6 +265,8 @@ class PipelineMetrics:
             data["batch"] = self.batch
         if self.explore is not None:
             data["explore"] = self.explore
+        if self.diff_oracle is not None:
+            data["diff_oracle"] = self.diff_oracle
         return data
 
     def save(self, path: str) -> str:

@@ -50,15 +50,33 @@ class ThreadContext:
     """One simulated thread."""
 
     def __init__(self, thread_id: int, name: str, entry: Function,
-                 argument_values: Optional[List[int]] = None):
+                 argument_values: Optional[List[int]] = None,
+                 memoize_stack: bool = True):
         self.thread_id = thread_id
         self.name = name
         self.state = ThreadState.RUNNABLE
         self.frames: List[Frame] = []
         self.blocked_on: Optional[str] = None
         self.wake_step: Optional[int] = None  # for io_delay / usleep
+        # ``blocked_on`` parsed once at block time ("mutex"/"join"/None plus
+        # the address or thread id), so the scheduler's retry scan does not
+        # re-parse the reason string on every step.
+        self.blocked_kind: Optional[str] = None
+        self.blocked_arg = 0
         self.return_value: Optional[int] = None
         self.steps_executed = 0
+        #: ``False`` disables the call-stack snapshot memo (reference mode
+        #: for the differential oracle, :mod:`repro.runtime.diffcheck`).
+        self.memoize_stack = memoize_stack
+        # The memo: outer frames only change when the frame list itself
+        # changes (push/pop bump ``_stack_version``), so their entries are
+        # cached as ``_stack_prefix``; the innermost entry tracks the top
+        # frame's program counter via the (block, index) part of the key.
+        self._stack_version = 0
+        self._stack_key: Optional[tuple] = None
+        self._stack_cache: CallStack = ()
+        self._stack_prefix: CallStack = ()
+        self._stack_prefix_key: Optional[tuple] = None
         frame = Frame(entry)
         values = argument_values or []
         for argument, value in zip(entry.arguments, values):
@@ -79,28 +97,75 @@ class ThreadContext:
             return None
         return self.top.current_instruction()
 
+    # ------------------------------------------------------------------
+    # frame-list mutation (the call-stack memo's invalidation points)
+
+    def push_frame(self, frame: Frame) -> None:
+        """Enter a callee frame; invalidates the call-stack memo."""
+        self.frames.append(frame)
+        self._stack_version += 1
+
+    def pop_frame(self) -> Frame:
+        """Leave the top frame; invalidates the call-stack memo."""
+        frame = self.frames.pop()
+        self._stack_version += 1
+        return frame
+
+    def clear_frames(self) -> None:
+        """Drop all frames (thread exit); invalidates the call-stack memo."""
+        self.frames = []
+        self._stack_version += 1
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _frame_entry(frame: Frame) -> Tuple[str, str, int]:
+        instruction = frame.current_instruction()
+        if instruction is not None:
+            loc = instruction.location
+        elif frame.block.instructions:
+            loc = frame.block.instructions[-1].location
+        else:
+            loc = None
+        return (
+            frame.function.name,
+            loc.filename if loc else frame.function.source_file,
+            loc.line if loc else 0,
+        )
+
     def call_stack(self) -> CallStack:
         """Snapshot (function, file, line) per frame, innermost last.
 
         The innermost entry carries the location of the instruction about to
         execute; outer entries carry their call sites.  This matches the
         call stacks OWL extracts from detector reports (paper Figure 4).
+
+        The snapshot is memoized: outer frames sit on their call sites until
+        a push or pop changes the frame list, and the innermost entry only
+        changes with the top frame's program counter, so the tuple is
+        rebuilt only on call/ret/jump/step — not on every shared-memory
+        access that wants a stack.
         """
-        entries = []
-        for frame in self.frames:
-            instruction = frame.current_instruction()
-            if instruction is not None:
-                loc = instruction.location
-            elif frame.block.instructions:
-                loc = frame.block.instructions[-1].location
-            else:
-                loc = None
-            entries.append((
-                frame.function.name,
-                loc.filename if loc else frame.function.source_file,
-                loc.line if loc else 0,
-            ))
-        return tuple(entries)
+        frames = self.frames
+        if not frames:
+            return ()
+        if not self.memoize_stack:
+            return tuple(self._frame_entry(frame) for frame in frames)
+        top = frames[-1]
+        depth = len(frames)
+        key = (self._stack_version, depth, top.block, top.index)
+        if key == self._stack_key:
+            return self._stack_cache
+        prefix_key = (self._stack_version, depth)
+        if prefix_key != self._stack_prefix_key:
+            self._stack_prefix = tuple(
+                self._frame_entry(frame) for frame in frames[:-1]
+            )
+            self._stack_prefix_key = prefix_key
+        stack = self._stack_prefix + (self._frame_entry(top),)
+        self._stack_key = key
+        self._stack_cache = stack
+        return stack
 
     def __repr__(self) -> str:
         return "<Thread %d %r %s depth=%d>" % (

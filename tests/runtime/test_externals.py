@@ -157,6 +157,66 @@ class TestHeap:
         assert result.reason == ExecutionResult.FAULT
         assert vm.faults[0].kind is FaultKind.USE_AFTER_FREE
 
+    def test_realloc_preserves_payload(self):
+        def build(b):
+            b.begin_function("main", I32, [], source_file="h.c")
+            block = b.call("malloc", [8], line=1)
+            b.store(77, b.cast("bitcast", block, ptr(I64), line=2), line=2)
+            grown = b.call("realloc", [block, 32], line=3)
+            value = b.load(b.cast("bitcast", grown, ptr(I64), line=4), line=4)
+            b.call("free", [grown], line=5)
+            b.ret(b.cast("trunc", value, I32, line=6), line=6)
+            b.end_function()
+        vm, result = run(build)
+        assert result.reason == ExecutionResult.FINISHED
+        assert vm.threads[1].return_value == 77
+        assert not vm.faults
+
+    def test_realloc_moves_to_fresh_block(self):
+        def build(b):
+            old = b.global_var("old", I64, 0)
+            new = b.global_var("new", I64, 0)
+            b.begin_function("main", I32, [], source_file="h.c")
+            block = b.call("malloc", [8], line=1)
+            b.store(block, old, line=2)
+            grown = b.call("realloc", [block, 32], line=3)
+            b.store(grown, new, line=4)
+            b.ret(b.i32(0), line=5)
+            b.end_function()
+        vm, result = run(build)
+        assert result.reason == ExecutionResult.FINISHED
+        old_address = vm.memory.read_int(vm.global_address("old"), 8)
+        new_address = vm.memory.read_int(vm.global_address("new"), 8)
+        assert old_address != new_address
+        assert vm.memory.block_at(old_address).freed
+        new_block = vm.memory.block_at(new_address)
+        assert new_block.size >= 32 and not new_block.freed
+
+    def test_realloc_null_acts_as_malloc(self):
+        def build(b):
+            b.begin_function("main", I32, [], source_file="h.c")
+            block = b.call("realloc", [b.null(), 16], line=1)
+            b.store(5, b.cast("bitcast", block, ptr(I64), line=2), line=2)
+            value = b.load(b.cast("bitcast", block, ptr(I64), line=3), line=3)
+            b.call("free", [block], line=4)
+            b.ret(b.cast("trunc", value, I32, line=5), line=5)
+            b.end_function()
+        vm, result = run(build)
+        assert result.reason == ExecutionResult.FINISHED
+        assert vm.threads[1].return_value == 5
+
+    def test_realloc_of_freed_block_faults(self):
+        def build(b):
+            b.begin_function("main", I32, [], source_file="h.c")
+            block = b.call("malloc", [8], line=1)
+            b.call("free", [block], line=2)
+            b.call("realloc", [block, 16], line=3)
+            b.ret(b.i32(0), line=4)
+            b.end_function()
+        vm, result = run(build)
+        assert result.reason == ExecutionResult.FAULT
+        assert vm.faults[0].kind is FaultKind.DOUBLE_FREE
+
 
 class TestWorldOps:
     def test_privilege_ops_update_world(self):

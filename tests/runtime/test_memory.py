@@ -178,3 +178,46 @@ class TestInitializers:
         block = memory.allocate(8, MemoryBlock.GLOBAL)
         with pytest.raises(TypeError):
             store_initializer(memory, block, I64, "nope")
+
+
+class TestRawAccessBoundaries:
+    """Regressions: raw reads/writes crossing a block end must not be silent."""
+
+    def test_read_bytes_crossing_block_end_zero_pads(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.HEAP)
+        memory.write_bytes(block.base, b"\xff" * 8)
+        raw = memory.read_bytes(block.base + 4, 8)
+        assert len(raw) == 8
+        assert raw == b"\xff" * 4 + b"\x00" * 4
+
+    def test_read_int_crossing_block_end_decodes_full_width(self):
+        # a silently short buffer made read_int decode at the wrong width
+        memory = Memory()
+        block = memory.allocate(4, MemoryBlock.HEAP)
+        memory.write_bytes(block.base, b"\x01\x02\x03\x04")
+        assert memory.read_int(block.base, 8, signed=False) == 0x04030201
+        assert memory.read_int(block.base, 8, signed=True) == 0x04030201
+
+    def test_in_bounds_read_unchanged(self):
+        memory = Memory()
+        block = memory.allocate(8, MemoryBlock.HEAP)
+        memory.write_bytes(block.base, b"abcdefgh")
+        assert memory.read_bytes(block.base + 2, 4) == b"cdef"
+
+    def test_write_bytes_crossing_block_end_records_truncation(self):
+        memory = Memory()
+        block = memory.allocate(4, MemoryBlock.HEAP, name="buf")
+        memory.write_bytes(block.base + 2, b"\xaa" * 4)
+        assert bytes(block.data) == b"\x00\x00\xaa\xaa"
+        assert len(memory.recorded_faults) == 1
+        fault = memory.recorded_faults[0]
+        assert fault.kind == FaultKind.BUFFER_OVERFLOW
+        assert "truncated" in fault.message
+        assert fault.address == block.base + 2
+
+    def test_in_bounds_write_records_nothing(self):
+        memory = Memory()
+        block = memory.allocate(4, MemoryBlock.HEAP)
+        memory.write_bytes(block.base, b"abcd")
+        assert memory.recorded_faults == []

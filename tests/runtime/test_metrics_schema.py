@@ -26,9 +26,9 @@ class TestMetricsSchema:
     def test_as_dict_declares_current_schema(self):
         assert PipelineMetrics("demo").as_dict()["schema"] == SCHEMA_VERSION
 
-    def test_current_schema_is_three_and_supports_ancestors(self):
-        assert SCHEMA_VERSION == 3
-        assert SUPPORTED_SCHEMAS == (1, 2, 3)
+    def test_current_schema_is_four_and_supports_ancestors(self):
+        assert SCHEMA_VERSION == 4
+        assert SUPPORTED_SCHEMAS == (1, 2, 3, 4)
 
     def test_loader_accepts_all_supported_versions(self, tmp_path):
         path = saved_metrics(tmp_path)
@@ -53,6 +53,25 @@ class TestMetricsSchema:
     def test_explore_block_absent_by_default(self, tmp_path):
         data = load_metrics(saved_metrics(tmp_path))
         assert "explore" not in data
+
+    def test_diff_oracle_block_round_trips(self, tmp_path):
+        metrics = PipelineMetrics("demo", jobs=1)
+        metrics.diff_oracle = {"seeds": 10, "divergences": 0,
+                               "reference_steps_per_second": 100000.0,
+                               "optimized_steps_per_second": 200000.0,
+                               "speedup": 2.0,
+                               "report_sets_identical": True,
+                               "counters_identical": True}
+        path = str(tmp_path / "metrics_diffcheck_demo.json")
+        metrics.save(path)
+        data = load_metrics(path)
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["diff_oracle"]["divergences"] == 0
+        assert data["diff_oracle"]["speedup"] == 2.0
+
+    def test_diff_oracle_block_absent_by_default(self, tmp_path):
+        data = load_metrics(saved_metrics(tmp_path))
+        assert "diff_oracle" not in data
 
     def test_load_round_trips_saved_file(self, tmp_path):
         path = saved_metrics(tmp_path)

@@ -199,3 +199,93 @@ class TestDetectorProperties:
         module = build_counter_race(iterations=3, with_lock=True)
         reports, _ = run_tsan(module, seeds=range(base, base + 4))
         assert len(reports) == 0
+
+
+def build_random_module(ops, n_workers):
+    """A random multithreaded module from a hypothesis-drawn op list.
+
+    Each op touches shared globals, a mutex, the heap (malloc/realloc/free)
+    or the sleep queue, so random programs cover every scheduler block kind
+    and every hot-path memo invalidation point.
+    """
+    from repro.ir import IRBuilder, Module, verify_module
+    from repro.ir.types import I32, ptr
+
+    b = IRBuilder(Module("rand"))
+    shared = [b.global_var("g%d" % i, I64, 0) for i in range(4)]
+    lock = b.global_var("lock", I64, 0)
+    line = [1]
+
+    def nl():
+        line[0] += 1
+        return line[0]
+
+    b.set_location("rand.c", 1)
+    b.begin_function("worker", I32, [("arg", ptr(I8))], source_file="rand.c")
+    for kind, idx, val in ops:
+        g = shared[idx]
+        if kind == "inc":
+            b.store(b.add(b.load(g, line=nl()), 1, line=line[0]), g,
+                    line=line[0])
+        elif kind == "store":
+            b.store(val, g, line=nl())
+        elif kind == "load":
+            b.load(g, line=nl())
+        elif kind == "locked_inc":
+            guard = b.cast("bitcast", lock, ptr(I8), line=nl())
+            b.call("mutex_lock", [guard], line=nl())
+            b.store(b.add(b.load(g, line=nl()), 1, line=line[0]), g,
+                    line=line[0])
+            b.call("mutex_unlock", [guard], line=nl())
+        elif kind == "sleep":
+            b.call("usleep", [b.i64(1 + idx)], line=nl())
+        elif kind == "heap":
+            p = b.call("malloc", [b.i64(16)], line=nl())
+            tp = b.cast("bitcast", p, ptr(I64), line=nl())
+            b.store(b.i64(val), tp, line=line[0])
+            q = b.call("realloc", [p, b.i64(32)], line=nl())
+            tq = b.cast("bitcast", q, ptr(I64), line=nl())
+            b.load(tq, line=line[0])
+            b.call("free", [q], line=nl())
+    b.ret(b.i32(0), line=nl())
+    b.end_function()
+
+    b.begin_function("main", I32, [], source_file="rand.c")
+    worker = b.module.get_function("worker")
+    tids = [b.call("thread_create", [worker, b.null()], line=nl())
+            for _ in range(n_workers)]
+    for tid in tids:
+        b.call("thread_join", [tid], line=nl())
+    b.ret(b.i32(0), line=nl())
+    b.end_function()
+    verify_module(b.module)
+    return b.module
+
+
+class TestDifferentialExecutionProperties:
+    op_lists = st.lists(
+        st.tuples(
+            st.sampled_from(["inc", "store", "load", "heap", "locked_inc",
+                             "sleep"]),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=255),
+        ),
+        min_size=1, max_size=8,
+    )
+
+    @given(op_lists, st.integers(min_value=1, max_value=3),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_optimized_matches_reference_on_random_ir(self, ops, workers,
+                                                      seed):
+        """Reference and optimized execution are observably identical."""
+        from repro.runtime.diffcheck import diff_seed
+        from repro.spec import ProgramSpec
+
+        module = build_random_module(ops, workers)
+        spec = ProgramSpec("rand", lambda: module, max_steps=30_000)
+        divergence, reference, optimized = diff_seed(spec, seed)
+        assert divergence is None, divergence.describe()
+        assert reference.events == optimized.events
+        assert reference.faults == optimized.faults
+        assert reference.recorded_faults == optimized.recorded_faults
