@@ -10,7 +10,14 @@ Commands:
 - ``owl trace <program>`` — run the pipeline with span tracing and write
   Chrome ``trace_event`` + JSON-lines trace files.
 - ``owl explain <program> [report-uid]`` — print the provenance narrative
-  for one race report, or the disposition listing for all of them.
+  for one race report, or the disposition listing for all of them;
+  ``--replay`` derives the narrative by replaying recorded schedule logs
+  instead of executing live (recording them first if absent).
+- ``owl record <program>`` — record the spec's detect-seed sweep as
+  schedule logs (one JSON-lines file per seed, no detector attached).
+- ``owl replay <program>`` — replay recorded logs with the detector
+  attached; ``--check-fingerprint`` additionally verifies each replay is
+  bit-identical to a fresh recording (the diffcheck oracle).
 - ``owl resume <program>`` — finish an interrupted ``--cache`` run from
   its journal (completed work is answered from the result cache).
 - ``owl study`` — print the section-3 study findings.
@@ -242,11 +249,115 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_record(args) -> int:
+    import os
+
+    from repro import spec_by_name
+    from repro.owl.replay import (
+        default_record_dir, log_path, record_program,
+    )
+
+    spec = spec_by_name(args.program)
+    out_dir = args.out or default_record_dir(args.program)
+    seeds = range(args.seeds) if args.seeds is not None else None
+    source = record_program(spec, seeds=seeds, out_dir=out_dir)
+    total_bytes = 0
+    print("== OWL record: %s (%d seeds -> %s) ==" % (
+        spec.name, len(source.logs), out_dir))
+    for log, stat in zip(source.logs, source.record_stats):
+        path = log_path(out_dir, spec.name, log.seed)
+        size = os.path.getsize(path)
+        total_bytes += size
+        print("  seed %4d  %8d steps  %6d decisions  %6d bytes  %s" % (
+            log.seed, stat.steps, log.decisions, size, stat.reason,
+        ))
+    print("recorded %d logs, %d schedule decisions, %d bytes" % (
+        len(source.logs),
+        sum(log.decisions for log in source.logs), total_bytes,
+    ))
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro import spec_by_name
+    from repro.owl.replay import (
+        default_record_dir, discover_seeds, load_recorded_logs,
+    )
+
+    spec = spec_by_name(args.program)
+    record_dir = args.record_dir or default_record_dir(args.program)
+    seeds = discover_seeds(record_dir, args.program)
+    if not seeds:
+        print("no recorded logs for %s under %s (run `owl record %s` "
+              "first)" % (args.program, record_dir, args.program),
+              file=sys.stderr)
+        return 1
+    source = load_recorded_logs(spec, record_dir=record_dir, seeds=seeds)
+    stats: List = []
+    reports, _ = source.run_detector(stats_out=stats)
+    print("== OWL replay: %s (%d logs from %s) ==" % (
+        spec.name, len(source.logs), record_dir))
+    for stat in stats:
+        print("  seed %4d  %8d steps  %4d reports  %s" % (
+            stat.seed, stat.steps, stat.reports, stat.reason,
+        ))
+    print("reports: %d   replays: %d   divergences: %d   unfaithful: %d" % (
+        len(reports), source.replays, source.total_divergences,
+        source.unfaithful_replays,
+    ))
+    failures = source.total_divergences + source.unfaithful_replays
+    if args.check_fingerprint:
+        from repro.owl.replay import _spec_scheduler, _spec_world
+        from repro.runtime.diffcheck import compare_fingerprints
+        from repro.runtime.record import record_seed, replay_log
+
+        module = spec.build()
+        mismatches = 0
+        for log in source.logs:
+            scheduler, label = _spec_scheduler(spec, log.seed)
+            _, _, recorded = record_seed(
+                module, log.seed, entry=spec.entry,
+                inputs=spec.workload_inputs, max_steps=spec.max_steps,
+                scheduler=scheduler, scheduler_label=label,
+                world=_spec_world(spec), program=spec.name,
+                fingerprint=True,
+            )
+            outcome = replay_log(
+                module, log, inputs=spec.workload_inputs,
+                world=_spec_world(spec), fingerprint=True,
+            )
+            divergence = compare_fingerprints(recorded, outcome.fingerprint)
+            if divergence is not None:
+                mismatches += 1
+                print(divergence.describe(), file=sys.stderr)
+        print("fingerprint check: %d/%d seeds bit-identical" % (
+            len(source.logs) - mismatches, len(source.logs)))
+        failures += mismatches
+    return 0 if failures == 0 else 1
+
+
 def _cmd_explain(args) -> int:
     from repro import OwlPipeline, spec_by_name
 
     spec = spec_by_name(args.program)
-    result = OwlPipeline(spec, jobs=args.jobs).run()
+    replay = None
+    if getattr(args, "replay", False):
+        from repro.owl.replay import (
+            default_record_dir, load_recorded_logs, record_program,
+        )
+
+        record_dir = args.record_dir or default_record_dir(args.program)
+        try:
+            replay = load_recorded_logs(spec, record_dir=record_dir)
+        except FileNotFoundError:
+            replay = record_program(spec, out_dir=record_dir)
+    result = OwlPipeline(spec, jobs=args.jobs, replay=replay).run()
+    if replay is not None and (replay.total_divergences
+                               or replay.unfaithful_replays):
+        print("warning: %d replay divergences, %d unfaithful replays — "
+              "the narrative below may not match a live run" % (
+                  replay.total_divergences, replay.unfaithful_replays),
+              file=sys.stderr)
     provenance = result.provenance
     if args.report_uid is None:
         print("== OWL provenance: %s (%d reports) ==" % (
@@ -406,7 +517,37 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the parallel stages "
                               "(default: 1, serial)")
+    explain.add_argument("--replay", action="store_true", default=False,
+                         help="derive the narrative by replaying recorded "
+                              "schedule logs (recording them first if "
+                              "absent) instead of executing live")
+    explain.add_argument("--record-dir", metavar="DIR", default=None,
+                         help="record directory for --replay (default: "
+                              "benchmarks/out/records/<program>)")
     explain.set_defaults(func=_cmd_explain)
+    record = sub.add_parser(
+        "record",
+        help="record the detect-seed sweep as replayable schedule logs")
+    record.add_argument("program")
+    record.add_argument("--seeds", type=int, default=None, metavar="N",
+                        help="record seeds 0..N-1 instead of the spec's "
+                             "detect seeds")
+    record.add_argument("--out", metavar="DIR", default=None,
+                        help="log directory (default: "
+                             "benchmarks/out/records/<program>)")
+    record.set_defaults(func=_cmd_record)
+    replay = sub.add_parser(
+        "replay",
+        help="replay recorded schedule logs with the detector attached")
+    replay.add_argument("program")
+    replay.add_argument("--record-dir", metavar="DIR", default=None,
+                        help="log directory (default: "
+                             "benchmarks/out/records/<program>)")
+    replay.add_argument("--check-fingerprint", action="store_true",
+                        default=False,
+                        help="also verify each replay is bit-identical to "
+                             "a fresh recording (exit 1 on divergence)")
+    replay.set_defaults(func=_cmd_replay)
     sub.add_parser("study", help="print the study findings").set_defaults(
         func=_cmd_study)
     return parser

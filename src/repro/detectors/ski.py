@@ -50,16 +50,26 @@ def run_ski_seed(
     depth: int = 3,
     tracer=None,
     coverage_out: Optional[List] = None,
+    record_out: Optional[List] = None,
 ) -> Tuple[ReportSet, ExecutionResult, SkiDetector]:
     """One kernel execution under one PCT schedule, into a fresh report set.
 
     ``coverage_out``, when given a list, receives one
     :class:`repro.runtime.coverage.SeedCoverage` for the execution; the
     switch tracker delegates every decision, so the schedule is unchanged.
+    ``record_out`` likewise receives one
+    :class:`repro.runtime.record.ScheduleLog` without perturbing the
+    schedule.
     """
     from repro.runtime.spans import maybe_span
 
     scheduler = PCTScheduler(seed=seed, depth=depth)
+    recorder = None
+    if record_out is not None:
+        from repro.runtime.record import ScheduleRecorder
+
+        recorder = ScheduleRecorder(scheduler)
+        scheduler = recorder
     tracker = None
     if coverage_out is not None:
         from repro.runtime.coverage import SwitchTracker
@@ -70,6 +80,8 @@ def run_ski_seed(
             seed=seed)
     detector = SkiDetector(annotations=annotations, reports=ReportSet())
     vm.add_observer(detector)
+    if recorder is not None:
+        vm.add_observer(recorder)
     with maybe_span(tracer, "detect_seed", seed=seed, detector="ski") as span:
         vm.start(entry)
         result = vm.run()
@@ -81,6 +93,10 @@ def run_ski_seed(
 
         coverage_out.append(
             SeedCoverage.from_run(seed, detector.reports, tracker))
+    if record_out is not None:
+        record_out.append(recorder.to_log(
+            module, seed, entry=entry, max_steps=max_steps, result=result,
+        ))
     return detector.reports, result, detector
 
 

@@ -247,6 +247,7 @@ def run_tsan_seed(
     entry_args: Sequence[int] = (),
     tracer=None,
     coverage_out: Optional[List] = None,
+    record_out: Optional[List] = None,
 ) -> Tuple[ReportSet, ExecutionResult, TSanDetector]:
     """One program execution under one schedule, into a fresh report set.
 
@@ -258,7 +259,10 @@ def run_tsan_seed(
     ``detect_seed`` span.  ``coverage_out``, when given a list, receives
     one :class:`repro.runtime.coverage.SeedCoverage` for the execution
     (racy pair set plus context-switch signature); tracking never perturbs
-    the schedule itself.
+    the schedule itself.  ``record_out``, when given a list, receives one
+    :class:`repro.runtime.record.ScheduleLog` of the execution — the
+    recorder delegates every decision unchanged too, so a recorded seed
+    finds exactly the races an unrecorded one would.
     """
     from repro.runtime.spans import maybe_span
 
@@ -266,6 +270,12 @@ def run_tsan_seed(
         scheduler_factory(seed) if scheduler_factory is not None
         else RandomScheduler(seed)
     )
+    recorder = None
+    if record_out is not None:
+        from repro.runtime.record import ScheduleRecorder
+
+        recorder = ScheduleRecorder(scheduler)
+        scheduler = recorder
     tracker = None
     if coverage_out is not None:
         from repro.runtime.coverage import SwitchTracker
@@ -276,6 +286,8 @@ def run_tsan_seed(
             seed=seed)
     detector = TSanDetector(annotations=annotations, reports=ReportSet())
     vm.add_observer(detector)
+    if recorder is not None:
+        vm.add_observer(recorder)
     with maybe_span(tracer, "detect_seed", seed=seed,
                     detector="tsan") as span:
         vm.start(entry, entry_args)
@@ -288,6 +300,11 @@ def run_tsan_seed(
 
         coverage_out.append(
             SeedCoverage.from_run(seed, detector.reports, tracker))
+    if record_out is not None:
+        record_out.append(recorder.to_log(
+            module, seed, entry=entry, entry_args=entry_args,
+            max_steps=max_steps, result=result,
+        ))
     return detector.reports, result, detector
 
 

@@ -366,9 +366,13 @@ def _cacheable(output: Dict) -> Dict:
     Spans are observations of one particular execution (timings, worker
     ids), not results — replaying them from a warm cache would be lying
     about where time went, so they are stripped; cache hits get a single
-    ``cached=True`` marker span instead.
+    ``cached=True`` marker span instead.  Schedule logs are stripped too:
+    they live in their own ``record`` stage (far smaller entries), so a
+    detect entry produced by a recording run stays byte-identical to one
+    produced by a normal run.
     """
-    return {key: value for key, value in output.items() if key != "spans"}
+    return {key: value for key, value in output.items()
+            if key not in ("spans", "log")}
 
 
 def run_cached_tasks(
@@ -440,13 +444,14 @@ def _detect_worker(payload: Dict) -> Dict:
     annotations = annotations_from_payload(module, payload["annotations"])
     tracer = SpanTracer()
     coverage: List = []
+    logs: Optional[List] = [] if payload.get("record") else None
     started = time.perf_counter()
     if payload["kind"] == "ski":
         reports, result, detector = run_ski_seed(
             module, payload["seed"], entry=payload["entry"],
             inputs=payload["inputs"], annotations=annotations,
             max_steps=payload["max_steps"], depth=payload["depth"],
-            tracer=tracer, coverage_out=coverage,
+            tracer=tracer, coverage_out=coverage, record_out=logs,
         )
     else:
         scheduler_factory = None
@@ -461,9 +466,9 @@ def _detect_worker(payload: Dict) -> Dict:
             inputs=payload["inputs"], annotations=annotations,
             max_steps=payload["max_steps"], entry_args=payload["entry_args"],
             scheduler_factory=scheduler_factory, tracer=tracer,
-            coverage_out=coverage,
+            coverage_out=coverage, record_out=logs,
         )
-    return {
+    output = {
         "seed": payload["seed"],
         "reports": reports_to_payloads(reports),
         "stats": (payload["seed"], result.reason, result.steps,
@@ -472,13 +477,17 @@ def _detect_worker(payload: Dict) -> Dict:
         "coverage": coverage[0].to_payload(),
         "spans": tracer.export_payload(),
     }
+    if logs:
+        output["log"] = logs[0].to_payload()
+    return output
 
 
 def _detect_payload(kind: str, source, seed: int, entry: str, inputs,
                     annotations_payload, max_steps: int, depth: int,
                     entry_args: Sequence[int],
-                    scheduler: Optional[str] = None) -> Dict:
-    return {
+                    scheduler: Optional[str] = None,
+                    record: bool = False) -> Dict:
+    payload = {
         "kind": kind,
         "source": source,
         "seed": seed,
@@ -490,12 +499,30 @@ def _detect_payload(kind: str, source, seed: int, entry: str, inputs,
         "entry_args": tuple(entry_args),
         "scheduler": scheduler,
     }
+    if record:
+        payload["record"] = True
+    return payload
+
+
+#: payload keys excluded from cache keys: the module source (the module
+#: digest already keys the build) and the record flag (recording never
+#: changes the detector's results, so recorded and plain runs share the
+#: same detect entries; logs key the separate ``record`` stage).
+_NON_KEY_FIELDS = ("source", "record")
 
 
 def _detect_item_key(cache, module: Module, payload: Dict) -> str:
     """Cache key of one detector seed: everything but the module source."""
-    parts = {key: value for key, value in payload.items() if key != "source"}
+    parts = {key: value for key, value in payload.items()
+             if key not in _NON_KEY_FIELDS}
     return cache.key("detect", module=module, **parts)
+
+
+def _record_item_key(cache, module: Module, payload: Dict) -> str:
+    """Cache key of one seed's schedule log (same parts, own stage)."""
+    parts = {key: value for key, value in payload.items()
+             if key not in _NON_KEY_FIELDS}
+    return cache.key("record", module=module, **parts)
 
 
 def run_seeds_parallel(
@@ -517,6 +544,8 @@ def run_seeds_parallel(
     policy: Optional[BatchPolicy] = None,
     scheduler: Optional[str] = None,
     coverage_out: Optional[List] = None,
+    record: bool = False,
+    logs_out: Optional[List] = None,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """Fan one program's seeds out over worker processes.
 
@@ -538,23 +567,65 @@ def run_seeds_parallel(
     receives one :class:`repro.runtime.coverage.SeedCoverage` per seed
     **in seed order** — the deterministic merge input the exploration
     driver's budgeting (and its jobs=1 vs jobs=2 parity) relies on.
+
+    ``record=True`` additionally records every execution as a
+    :class:`repro.runtime.record.ScheduleLog` (delivered in seed order via
+    ``logs_out``).  Logs land in the cache under their own ``record``
+    stage — far smaller entries than the detect payloads — keyed by the
+    same parts as the detect entry, which itself stays byte-identical to a
+    plain run's.  A seed is only answered from the cache when *both*
+    stages hit; a seed whose log is missing re-executes (re-warming both),
+    so record mode always returns a complete log set.
     """
     seeds = list(seeds)
     annotations_payload = annotations_to_payload(annotations)
     payloads = [
         _detect_payload(kind, module_source, seed, entry, inputs,
                         annotations_payload, max_steps, depth, entry_args,
-                        scheduler=scheduler)
+                        scheduler=scheduler, record=record)
         for seed in seeds
     ]
     keys = (
         [_detect_item_key(cache, module, payload) for payload in payloads]
         if cache is not None else None
     )
-    outputs = run_cached_tasks(
-        _detect_worker, payloads, cache=cache, stage="detect", keys=keys,
-        jobs=jobs, executor=executor, policy=policy,
-    )
+    if record and cache is not None:
+        record_keys = [_record_item_key(cache, module, payload)
+                       for payload in payloads]
+        cached_logs = [cache.get("record", key) for key in record_keys]
+        hit_indices = [i for i, log in enumerate(cached_logs)
+                       if log is not None]
+        live_indices = [i for i, log in enumerate(cached_logs) if log is None]
+        outputs: List[Optional[Dict]] = [None] * len(payloads)
+        if hit_indices:
+            # The log is on disk; the detect entry may be answered from the
+            # cache as usual (and is re-stored on a miss).
+            hit_outputs = run_cached_tasks(
+                _detect_worker, [payloads[i] for i in hit_indices],
+                cache=cache, stage="detect",
+                keys=[keys[i] for i in hit_indices],
+                jobs=jobs, executor=executor, policy=policy,
+            )
+            for index, output in zip(hit_indices, hit_outputs):
+                if "log" not in output:
+                    output["log"] = cached_logs[index]
+                outputs[index] = output
+        if live_indices:
+            # No log on disk: force a live run even if the detect entry is
+            # warm, then store both stages.
+            live_outputs = run_cached_tasks(
+                _detect_worker, [payloads[i] for i in live_indices],
+                cache=None, jobs=jobs, executor=executor, policy=policy,
+            )
+            for index, output in zip(live_indices, live_outputs):
+                outputs[index] = output
+                cache.put("detect", keys[index], _cacheable(output))
+                cache.put("record", record_keys[index], output["log"])
+    else:
+        outputs = run_cached_tasks(
+            _detect_worker, payloads, cache=cache, stage="detect", keys=keys,
+            jobs=jobs, executor=executor, policy=policy,
+        )
     merged = ReportSet()
     stats: List[RunStats] = []
     for seed, output in zip(seeds, outputs):  # seed order, always
@@ -564,6 +635,10 @@ def run_seeds_parallel(
             from repro.runtime.coverage import SeedCoverage
 
             coverage_out.append(SeedCoverage.from_payload(output["coverage"]))
+        if logs_out is not None and output.get("log") is not None:
+            from repro.runtime.record import ScheduleLog
+
+            logs_out.append(ScheduleLog.from_payload(output["log"]))
         if tracer is not None:
             if output.get("cached"):
                 with tracer.span("detect_seed", seed=seed, detector=kind,

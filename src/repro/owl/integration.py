@@ -34,6 +34,7 @@ def run_detector(
     cache=None,
     policy=None,
     explore=None,
+    replay=None,
 ) -> Tuple[ReportSet, List]:
     """Run the spec's front-end detector over its configured schedules.
 
@@ -58,7 +59,15 @@ def run_detector(
     replaces the spec's fixed ``detect_seeds`` sweep with coverage-guided
     adaptive budgeting; the run's :class:`ExplorationResult` lands in
     ``explore.history``.
+
+    A ``replay`` source (:class:`repro.owl.replay.ReplaySource`) replaces
+    live execution entirely: every recorded log is deterministically
+    re-executed with the detector attached (see :mod:`repro.owl.replay`).
     """
+    if replay is not None:
+        return replay.run_detector(
+            annotations=annotations, stats_out=stats_out, tracer=tracer,
+        )
     if explore is not None:
         from repro.owl.explore import explore_program
 

@@ -125,6 +125,10 @@ class JournalState:
         self.items: List[Tuple[str, str, str]] = []
         self.completed = False
         self.resumes = 0
+        #: Unparseable lines skipped by :func:`load_journal`.  A torn *final*
+        #: line is the expected trace of a crashed run; a corrupt line in the
+        #: middle means the journal itself was damaged after the fact.
+        self.skipped_lines = 0
 
     @property
     def begun(self) -> bool:
@@ -144,6 +148,9 @@ class JournalState:
         )]
         for stage, count in sorted(self.items_by_stage().items()):
             lines.append("  %-16s %d items journaled" % (stage, count))
+        if self.skipped_lines:
+            lines.append("  %d corrupt line%s skipped" % (
+                self.skipped_lines, "" if self.skipped_lines == 1 else "s"))
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -153,40 +160,55 @@ class JournalState:
         )
 
 
-def load_journal(path: str) -> JournalState:
-    """Parse a journal, tolerating a torn (partially written) last line."""
+def load_journal(path: str, strict: bool = False) -> JournalState:
+    """Parse a journal, tolerating a torn (partially written) last line.
+
+    Every unparseable line is counted in :attr:`JournalState.skipped_lines`
+    (and surfaced by ``describe()``) instead of being silently dropped.  A
+    torn *final* line is the normal signature of a crashed run; a corrupt
+    line anywhere else means the file was damaged.  With ``strict=True`` a
+    non-final corrupt line raises ``ValueError`` so resume logic never
+    builds state from a journal missing interior records.
+    """
     state = JournalState(path)
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn tail of a crashed run
-            event = record.get("event")
-            if event == "begin":
-                if record.get("schema") != JOURNAL_SCHEMA:
-                    raise ValueError(
-                        "journal %s declares unsupported schema %r "
-                        "(supported: %d)"
-                        % (path, record.get("schema"), JOURNAL_SCHEMA))
-                state.program = record.get("program")
-                state.jobs = int(record.get("jobs") or 1)
-                state.cache_dir = record.get("cache_dir")
-                state.config = record.get("config") or {}
-                state.completed = False
-            elif event == "item":
-                state.items.append((
-                    record.get("stage", "?"), record.get("key", "?"),
-                    record.get("status", "done"),
-                ))
-            elif event == "resume":
-                state.resumes += 1
-                state.completed = False
-            elif event == "end":
-                state.completed = record.get("status") == "completed"
+        lines = handle.readlines()
+    last_index = len(lines) - 1
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            state.skipped_lines += 1
+            if strict and index != last_index:
+                raise ValueError(
+                    "journal %s: corrupt record on line %d (only a torn "
+                    "final line is tolerated)" % (path, index + 1))
+            continue  # torn tail of a crashed run
+        event = record.get("event")
+        if event == "begin":
+            if record.get("schema") != JOURNAL_SCHEMA:
+                raise ValueError(
+                    "journal %s declares unsupported schema %r "
+                    "(supported: %d)"
+                    % (path, record.get("schema"), JOURNAL_SCHEMA))
+            state.program = record.get("program")
+            state.jobs = int(record.get("jobs") or 1)
+            state.cache_dir = record.get("cache_dir")
+            state.config = record.get("config") or {}
+            state.completed = False
+        elif event == "item":
+            state.items.append((
+                record.get("stage", "?"), record.get("key", "?"),
+                record.get("status", "done"),
+            ))
+        elif event == "resume":
+            state.resumes += 1
+            state.completed = False
+        elif event == "end":
+            state.completed = record.get("status") == "completed"
     return state
 
 
@@ -205,7 +227,7 @@ def resume(path: str, jobs: Optional[int] = None):
     from repro.owl.cache import DEFAULT_CACHE_DIR, ResultCache
     from repro.owl.pipeline import OwlPipeline
 
-    state = load_journal(path)
+    state = load_journal(path, strict=True)
     if not state.begun:
         raise ValueError("journal %s has no begin record" % path)
     if state.completed:

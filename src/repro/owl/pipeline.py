@@ -188,6 +188,15 @@ class OwlPipeline:
     schema-3 metrics JSON (``"explore"`` block) and on
     ``result.explore``; exploration decisions depend only on seed-ordered
     coverage merges, so counters stay job-count invariant.
+
+    A ``replay`` source (:class:`repro.owl.replay.ReplaySource`) swaps
+    both detector stages from live execution to deterministic replay of a
+    previously recorded sweep: the raw detect stage replays the logs with
+    the spec's detector attached, and the annotated re-run replays the
+    *same* logs with an annotation-aware detector (annotations only change
+    what the observer reports, never the schedule).  Replay bookkeeping
+    lands in the schema-5 metrics JSON (``"replay"`` block); replay is
+    mutually exclusive with ``explore``.
     """
 
     def __init__(
@@ -202,7 +211,13 @@ class OwlPipeline:
         journal_fresh: bool = True,
         journal_config: Optional[Dict] = None,
         explore=None,
+        replay=None,
     ):
+        if explore is not None and replay is not None:
+            raise ValueError(
+                "explore and replay are mutually exclusive: exploration "
+                "chooses schedules adaptively, replay re-executes a "
+                "recorded sweep verbatim")
         self.spec = spec
         self.analysis_options = analysis_options or AnalysisOptions()
         self.verify_vulnerabilities = verify_vulnerabilities
@@ -213,6 +228,7 @@ class OwlPipeline:
         self.journal_fresh = journal_fresh
         self.journal_config = journal_config
         self.explore = explore
+        self.replay = replay
 
     # ------------------------------------------------------------------
 
@@ -256,6 +272,8 @@ class OwlPipeline:
             result.metrics.cache = self.cache.counters()
         if self.policy is not None:
             result.metrics.batch = self.policy.counters()
+        if self.replay is not None:
+            result.metrics.replay = self.replay.metrics_block()
         if self.journal is not None:
             self.journal.complete(
                 status="completed",
@@ -288,11 +306,16 @@ class OwlPipeline:
                 result.spans.span("stage:detect") as span:
             marks = self._cache_marks()
             stats: List = []
-            reports, _ = run_detector(
-                self.spec, jobs=jobs, executor=executor, stats_out=stats,
-                tracer=result.spans, cache=self.cache, policy=self.policy,
-                explore=self.explore,
-            )
+            if self.replay is not None:
+                reports, _ = self.replay.run_detector(
+                    stats_out=stats, tracer=result.spans,
+                )
+            else:
+                reports, _ = run_detector(
+                    self.spec, jobs=jobs, executor=executor, stats_out=stats,
+                    tracer=result.spans, cache=self.cache, policy=self.policy,
+                    explore=self.explore,
+                )
             stage.absorb_run_stats(stats)
             stage.items = len(reports)
             self._record_cache_delta(stage, marks)
@@ -349,12 +372,20 @@ class OwlPipeline:
             result.counters.adhoc_syncs = annotations.unique_static_count()
             if len(annotations):
                 stats: List = []
-                reports, _ = run_detector(
-                    self.spec, annotations=annotations, jobs=jobs,
-                    executor=executor, stats_out=stats, tracer=result.spans,
-                    cache=self.cache, policy=self.policy,
-                    explore=self.explore,
-                )
+                if self.replay is not None:
+                    # Same logs, annotation-aware detector: annotations only
+                    # change what the observer reports, never the schedule.
+                    reports, _ = self.replay.run_detector(
+                        annotations=annotations, stats_out=stats,
+                        tracer=result.spans,
+                    )
+                else:
+                    reports, _ = run_detector(
+                        self.spec, annotations=annotations, jobs=jobs,
+                        executor=executor, stats_out=stats,
+                        tracer=result.spans, cache=self.cache,
+                        policy=self.policy, explore=self.explore,
+                    )
                 stage.absorb_run_stats(stats)
                 self._record_explore(result, stage, span)
             else:

@@ -76,13 +76,26 @@ Schema of the exported JSON (one file per program run)::
            "total_pairs": 21, "dry": false, "escalated": false},
           ...
         ]
+      },
+      # schema 5, present when the detector stages replayed recorded
+      # schedule logs instead of executing live (repro.owl.replay):
+      "replay": {
+        "logs": 20,                 # recorded logs in the sweep
+        "decisions": 61234,         # schedule decisions across those logs
+        "record_dir": "benchmarks/out/records/apache",
+        "replays": 40,              # log re-executions (detect + annotated)
+        "schedule_divergences": 0,  # any non-zero means unfaithful replay
+        "sync_divergences": 0,
+        "thread_divergences": 0,
+        "unfaithful_replays": 0
       }
     }
 
-Schema 3 files are identical minus the ``diff_oracle`` block; schema 2
-files additionally lack the ``explore`` block; schema 1 files further lack
-the ``cache``/``batch`` blocks and the per-stage
-``cache_hits``/``cache_misses`` extras.  The loader accepts all four.
+Schema 4 files are identical minus the ``replay`` block; schema 3 files
+additionally lack the ``diff_oracle`` block; schema 2 files further lack
+the ``explore`` block; schema 1 files lack the ``cache``/``batch`` blocks
+and the per-stage ``cache_hits``/``cache_misses`` extras as well.  The
+loader accepts all five.
 
 Counters (:class:`repro.owl.pipeline.StageCounters`) stay byte-identical
 between serial and parallel runs; metrics are *observations* and naturally
@@ -100,12 +113,12 @@ from typing import Dict, Iterable, List, Optional
 #: Version of the metrics JSON layout.  ``benchmarks/out/metrics_*.json``
 #: files are compared across PRs; the loader refuses files whose schema it
 #: does not understand rather than silently mis-reading them.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
-#: Versions :func:`load_metrics` can still read.  Schemas 1–3 are strict
-#: subsets of schema 4 (fewer optional blocks), so old files remain
+#: Versions :func:`load_metrics` can still read.  Schemas 1–4 are strict
+#: subsets of schema 5 (fewer optional blocks), so old files remain
 #: loadable.
-SUPPORTED_SCHEMAS = (1, 2, 3, 4)
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5)
 
 
 class MetricsSchemaError(ValueError):
@@ -221,6 +234,9 @@ class PipelineMetrics:
         #: ``ProgramDiff.as_dict()`` of a differential-oracle run (schema 4):
         #: reference vs optimized steps/s and the divergence count.
         self.diff_oracle: Optional[Dict] = None
+        #: ``ReplaySource.metrics_block()`` of a replayed run (schema 5):
+        #: log/decision counts and every divergence counter.
+        self.replay: Optional[Dict] = None
 
     # ------------------------------------------------------------------
 
@@ -267,6 +283,8 @@ class PipelineMetrics:
             data["explore"] = self.explore
         if self.diff_oracle is not None:
             data["diff_oracle"] = self.diff_oracle
+        if self.replay is not None:
+            data["replay"] = self.replay
         return data
 
     def save(self, path: str) -> str:

@@ -109,6 +109,7 @@ class PCTScheduler(Scheduler):
     def reset(self) -> None:
         self._rng = random.Random(self.seed)
         self._priorities = {}
+        self._used_priorities: set = set()
         self._next_priority = 1_000_000
         # PCT's probabilistic guarantee needs exactly d-1 *distinct* change
         # points; colliding draws would silently shrink the effective depth.
@@ -128,7 +129,15 @@ class PCTScheduler(Scheduler):
 
     def _priority(self, thread: ThreadContext) -> int:
         if thread.thread_id not in self._priorities:
-            self._priorities[thread.thread_id] = self._rng.randrange(1, self._next_priority)
+            # PCT's guarantee also needs *distinct* initial priorities: a
+            # colliding draw would leave the tie to runnable-list order.
+            # Redraw until distinct (change-point demotions use negative
+            # low-water values and can never collide with these draws).
+            draw = self._rng.randrange(1, self._next_priority)
+            while draw in self._used_priorities:
+                draw = self._rng.randrange(1, self._next_priority)
+            self._used_priorities.add(draw)
+            self._priorities[thread.thread_id] = draw
         return self._priorities[thread.thread_id]
 
     def choose(self, runnable: List[ThreadContext], step: int) -> ThreadContext:
@@ -205,6 +214,11 @@ class ScriptedScheduler(Scheduler):
             return min(runnable, key=lambda t: t.thread_id)
         return self.fallback.choose(runnable, step)
 
+    def on_thread_created(self, thread: ThreadContext) -> None:
+        # The fallback takes over once the script is exhausted; it must
+        # learn about every thread created while the script was running.
+        self.fallback.on_thread_created(thread)
+
     def reset(self) -> None:
         self._segment = 0
         self._remaining = self.script[0][1] if self.script else 0
@@ -264,6 +278,11 @@ class ReplayScheduler(Scheduler):
             self.divergences += 1
             return min(runnable, key=lambda t: t.thread_id)
         return self.fallback.choose(runnable, step)
+
+    def on_thread_created(self, thread: ThreadContext) -> None:
+        # The fallback takes over once the trace is exhausted; it must
+        # learn about every thread created while the trace was replaying.
+        self.fallback.on_thread_created(thread)
 
     def reset(self) -> None:
         self._cursor = 0

@@ -92,6 +92,40 @@ class TestJournalFile:
         state = load_journal(path)
         assert state.begun and not state.completed
         assert state.items  # everything before the torn line parsed
+        assert state.skipped_lines == 1
+        assert "1 corrupt line skipped" in state.describe()
+
+    def test_torn_last_line_is_tolerated_even_when_strict(self, tmp_path):
+        _, path, cache_dir = completed_run(tmp_path)
+        interrupt(path, cache_dir, delete_entries=0)
+        state = load_journal(path, strict=True)
+        assert state.skipped_lines == 1
+
+    def test_clean_journal_reports_no_skipped_lines(self, tmp_path):
+        _, path, _ = completed_run(tmp_path)
+        state = load_journal(path)
+        assert state.skipped_lines == 0
+        assert "corrupt" not in state.describe()
+
+    def test_mid_file_corruption_is_counted(self, tmp_path):
+        _, path, _ = completed_run(tmp_path)
+        lines = open(path).read().splitlines()
+        lines[2] = '{"event": "item", "stage": "det'  # torn mid-file
+        lines[4] = "%% not json at all"
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        state = load_journal(path)
+        assert state.skipped_lines == 2
+        assert "2 corrupt lines skipped" in state.describe()
+
+    def test_mid_file_corruption_raises_when_strict(self, tmp_path):
+        _, path, _ = completed_run(tmp_path)
+        lines = open(path).read().splitlines()
+        lines[2] = '{"event": "item", "stage": "det'
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt record on line 3"):
+            load_journal(path, strict=True)
 
 
 class TestResume:
@@ -121,6 +155,19 @@ class TestResume:
         _, path, _ = completed_run(tmp_path)
         result, state = resume(path)
         assert result is None and state.completed
+
+    def test_resume_refuses_mid_file_corruption(self, tmp_path):
+        """Resume is strict: a corrupt line that is *not* the torn final
+        line means lost completion records, so re-running against the
+        cache could silently skip work — refuse instead."""
+        _, path, cache_dir = completed_run(tmp_path)
+        interrupt(path, cache_dir, delete_entries=0)
+        lines = open(path).read().splitlines()
+        lines[2] = '{"event": "item", "stage": "det'
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt record on line 3"):
+            resume(path)
 
     def test_resume_without_begin_raises(self, tmp_path):
         path = str(tmp_path / "journal.jsonl")

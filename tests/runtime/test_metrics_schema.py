@@ -26,9 +26,9 @@ class TestMetricsSchema:
     def test_as_dict_declares_current_schema(self):
         assert PipelineMetrics("demo").as_dict()["schema"] == SCHEMA_VERSION
 
-    def test_current_schema_is_four_and_supports_ancestors(self):
-        assert SCHEMA_VERSION == 4
-        assert SUPPORTED_SCHEMAS == (1, 2, 3, 4)
+    def test_current_schema_is_five_and_supports_ancestors(self):
+        assert SCHEMA_VERSION == 5
+        assert SUPPORTED_SCHEMAS == (1, 2, 3, 4, 5)
 
     def test_loader_accepts_all_supported_versions(self, tmp_path):
         path = saved_metrics(tmp_path)
@@ -72,6 +72,24 @@ class TestMetricsSchema:
     def test_diff_oracle_block_absent_by_default(self, tmp_path):
         data = load_metrics(saved_metrics(tmp_path))
         assert "diff_oracle" not in data
+
+    def test_replay_block_round_trips(self, tmp_path):
+        metrics = PipelineMetrics("demo", jobs=1)
+        metrics.replay = {"logs": 20, "decisions": 61234,
+                          "record_dir": "benchmarks/out/records/demo",
+                          "replays": 40, "schedule_divergences": 0,
+                          "sync_divergences": 0, "thread_divergences": 0,
+                          "unfaithful_replays": 0}
+        path = str(tmp_path / "metrics_replay_demo.json")
+        metrics.save(path)
+        data = load_metrics(path)
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["replay"]["logs"] == 20
+        assert data["replay"]["unfaithful_replays"] == 0
+
+    def test_replay_block_absent_by_default(self, tmp_path):
+        data = load_metrics(saved_metrics(tmp_path))
+        assert "replay" not in data
 
     def test_load_round_trips_saved_file(self, tmp_path):
         path = saved_metrics(tmp_path)

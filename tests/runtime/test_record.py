@@ -1,0 +1,222 @@
+"""Tests for the record/replay backbone (repro.runtime.record)."""
+
+import json
+
+import pytest
+
+from repro.runtime import VM
+from repro.runtime.diffcheck import compare_fingerprints
+from repro.runtime.record import (
+    RECORD_SCHEMA,
+    ReplayMismatch,
+    ScheduleLog,
+    ScheduleRecorder,
+    _pack_ints,
+    _pack_tuples,
+    _unpack_ints,
+    _unpack_tuples,
+    module_ir_digest,
+    record_seed,
+    replay_log,
+)
+from repro.runtime.scheduler import RandomScheduler, RecordingScheduler
+from tests.helpers import build_counter_race
+
+
+class TestIntCodec:
+    def test_round_trip(self):
+        values = [0, 1, 127, 128, 300, 2 ** 20, 2 ** 40, 7]
+        assert _unpack_ints(_pack_ints(values)) == values
+
+    def test_empty(self):
+        assert _unpack_ints(_pack_ints([])) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            _pack_ints([3, -1])
+
+    def test_tuples_round_trip(self):
+        tuples = [(1, 2, 3), (0, 0, 0), (400, 5, 2 ** 33)]
+        assert _unpack_tuples(_pack_tuples(tuples, 3), 3) == tuples
+
+    def test_tuple_width_enforced(self):
+        with pytest.raises(ValueError, match="2-tuples"):
+            _pack_tuples([(1, 2, 3)], 2)
+        with pytest.raises(ValueError, match="multiple"):
+            _unpack_tuples(_pack_ints([1, 2, 3]), 2)
+
+
+def recorded_log(module, seed=3, **kwargs):
+    log, result, fingerprint = record_seed(
+        module, seed, max_steps=10_000, **kwargs)
+    return log, result, fingerprint
+
+
+class TestScheduleLog:
+    def test_payload_round_trip(self):
+        module = build_counter_race(iterations=3)
+        log, _, _ = recorded_log(module)
+        clone = ScheduleLog.from_payload(log.to_payload())
+        assert clone.program == log.program
+        assert clone.ir_digest == log.ir_digest
+        assert clone.seed == log.seed
+        assert clone.scheduler == log.scheduler
+        assert clone.entry == log.entry
+        assert clone.max_steps == log.max_steps
+        assert clone.steps == log.steps
+        assert clone.reason == log.reason
+        assert clone.schedule == log.schedule
+        assert clone.syncs == log.syncs
+        assert clone.threads == log.threads
+
+    def test_payload_rejects_unknown_schema(self):
+        module = build_counter_race(iterations=2)
+        log, _, _ = recorded_log(module)
+        payload = log.to_payload()
+        payload["schema"] = RECORD_SCHEMA + 1
+        with pytest.raises(ValueError, match="unsupported record schema"):
+            ScheduleLog.from_payload(payload)
+
+    def test_file_round_trip(self, tmp_path):
+        module = build_counter_race(iterations=3)
+        log, _, _ = recorded_log(module)
+        path = str(tmp_path / "counter_seed0003.jsonl")
+        log.save(path)
+        clone = ScheduleLog.load(path)
+        assert clone.to_payload() == log.to_payload()
+
+    def test_load_rejects_corrupt_line(self, tmp_path):
+        module = build_counter_race(iterations=2)
+        log, _, _ = recorded_log(module)
+        path = str(tmp_path / "log.jsonl")
+        log.save(path)
+        with open(path, "a") as handle:
+            handle.write('{"kind": "schedule", truncated\n')
+        with pytest.raises(ValueError, match="corrupt record on line"):
+            ScheduleLog.load(path)
+
+    def test_load_rejects_missing_section(self, tmp_path):
+        module = build_counter_race(iterations=2)
+        log, _, _ = recorded_log(module)
+        path = str(tmp_path / "log.jsonl")
+        log.save(path)
+        lines = [line for line in open(path)
+                 if json.loads(line)["kind"] != "syncs"]
+        with open(path, "w") as handle:
+            handle.writelines(lines)
+        with pytest.raises(ValueError, match="no syncs section"):
+            ScheduleLog.load(path)
+
+    def test_decisions_counts_quantum_lengths(self):
+        log = ScheduleLog("demo", "d", 0, schedule=[(1, 5), (2, 3), (1, 2)])
+        assert log.decisions == 10
+        assert log.expand_schedule() == [1] * 5 + [2] * 3 + [1] * 2
+
+
+class TestScheduleRecorder:
+    def test_rle_matches_flat_recording(self):
+        """The RLE quanta expand to the exact per-step decision trace."""
+        module = build_counter_race(iterations=4)
+        flat = RecordingScheduler(RandomScheduler(7))
+        vm = VM(module, scheduler=flat, seed=7)
+        vm.start("main")
+        vm.run()
+
+        rle = ScheduleRecorder(RandomScheduler(7))
+        vm2 = VM(module, scheduler=rle, seed=7)
+        vm2.add_observer(rle)
+        vm2.start("main")
+        vm2.run()
+        assert rle.to_log(module, 7).expand_schedule() == flat.trace
+
+    def test_reset_clears_state(self):
+        module = build_counter_race(iterations=2)
+        recorder = ScheduleRecorder(RandomScheduler(1))
+        vm = VM(module, scheduler=recorder, seed=1)
+        vm.add_observer(recorder)
+        vm.start("main")
+        vm.run()
+        assert recorder.schedule
+        recorder.reset()
+        assert recorder.schedule == []
+        assert recorder.syncs == []
+        assert recorder.threads == []
+
+
+class TestRecordReplayFidelity:
+    def test_replay_is_bit_identical(self):
+        module = build_counter_race(iterations=4)
+        log, result, recorded = recorded_log(module, seed=5,
+                                             fingerprint=True)
+        outcome = replay_log(module, log, fingerprint=True)
+        assert outcome.faithful
+        assert outcome.digest_match
+        assert outcome.result.steps == result.steps
+        assert outcome.result.reason == result.reason
+        assert compare_fingerprints(recorded, outcome.fingerprint) is None
+
+    def test_replay_with_observer_stays_faithful(self):
+        """Detectors are pure observers: attaching one cannot perturb."""
+        from repro.detectors.report import ReportSet
+        from repro.detectors.tsan import TSanDetector
+
+        module = build_counter_race(iterations=4)
+        log, _, recorded = recorded_log(module, seed=2, fingerprint=True)
+        detector = TSanDetector(annotations=None, reports=ReportSet())
+        outcome = replay_log(module, log, observers=[detector],
+                             fingerprint=True)
+        assert outcome.faithful
+        assert compare_fingerprints(recorded, outcome.fingerprint) is None
+        assert len(detector.reports) >= 1  # the counter race is seen
+
+    def test_digest_mismatch_raises_when_strict(self):
+        module = build_counter_race(iterations=3)
+        other = build_counter_race(iterations=5)
+        log, _, _ = recorded_log(module)
+        assert module_ir_digest(other) != log.ir_digest
+        with pytest.raises(ReplayMismatch, match="IR digest"):
+            replay_log(other, log)
+
+    def test_digest_mismatch_counted_when_lenient(self):
+        module = build_counter_race(iterations=3)
+        other = build_counter_race(iterations=5)
+        log, _, _ = recorded_log(module)
+        outcome = replay_log(other, log, strict=False)
+        assert not outcome.digest_match
+        assert not outcome.faithful
+
+    def test_mutated_schedule_diverges_loudly(self):
+        module = build_counter_race(iterations=4)
+        log, _, _ = recorded_log(module, seed=9)
+        # drop the second half of the schedule: the fallback finishes the
+        # run, and the checkpoint verifier must notice
+        log.schedule = log.schedule[:len(log.schedule) // 2]
+        outcome = replay_log(module, log)
+        assert not outcome.faithful
+        assert outcome.total_divergences > 0
+
+    def test_mutated_syncs_diverge_loudly(self):
+        module = build_counter_race(iterations=4, with_lock=True)
+        log, _, _ = recorded_log(module, seed=4)
+        assert log.syncs, "locked counter must record acquires"
+        step, tid, address = log.syncs[0]
+        log.syncs[0] = (step, tid, address + 8)
+        outcome = replay_log(module, log)
+        assert outcome.sync_divergences >= 1
+        assert not outcome.faithful
+
+    def test_extra_recorded_checkpoints_count_as_divergence(self):
+        module = build_counter_race(iterations=3)
+        log, _, _ = recorded_log(module, seed=6)
+        log.threads = log.threads + [(log.steps + 1, 0, 9, 9)]
+        outcome = replay_log(module, log)
+        assert outcome.thread_divergences >= 1
+        assert not outcome.faithful
+
+    def test_replay_result_dict(self):
+        module = build_counter_race(iterations=2)
+        log, _, _ = recorded_log(module)
+        data = replay_log(module, log).as_dict()
+        assert data["faithful"] is True
+        assert data["seed"] == log.seed
+        assert data["steps"] == data["recorded_steps"]

@@ -127,6 +127,22 @@ class TestPCT:
         scheduler.reset()
         assert scheduler.change_points == first
 
+    def test_initial_priorities_are_distinct(self):
+        # PCT's guarantee needs distinct per-thread priorities: a colliding
+        # draw would leave the tie to runnable-list order.  Shrink the draw
+        # space so collisions are near-certain without the redraw loop.
+        for seed in range(50):
+            scheduler = PCTScheduler(seed=seed, depth=1)
+            scheduler._next_priority = 5
+            threads = [_FakeThread(i) for i in range(4)]
+            priorities = [scheduler._priority(t) for t in threads]
+            assert len(set(priorities)) == 4, "seed %d" % seed
+
+    def test_priorities_stable_across_calls(self):
+        scheduler = PCTScheduler(seed=7, depth=1)
+        thread = _FakeThread(3)
+        assert scheduler._priority(thread) == scheduler._priority(thread)
+
 
 class TestScripted:
     def test_follows_script(self):
@@ -180,6 +196,65 @@ class TestScripted:
         scheduler.reset()
         assert scheduler.skipped_segments == []
         assert scheduler._segment == 0
+
+
+class _CreationTrackingScheduler(RoundRobinScheduler):
+    """A stateful fallback that must learn about every thread creation."""
+
+    def __init__(self):
+        super().__init__(quantum=1)
+        self.created = []
+
+    def on_thread_created(self, thread):
+        self.created.append(thread.thread_id)
+
+
+class TestFallbackThreadCreation:
+    """Wrapper schedulers must forward thread creation to their fallback.
+
+    A fallback that keys state on thread ids (priorities, per-thread
+    quanta) would otherwise take over after the script/trace ends without
+    ever having seen the threads it now schedules.
+    """
+
+    def test_scripted_forwards_to_fallback(self):
+        fallback = _CreationTrackingScheduler()
+        scheduler = ScriptedScheduler([("a", 1)], fallback=fallback)
+        scheduler.on_thread_created(_FakeThread(4, "a"))
+        scheduler.on_thread_created(_FakeThread(7, "b"))
+        assert fallback.created == [4, 7]
+
+    def test_replay_forwards_to_fallback(self):
+        from repro.runtime.scheduler import ReplayScheduler
+
+        fallback = _CreationTrackingScheduler()
+        scheduler = ReplayScheduler([1, 1, 2], fallback=fallback)
+        scheduler.on_thread_created(_FakeThread(2))
+        assert fallback.created == [2]
+
+    def test_replay_fallback_sees_threads_spawned_mid_trace(self):
+        """End to end: threads created while the trace is still replaying
+        are visible to the fallback that finishes the run."""
+        from repro.runtime.scheduler import (
+            RecordingScheduler, ReplayScheduler,
+        )
+
+        module = build_counter_race(iterations=3)
+        recorder = RecordingScheduler(RandomScheduler(2))
+        vm = VM(module, scheduler=recorder)
+        vm.start("main")
+        vm.run()
+
+        fallback = _CreationTrackingScheduler()
+        # replay only half the trace; the fallback finishes the run and
+        # must already know every spawned thread
+        replayer = ReplayScheduler(recorder.trace[:len(recorder.trace) // 2],
+                                   fallback=fallback)
+        vm2 = VM(module, scheduler=replayer)
+        vm2.start("main")
+        result = vm2.run()
+        assert result.reason == "finished"
+        assert len(fallback.created) >= 3  # main + two workers
 
 
 def _debug_session():

@@ -289,3 +289,64 @@ class TestDifferentialExecutionProperties:
         assert reference.events == optimized.events
         assert reference.faults == optimized.faults
         assert reference.recorded_faults == optimized.recorded_faults
+
+
+class TestRecordReplayProperties:
+    """The replay invariant on arbitrary IR under every scheduler family:
+    a log replayed on the same module is bit-identical (fingerprint,
+    report set, fault lists) — and a mutated log diverges loudly."""
+
+    op_lists = TestDifferentialExecutionProperties.op_lists
+
+    @staticmethod
+    def _schedulers(seed):
+        from repro.runtime.scheduler import (
+            PCTScheduler, RandomScheduler, RoundRobinScheduler,
+        )
+
+        return [RandomScheduler(seed), PCTScheduler(seed=seed, depth=3),
+                RoundRobinScheduler(quantum=7)]
+
+    @given(op_lists, st.integers(min_value=1, max_value=3),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_replay_is_bit_identical_on_random_ir(self, ops, workers, seed):
+        from repro.detectors.report import ReportSet
+        from repro.detectors.tsan import TSanDetector
+        from repro.runtime.diffcheck import compare_fingerprints
+        from repro.runtime.record import record_seed, replay_log
+        from tests.owl.test_batch import _fingerprints
+
+        module = build_random_module(ops, workers)
+        for scheduler in self._schedulers(seed):
+            live = TSanDetector(annotations=None, reports=ReportSet())
+            log, _, recorded = record_seed(
+                module, seed, max_steps=30_000, scheduler=scheduler,
+                fingerprint=True, observers=[live])
+            detector = TSanDetector(annotations=None, reports=ReportSet())
+            outcome = replay_log(module, log, observers=[detector],
+                                 fingerprint=True)
+            assert outcome.faithful, outcome.as_dict()
+            assert compare_fingerprints(recorded,
+                                        outcome.fingerprint) is None
+            assert _fingerprints(detector.reports) == \
+                _fingerprints(live.reports)
+            assert outcome.fingerprint.faults == recorded.faults
+            assert outcome.fingerprint.recorded_faults == \
+                recorded.recorded_faults
+
+    @given(op_lists, st.integers(min_value=1, max_value=3),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_mutated_log_diverges_loudly(self, ops, workers, seed):
+        from repro.runtime.record import record_seed, replay_log
+
+        module = build_random_module(ops, workers)
+        log, _, _ = record_seed(module, seed, max_steps=30_000)
+        assert log.schedule
+        # redirect the first quantum to a thread id that never existed:
+        # the replay cannot follow it, whatever the program does
+        log.schedule[0] = (999, log.schedule[0][1])
+        outcome = replay_log(module, log)
+        assert outcome.schedule_divergences >= 1
+        assert not outcome.faithful
