@@ -20,15 +20,23 @@ Commands:
   bit-identical to a fresh recording (the diffcheck oracle).
 - ``owl resume <program>`` — finish an interrupted ``--cache`` run from
   its journal (completed work is answered from the result cache).
+- ``owl watch <feed>`` — follow a run's live event feed (``tail -f`` for
+  the pipeline); attach before or during the run.
+- ``owl status <out-dir>`` — one-line summary per feed found under a
+  directory: which runs completed, which are mid-stage.
 - ``owl study`` — print the section-3 study findings.
 - ``owl list`` — list available targets and attack ids.
 
 ``detect`` and ``export`` also accept ``--trace PATH`` to save the run's
 span tree (Chrome format when PATH ends in ``.json``, JSON lines
 otherwise), ``--cache``/``--no-cache`` to reuse stage results across
-invocations, and ``--explore`` (with ``--max-seeds``/``--wave-size``/
+invocations, ``--explore`` (with ``--max-seeds``/``--wave-size``/
 ``--saturation-k``) to replace the fixed detect-seed sweep with
-coverage-guided exploration (see ``docs/OPERATIONS.md`` for the runbook).
+coverage-guided exploration, ``--profile`` (with ``--profile-interval``/
+``--profile-out``) to sample the VM call stack during detection,
+``--feed PATH`` to stream progress events for ``owl watch``, and
+``--history [PATH]`` to append the run's trajectory record for
+``tools/bench_regress.py`` (see ``docs/OPERATIONS.md`` for the runbook).
 """
 
 from __future__ import annotations
@@ -66,10 +74,21 @@ def _make_pipeline(spec, args, journal_config=None):
             wave_size=getattr(args, "wave_size", 4),
             saturation_k=getattr(args, "saturation_k", 2),
         )
+    profile = None
+    if getattr(args, "profile", False):
+        from repro.runtime.profiler import DEFAULT_SAMPLE_INTERVAL
+
+        profile = (getattr(args, "profile_interval", None)
+                   or DEFAULT_SAMPLE_INTERVAL)
+    feed = None
+    if getattr(args, "feed", None):
+        from repro.owl.stream import EventFeed
+
+        feed = EventFeed(args.feed)
     pipeline = OwlPipeline(
         spec, jobs=args.jobs, cache=cache, policy=policy,
         journal=journal, journal_config=journal_config or {},
-        explore=explore,
+        explore=explore, profile=profile, feed=feed,
     )
     return pipeline, cache, journal
 
@@ -79,6 +98,31 @@ def _finish_cached_run(cache, journal) -> None:
         print(cache.describe())
     if journal is not None:
         journal.close()
+
+
+def _finish_telemetry(result, args) -> None:
+    """Shared ``--profile``/``--history`` epilogue of detect/export."""
+    if result.profile is not None:
+        print()
+        print(result.profile.top_table(getattr(args, "profile_top", 10)))
+        out = getattr(args, "profile_out", None)
+        if out:
+            import os
+
+            directory = os.path.dirname(os.path.abspath(out))
+            os.makedirs(directory, exist_ok=True)
+            with open(out, "w") as handle:
+                handle.write(result.profile.collapsed())
+            print("collapsed stacks written to %s (feed to flamegraph.pl "
+                  "or speedscope)" % out)
+    history = getattr(args, "history", None)
+    if history:
+        from repro.owl.history import append_record, record_from_metrics
+
+        record = record_from_metrics(result.metrics.as_dict())
+        append_record(record, history)
+        print("history record appended to %s (steps/s: %s)" % (
+            history, record["steps_per_second"]))
 
 
 def _cmd_list(_args) -> int:
@@ -138,6 +182,7 @@ def _cmd_detect(args) -> int:
         print("metrics written to %s" % args.metrics)
     if args.trace:
         _save_trace(result, args.trace)
+    _finish_telemetry(result, args)
     _finish_cached_run(cache, journal)
     print()
     print(result.metrics.describe())
@@ -188,6 +233,7 @@ def _cmd_export(args) -> int:
         print("metrics written to %s" % args.metrics)
     if args.trace:
         _save_trace(result, args.trace)
+    _finish_telemetry(result, args)
     _finish_cached_run(cache, journal)
     return 0
 
@@ -223,6 +269,41 @@ def _cmd_resume(args) -> int:
     return 0
 
 
+def _stage_spans(spans, stage: str):
+    """The ``stage:<name>`` span and all its descendants (empty: unknown)."""
+    roots = spans.find("stage:%s" % stage)
+    if not roots:
+        return []
+    chosen = list(roots)
+    frontier = [span.sid for span in roots]
+    by_parent = {}
+    for span in spans.spans:
+        by_parent.setdefault(span.parent, []).append(span)
+    while frontier:
+        sid = frontier.pop()
+        for child in by_parent.get(sid, ()):
+            chosen.append(child)
+            frontier.append(child.sid)
+    return chosen
+
+
+def _stage_rollup(spans) -> str:
+    """Per-stage duration rollup: sum/count/max over each stage subtree."""
+    lines = ["%-26s %10s %6s %10s" % ("stage", "sum ms", "count", "max ms")]
+    for span in spans.spans:
+        if not span.name.startswith("stage:"):
+            continue
+        stage = span.name[len("stage:"):]
+        subtree = [s for s in _stage_spans(spans, stage)
+                   if s.end is not None and not s.name.startswith("stage:")]
+        durations = [s.duration for s in subtree]
+        lines.append("%-26s %10.3f %6d %10.3f" % (
+            stage, span.duration * 1e3, len(durations),
+            max(durations) * 1e3 if durations else 0.0,
+        ))
+    return "\n".join(lines)
+
+
 def _cmd_trace(args) -> int:
     from repro import OwlPipeline, spec_by_name
 
@@ -236,8 +317,25 @@ def _cmd_trace(args) -> int:
           chrome_path)
     print("span lines:   %s" % jsonl_path)
     print()
-    print("%d slowest spans:" % args.top)
-    for span in spans.slowest(args.top, exclude=("pipeline",)):
+    print(_stage_rollup(spans))
+    print()
+    if args.stage:
+        chosen = _stage_spans(spans, args.stage)
+        if not chosen:
+            known = sorted(
+                span.name[len("stage:"):] for span in spans.spans
+                if span.name.startswith("stage:"))
+            print("no stage %r in this run; stages: %s" % (
+                args.stage, ", ".join(known)), file=sys.stderr)
+            return 1
+        pool = [s for s in chosen if not s.name.startswith("stage:")]
+        pool.sort(key=lambda s: -s.duration)
+        print("%d slowest spans in stage %s:" % (args.top, args.stage))
+        slowest = pool[:args.top]
+    else:
+        print("%d slowest spans:" % args.top)
+        slowest = spans.slowest(args.top, exclude=("pipeline",))
+    for span in slowest:
         label = ", ".join(
             "%s=%s" % (key, span.attrs[key])
             for key in ("seed", "report", "site", "function")
@@ -246,6 +344,64 @@ def _cmd_trace(args) -> int:
         print("  %9.3f ms  %-28s %s" % (
             span.duration * 1e3, span.name, label,
         ))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.owl.stream import follow_feed, render_event
+
+    print("watching %s (ctrl-c to stop)" % args.feed)
+    saw_end = False
+    try:
+        for event in follow_feed(args.feed, poll=args.poll,
+                                 timeout=args.timeout):
+            line = render_event(event)
+            if line is not None:
+                print(line, flush=True)
+            saw_end = saw_end or event.get("event") == "run_end"
+    except KeyboardInterrupt:
+        return 130
+    except BrokenPipeError:  # `owl watch ... | head` is a normal usage
+        return 0
+    if not saw_end:
+        print("feed went quiet without a run_end event (timeout %ss)"
+              % args.timeout, file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import glob
+    import os
+
+    from repro.owl.stream import read_feed
+
+    paths = sorted(glob.glob(os.path.join(args.out_dir, "feed_*.jsonl")))
+    if not paths:
+        print("no feeds under %s (run with --feed to stream progress)"
+              % args.out_dir, file=sys.stderr)
+        return 1
+    for path in paths:
+        events = read_feed(path)
+        if not events:
+            print("%-36s empty feed" % os.path.basename(path))
+            continue
+        begin = events[0] if events[0].get("event") == "run_begin" else {}
+        last = events[-1]
+        program = begin.get("program") or os.path.basename(path)
+        seeds = sum(1 for e in events if e.get("event") == "seed_done")
+        waves = sum(1 for e in events if e.get("event") == "wave_done")
+        if last.get("event") == "run_end":
+            state = "complete: %s raw -> %s remaining, %s attacks" % (
+                last.get("raw_reports"), last.get("remaining"),
+                last.get("attacks"))
+        else:
+            stages = [e["stage"] for e in events
+                      if e.get("event") == "stage_begin"]
+            state = "running (stage %s)" % (stages[-1] if stages else "?")
+        extras = "  seeds=%d" % seeds + ("  waves=%d" % waves if waves else "")
+        print("%-14s jobs=%-3s %s%s" % (
+            program, begin.get("jobs", "?"), state, extras))
     return 0
 
 
@@ -447,6 +603,37 @@ def build_parser() -> argparse.ArgumentParser:
             help="stop after K consecutive waves with no new coverage "
                  "(default: 2)")
 
+    def add_telemetry_arguments(command):
+        from repro.owl.history import default_history_path
+        from repro.runtime.profiler import DEFAULT_SAMPLE_INTERVAL
+
+        command.add_argument(
+            "--profile", action="store_true", default=False,
+            help="sample the VM call stack during the detector stages and "
+                 "print the hottest functions/opcodes (deterministic for a "
+                 "given seed set and interval)")
+        command.add_argument(
+            "--profile-interval", type=int, default=None, metavar="K",
+            help="sample every K-th scheduling decision (default: %d)"
+                 % DEFAULT_SAMPLE_INTERVAL)
+        command.add_argument(
+            "--profile-out", metavar="PATH", default=None,
+            help="write collapsed stacks ('stack count' lines) to PATH — "
+                 "flamegraph.pl/speedscope input")
+        command.add_argument(
+            "--profile-top", type=int, default=10, metavar="N",
+            help="rows in the printed hot-function table (default: 10)")
+        command.add_argument(
+            "--feed", metavar="PATH", default=None,
+            help="stream progress events to a JSON-lines feed at PATH "
+                 "(follow with `owl watch PATH`)")
+        command.add_argument(
+            "--history", metavar="PATH", nargs="?", default=None,
+            const=default_history_path(),
+            help="append this run's trajectory record (steps/s, stage "
+                 "walls, parity counters) to PATH (default when given "
+                 "without a value: %s)" % default_history_path())
+
     detect = sub.add_parser("detect", help="run the OWL pipeline on a target")
     detect.add_argument("program")
     detect.add_argument("--jobs", type=int, default=1,
@@ -460,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "lines otherwise)")
     add_cache_arguments(detect)
     add_explore_arguments(detect)
+    add_telemetry_arguments(detect)
     detect.set_defaults(func=_cmd_detect)
     exploit = sub.add_parser("exploit", help="run one exploit script")
     exploit.add_argument("attack_id")
@@ -482,6 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "lines otherwise)")
     add_cache_arguments(export)
     add_explore_arguments(export)
+    add_telemetry_arguments(export)
     export.set_defaults(func=_cmd_export)
     resume = sub.add_parser(
         "resume",
@@ -506,7 +695,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "trace_event) and BASE.jsonl (span lines)")
     trace.add_argument("--top", type=int, default=10,
                        help="how many slowest spans to print (default: 10)")
+    trace.add_argument("--stage", metavar="NAME", default=None,
+                       help="restrict the slowest-span listing to one "
+                            "stage's subtree (e.g. detect, "
+                            "race_verification)")
     trace.set_defaults(func=_cmd_trace)
+    watch = sub.add_parser(
+        "watch", help="follow a run's live event feed (tail -f)")
+    watch.add_argument("feed", help="feed path (the run's --feed PATH)")
+    watch.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
+                       help="poll interval (default: 0.2)")
+    watch.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="give up after this long without a new event "
+                            "(default: wait forever)")
+    watch.set_defaults(func=_cmd_watch)
+    status = sub.add_parser(
+        "status", help="summarize the run feeds under a directory")
+    status.add_argument("out_dir", help="directory holding feed_*.jsonl")
+    status.set_defaults(func=_cmd_status)
     explain = sub.add_parser(
         "explain",
         help="explain why OWL kept or pruned a race report")

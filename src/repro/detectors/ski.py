@@ -51,6 +51,8 @@ def run_ski_seed(
     tracer=None,
     coverage_out: Optional[List] = None,
     record_out: Optional[List] = None,
+    profile_out: Optional[List] = None,
+    profile_interval: Optional[int] = None,
 ) -> Tuple[ReportSet, ExecutionResult, SkiDetector]:
     """One kernel execution under one PCT schedule, into a fresh report set.
 
@@ -59,7 +61,9 @@ def run_ski_seed(
     switch tracker delegates every decision, so the schedule is unchanged.
     ``record_out`` likewise receives one
     :class:`repro.runtime.record.ScheduleLog` without perturbing the
-    schedule.
+    schedule, and ``profile_out`` one
+    :class:`repro.runtime.profiler.SeedProfile` sampled every
+    ``profile_interval`` decisions.
     """
     from repro.runtime.spans import maybe_span
 
@@ -76,6 +80,15 @@ def run_ski_seed(
 
         tracker = SwitchTracker(scheduler)
         scheduler = tracker
+    profiler = None
+    if profile_out is not None:
+        from repro.runtime.profiler import (
+            DEFAULT_SAMPLE_INTERVAL, SamplingProfiler)
+
+        profiler = SamplingProfiler(
+            scheduler, interval=profile_interval or DEFAULT_SAMPLE_INTERVAL,
+            observed=True)
+        scheduler = profiler
     vm = VM(module, scheduler=scheduler, inputs=inputs, max_steps=max_steps,
             seed=seed)
     detector = SkiDetector(annotations=annotations, reports=ReportSet())
@@ -97,6 +110,8 @@ def run_ski_seed(
         record_out.append(recorder.to_log(
             module, seed, entry=entry, max_steps=max_steps, result=result,
         ))
+    if profiler is not None:
+        profile_out.append(profiler.data)
     return detector.reports, result, detector
 
 
@@ -116,6 +131,9 @@ def run_ski(
     policy=None,
     explore=None,
     coverage_out: Optional[List] = None,
+    profile_out: Optional[List] = None,
+    profile_interval: Optional[int] = None,
+    feed=None,
 ) -> Tuple[ReportSet, List[ExecutionResult]]:
     """Systematically explore schedules of a kernel program.
 
@@ -137,6 +155,8 @@ def run_ski(
             inputs=inputs, annotations=annotations, max_steps=max_steps,
             depth=depth, jobs=jobs, stats_out=stats_out, tracer=tracer,
             cache=cache, policy=policy, explore=explore,
+            profile_out=profile_out, profile_interval=profile_interval,
+            feed=feed,
         )
     if ((jobs and jobs > 1) or cache is not None) \
             and module_source is not None:
@@ -147,6 +167,8 @@ def run_ski(
             seeds=seeds, annotations=annotations, max_steps=max_steps,
             depth=depth, jobs=jobs, stats_out=stats_out, tracer=tracer,
             cache=cache, policy=policy, coverage_out=coverage_out,
+            profile_out=profile_out, profile_interval=profile_interval,
+            feed=feed,
         )
     reports = ReportSet()
     results: List[ExecutionResult] = []
@@ -155,7 +177,8 @@ def run_ski(
         seed_reports, result, detector = run_ski_seed(
             module, seed, entry=entry, inputs=inputs, annotations=annotations,
             max_steps=max_steps, depth=depth, tracer=tracer,
-            coverage_out=coverage_out,
+            coverage_out=coverage_out, profile_out=profile_out,
+            profile_interval=profile_interval,
         )
         reports.merge(seed_reports)
         results.append(result)
@@ -167,4 +190,8 @@ def run_ski(
                 accesses=detector.access_count, reports=len(seed_reports),
                 wall_seconds=time.perf_counter() - started,
             ))
+        if feed is not None:
+            feed.seed_done(stage="detect", seed=seed, detector="ski",
+                           steps=result.steps, reports=len(seed_reports),
+                           cached=False)
     return reports, results

@@ -248,6 +248,8 @@ def run_tsan_seed(
     tracer=None,
     coverage_out: Optional[List] = None,
     record_out: Optional[List] = None,
+    profile_out: Optional[List] = None,
+    profile_interval: Optional[int] = None,
 ) -> Tuple[ReportSet, ExecutionResult, TSanDetector]:
     """One program execution under one schedule, into a fresh report set.
 
@@ -262,7 +264,11 @@ def run_tsan_seed(
     the schedule itself.  ``record_out``, when given a list, receives one
     :class:`repro.runtime.record.ScheduleLog` of the execution — the
     recorder delegates every decision unchanged too, so a recorded seed
-    finds exactly the races an unrecorded one would.
+    finds exactly the races an unrecorded one would.  ``profile_out``,
+    when given a list, receives one
+    :class:`repro.runtime.profiler.SeedProfile` sampled every
+    ``profile_interval`` scheduler decisions (same pure-delegation
+    wrapper; deterministic given seed + interval).
     """
     from repro.runtime.spans import maybe_span
 
@@ -282,6 +288,15 @@ def run_tsan_seed(
 
         tracker = SwitchTracker(scheduler)
         scheduler = tracker
+    profiler = None
+    if profile_out is not None:
+        from repro.runtime.profiler import (
+            DEFAULT_SAMPLE_INTERVAL, SamplingProfiler)
+
+        profiler = SamplingProfiler(
+            scheduler, interval=profile_interval or DEFAULT_SAMPLE_INTERVAL,
+            observed=True)
+        scheduler = profiler
     vm = VM(module, scheduler=scheduler, inputs=inputs, max_steps=max_steps,
             seed=seed)
     detector = TSanDetector(annotations=annotations, reports=ReportSet())
@@ -305,6 +320,8 @@ def run_tsan_seed(
             module, seed, entry=entry, entry_args=entry_args,
             max_steps=max_steps, result=result,
         ))
+    if profiler is not None:
+        profile_out.append(profiler.data)
     return detector.reports, result, detector
 
 
@@ -325,6 +342,9 @@ def run_tsan(
     policy=None,
     explore=None,
     coverage_out: Optional[List] = None,
+    profile_out: Optional[List] = None,
+    profile_interval: Optional[int] = None,
+    feed=None,
 ) -> Tuple[ReportSet, List[ExecutionResult]]:
     """Run the detector over several schedules and merge the reports.
 
@@ -359,6 +379,8 @@ def run_tsan(
             inputs=inputs, annotations=annotations, max_steps=max_steps,
             entry_args=entry_args, jobs=jobs, stats_out=stats_out,
             tracer=tracer, cache=cache, policy=policy, explore=explore,
+            profile_out=profile_out, profile_interval=profile_interval,
+            feed=feed,
         )
     if ((jobs and jobs > 1) or cache is not None) \
             and module_source is not None:
@@ -369,7 +391,8 @@ def run_tsan(
             seeds=seeds, annotations=annotations, max_steps=max_steps,
             entry_args=entry_args, jobs=jobs, stats_out=stats_out,
             tracer=tracer, cache=cache, policy=policy,
-            coverage_out=coverage_out,
+            coverage_out=coverage_out, profile_out=profile_out,
+            profile_interval=profile_interval, feed=feed,
         )
     reports = ReportSet()
     results: List[ExecutionResult] = []
@@ -379,6 +402,7 @@ def run_tsan(
             module, seed, entry=entry, inputs=inputs, annotations=annotations,
             max_steps=max_steps, scheduler_factory=scheduler_factory,
             entry_args=entry_args, tracer=tracer, coverage_out=coverage_out,
+            profile_out=profile_out, profile_interval=profile_interval,
         )
         reports.merge(seed_reports)
         results.append(result)
@@ -390,4 +414,8 @@ def run_tsan(
                 accesses=detector.access_count, reports=len(seed_reports),
                 wall_seconds=time.perf_counter() - started,
             ))
+        if feed is not None:
+            feed.seed_done(stage="detect", seed=seed, detector="tsan",
+                           steps=result.steps, reports=len(seed_reports),
+                           cached=False)
     return reports, results

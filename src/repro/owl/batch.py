@@ -272,20 +272,43 @@ class BatchPolicy:
       re-run in-process; when False they raise instead.
 
     The instance also *accumulates* counters across every batch it
-    supervises (one policy serves a whole pipeline run); they surface in
+    supervises (one policy serves a whole pipeline run); they live in a
+    :class:`repro.runtime.telemetry.MetricsRegistry` (``batch.*`` names,
+    an injected pipeline-wide registry or a private one) and surface in
     the metrics JSON as the ``"batch"`` block (schema 2).
     """
 
     def __init__(self, timeout: Optional[float] = None, retries: int = 2,
-                 backoff: float = 0.1, serial_fallback: bool = True):
+                 backoff: float = 0.1, serial_fallback: bool = True,
+                 registry=None):
+        from repro.runtime.telemetry import MetricsRegistry
+
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = max(0.0, float(backoff))
         self.serial_fallback = serial_fallback
-        self.timeouts = 0
-        self.retried = 0
-        self.worker_failures = 0
-        self.serial_fallbacks = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._timeouts = self.registry.counter("batch.timeouts")
+        self._retried = self.registry.counter("batch.retries")
+        self._worker_failures = self.registry.counter("batch.worker_failures")
+        self._serial_fallbacks = self.registry.counter(
+            "batch.serial_fallbacks")
+
+    @property
+    def timeouts(self) -> int:
+        return self._timeouts.value
+
+    @property
+    def retried(self) -> int:
+        return self._retried.value
+
+    @property
+    def worker_failures(self) -> int:
+        return self._worker_failures.value
+
+    @property
+    def serial_fallbacks(self) -> int:
+        return self._serial_fallbacks.value
 
     def counters(self) -> Dict:
         """The metrics-JSON ``"batch"`` block (schema 2)."""
@@ -328,7 +351,7 @@ def run_tasks(worker: Callable[[Dict], Dict], payloads: Sequence[Dict],
     wave = 0
     while pending and not broken and wave <= policy.retries:
         if wave:
-            policy.retried += len(pending)
+            policy._retried.inc(len(pending))
             time.sleep(policy.backoff * (2 ** (wave - 1)))
         futures = {}
         try:
@@ -340,13 +363,13 @@ def run_tasks(worker: Callable[[Dict], Dict], payloads: Sequence[Dict],
             try:
                 results[index] = future.result(timeout=policy.timeout)
             except FuturesTimeoutError:
-                policy.timeouts += 1
+                policy._timeouts.inc()
                 future.cancel()
             except BrokenExecutor:
-                policy.worker_failures += 1
+                policy._worker_failures.inc()
                 broken = True
             except Exception:
-                policy.worker_failures += 1
+                policy._worker_failures.inc()
         pending = [index for index in pending if results[index] is _UNSET]
         wave += 1
     if pending:
@@ -355,7 +378,7 @@ def run_tasks(worker: Callable[[Dict], Dict], payloads: Sequence[Dict],
                 "%d/%d batch items failed after %d retries"
                 % (len(pending), len(payloads), policy.retries))
         for index in pending:
-            policy.serial_fallbacks += 1
+            policy._serial_fallbacks.inc()
             results[index] = worker(payloads[index])
     return results
 
@@ -445,6 +468,8 @@ def _detect_worker(payload: Dict) -> Dict:
     tracer = SpanTracer()
     coverage: List = []
     logs: Optional[List] = [] if payload.get("record") else None
+    profiles: Optional[List] = [] if payload.get("profile") else None
+    profile_interval = payload.get("profile")
     started = time.perf_counter()
     if payload["kind"] == "ski":
         reports, result, detector = run_ski_seed(
@@ -452,6 +477,7 @@ def _detect_worker(payload: Dict) -> Dict:
             inputs=payload["inputs"], annotations=annotations,
             max_steps=payload["max_steps"], depth=payload["depth"],
             tracer=tracer, coverage_out=coverage, record_out=logs,
+            profile_out=profiles, profile_interval=profile_interval,
         )
     else:
         scheduler_factory = None
@@ -467,6 +493,7 @@ def _detect_worker(payload: Dict) -> Dict:
             max_steps=payload["max_steps"], entry_args=payload["entry_args"],
             scheduler_factory=scheduler_factory, tracer=tracer,
             coverage_out=coverage, record_out=logs,
+            profile_out=profiles, profile_interval=profile_interval,
         )
     output = {
         "seed": payload["seed"],
@@ -479,6 +506,8 @@ def _detect_worker(payload: Dict) -> Dict:
     }
     if logs:
         output["log"] = logs[0].to_payload()
+    if profiles:
+        output["profile"] = profiles[0].to_payload()
     return output
 
 
@@ -486,7 +515,8 @@ def _detect_payload(kind: str, source, seed: int, entry: str, inputs,
                     annotations_payload, max_steps: int, depth: int,
                     entry_args: Sequence[int],
                     scheduler: Optional[str] = None,
-                    record: bool = False) -> Dict:
+                    record: bool = False,
+                    profile: Optional[int] = None) -> Dict:
     payload = {
         "kind": kind,
         "source": source,
@@ -501,6 +531,11 @@ def _detect_payload(kind: str, source, seed: int, entry: str, inputs,
     }
     if record:
         payload["record"] = True
+    if profile:
+        # Part of the cache key on purpose: a profiled run's output
+        # carries the sample aggregate, so it must not be answered from
+        # (or overwrite) an unprofiled seed's entry.
+        payload["profile"] = int(profile)
     return payload
 
 
@@ -546,6 +581,9 @@ def run_seeds_parallel(
     coverage_out: Optional[List] = None,
     record: bool = False,
     logs_out: Optional[List] = None,
+    profile_out: Optional[List] = None,
+    profile_interval: Optional[int] = None,
+    feed=None,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """Fan one program's seeds out over worker processes.
 
@@ -576,13 +614,26 @@ def run_seeds_parallel(
     plain run's.  A seed is only answered from the cache when *both*
     stages hit; a seed whose log is missing re-executes (re-warming both),
     so record mode always returns a complete log set.
+
+    ``profile_out``, when given a list, receives one
+    :class:`repro.runtime.profiler.SeedProfile` per seed in seed order
+    (sampled every ``profile_interval`` decisions); profiles are part of
+    the worker output and the cache entry, so warm profiled runs return
+    the same samples the cold run took.  ``feed``, when given an
+    :class:`repro.owl.stream.EventFeed`, receives one ``seed_done`` event
+    per seed at merge time — in seed order, with the cache disposition.
     """
     seeds = list(seeds)
     annotations_payload = annotations_to_payload(annotations)
+    profile = None
+    if profile_out is not None:
+        from repro.runtime.profiler import DEFAULT_SAMPLE_INTERVAL
+
+        profile = int(profile_interval or DEFAULT_SAMPLE_INTERVAL)
     payloads = [
         _detect_payload(kind, module_source, seed, entry, inputs,
                         annotations_payload, max_steps, depth, entry_args,
-                        scheduler=scheduler, record=record)
+                        scheduler=scheduler, record=record, profile=profile)
         for seed in seeds
     ]
     keys = (
@@ -639,6 +690,15 @@ def run_seeds_parallel(
             from repro.runtime.record import ScheduleLog
 
             logs_out.append(ScheduleLog.from_payload(output["log"]))
+        if profile_out is not None and output.get("profile") is not None:
+            from repro.runtime.profiler import SeedProfile
+
+            profile_out.append(SeedProfile.from_payload(output["profile"]))
+        if feed is not None:
+            feed.seed_done(stage="detect", seed=seed, detector=kind,
+                           steps=output["stats"][2],
+                           reports=output["stats"][4],
+                           cached=bool(output.get("cached")))
         if tracer is not None:
             if output.get("cached"):
                 with tracer.span("detect_seed", seed=seed, detector=kind,
@@ -660,6 +720,9 @@ def run_detector_batch(
     tracer: Optional[SpanTracer] = None,
     cache=None,
     policy: Optional[BatchPolicy] = None,
+    profile_out: Optional[List] = None,
+    profile_interval: Optional[int] = None,
+    feed=None,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """The spec's front-end detector over its seeds, parallel when possible.
 
@@ -675,7 +738,10 @@ def run_detector_batch(
 
         stats: List[RunStats] = []
         reports, _ = run_detector(spec, annotations=annotations,
-                                  stats_out=stats, tracer=tracer)
+                                  stats_out=stats, tracer=tracer,
+                                  profile_out=profile_out,
+                                  profile_interval=profile_interval,
+                                  feed=feed)
         if stats_out is not None:
             stats_out.extend(stats)
         return reports, stats
@@ -684,7 +750,8 @@ def run_detector_batch(
         inputs=spec.workload_inputs, seeds=spec.detect_seeds,
         annotations=annotations, max_steps=spec.max_steps, jobs=jobs,
         stats_out=stats_out, executor=executor, tracer=tracer,
-        cache=cache, policy=policy,
+        cache=cache, policy=policy, profile_out=profile_out,
+        profile_interval=profile_interval, feed=feed,
     )
 
 
@@ -784,8 +851,13 @@ def verify_races_batch(
     tracer: Optional[SpanTracer] = None,
     cache=None,
     policy: Optional[BatchPolicy] = None,
+    feed=None,
 ) -> List[RaceVerification]:
-    """Verify each report in its own worker; results keep report order."""
+    """Verify each report in its own worker; results keep report order.
+
+    ``feed``, when given an :class:`repro.owl.stream.EventFeed`, receives
+    one ``item_done`` event per report in report order (batch path only).
+    """
     reports = list(reports)
     if not reports:
         return []
@@ -839,6 +911,10 @@ def verify_races_batch(
             report, output["verified"], hints, output["runs_used"],
             output["livelocks_resolved"],
         ))
+        if feed is not None:
+            feed.item_done(stage="race_verification", index=index,
+                           item=report.uid, verified=output["verified"],
+                           cached=bool(output.get("cached")))
         if tracer is not None:
             if output.get("cached"):
                 with tracer.span("verify_report", report=report.uid,
@@ -898,6 +974,7 @@ def verify_vulns_batch(
     tracer: Optional[SpanTracer] = None,
     cache=None,
     policy: Optional[BatchPolicy] = None,
+    feed=None,
 ) -> List[Tuple[VulnVerification, Optional[AttackGroundTruth]]]:
     """Verify each vulnerability in its own worker; results keep input order.
 
@@ -956,6 +1033,11 @@ def verify_vulns_batch(
             output["runs_used"],
         )
         outcomes.append((verification, ground_truth))
+        if feed is not None:
+            feed.item_done(stage="vulnerability_verification", index=index,
+                           item=str(vulnerability.site.location),
+                           realized=output["attack_realized"],
+                           cached=bool(output.get("cached")))
         if tracer is not None:
             if output.get("cached"):
                 with tracer.span(

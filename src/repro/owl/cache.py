@@ -132,11 +132,17 @@ class ResultCache:
     """
 
     def __init__(self, root: str = DEFAULT_CACHE_DIR,
-                 version: Optional[str] = None):
+                 version: Optional[str] = None, registry=None):
+        from repro.runtime.telemetry import MetricsRegistry
+
         self.root = root
         self.version = version if version is not None else code_version()
         self.journal = None
-        self._stage_counters: Dict[str, Dict[str, int]] = {}
+        #: Hit/miss/store counters live in a telemetry registry
+        #: (``cache.<stage>.<what>`` names) — an injected pipeline-wide
+        #: one, or a private one — so snapshots carry them for free.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._stages: set = set()
         self._module_digests: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
@@ -175,16 +181,15 @@ class ResultCache:
         never correctness.
         """
         path = self._path(stage, key)
-        counters = self._counters(stage)
         try:
             with open(path) as handle:
                 envelope = json.load(handle)
         except FileNotFoundError:
-            counters["misses"] += 1
+            self._count(stage, "misses")
             return None
         except (json.JSONDecodeError, OSError, UnicodeDecodeError):
             self._discard(path)
-            counters["misses"] += 1
+            self._count(stage, "misses")
             return None
         if (
             not isinstance(envelope, dict)
@@ -194,9 +199,9 @@ class ResultCache:
             or "value" not in envelope
         ):
             self._discard(path)
-            counters["misses"] += 1
+            self._count(stage, "misses")
             return None
-        counters["hits"] += 1
+        self._count(stage, "hits")
         if self.journal is not None:
             self.journal.record(stage, key, "hit")
         return envelope["value"]
@@ -221,7 +226,7 @@ class ResultCache:
         except BaseException:
             self._discard(temp_path)
             raise
-        self._counters(stage)["stores"] += 1
+        self._count(stage, "stores")
         if self.journal is not None:
             self.journal.record(stage, key, "done")
         return path
@@ -236,29 +241,32 @@ class ResultCache:
     # ------------------------------------------------------------------
     # accounting
 
-    def _counters(self, stage: str) -> Dict[str, int]:
-        counters = self._stage_counters.get(stage)
-        if counters is None:
-            counters = {"hits": 0, "misses": 0, "stores": 0}
-            self._stage_counters[stage] = counters
-        return counters
+    def _count(self, stage: str, what: str) -> None:
+        self._stages.add(stage)
+        self.registry.counter("cache.%s.%s" % (stage, what)).inc()
+
+    def _stage_value(self, stage: str, what: str) -> int:
+        return self.registry.counter("cache.%s.%s" % (stage, what)).value
 
     @property
     def hits(self) -> int:
-        return sum(c["hits"] for c in self._stage_counters.values())
+        return sum(self._stage_value(stage, "hits")
+                   for stage in self._stages)
 
     @property
     def misses(self) -> int:
-        return sum(c["misses"] for c in self._stage_counters.values())
+        return sum(self._stage_value(stage, "misses")
+                   for stage in self._stages)
 
     @property
     def stores(self) -> int:
-        return sum(c["stores"] for c in self._stage_counters.values())
+        return sum(self._stage_value(stage, "stores")
+                   for stage in self._stages)
 
     def stage_counters(self, stage: str) -> Dict[str, int]:
         """A copy of one stage's counters (zeros if the stage never ran)."""
-        return dict(self._stage_counters.get(
-            stage, {"hits": 0, "misses": 0, "stores": 0}))
+        return {what: self._stage_value(stage, what)
+                for what in ("hits", "misses", "stores")}
 
     def counters(self) -> Dict:
         """The metrics-JSON ``"cache"`` block (schema 2)."""
@@ -269,8 +277,8 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "stages": {
-                stage: dict(counters)
-                for stage, counters in sorted(self._stage_counters.items())
+                stage: self.stage_counters(stage)
+                for stage in sorted(self._stages)
             },
         }
 

@@ -222,7 +222,7 @@ def _scheduler_factory(family: str, depth: int):
 def _run_wave_serial(
     kind: str, module, seeds: Sequence[int], family: str, depth: int,
     entry: str, inputs, annotations, max_steps: int, entry_args,
-    tracer,
+    tracer, profile_out=None, profile_interval=None, feed=None,
 ) -> Tuple[ReportSet, List[RunStats], List[SeedCoverage]]:
     """One wave without a registry spec: plain in-process seed runs."""
     from repro.detectors.ski import run_ski_seed
@@ -238,6 +238,7 @@ def _run_wave_serial(
                 module, seed, entry=entry, inputs=inputs,
                 annotations=annotations, max_steps=max_steps, depth=depth,
                 tracer=tracer, coverage_out=coverage,
+                profile_out=profile_out, profile_interval=profile_interval,
             )
         else:
             seed_reports, result, detector = run_tsan_seed(
@@ -246,6 +247,7 @@ def _run_wave_serial(
                 scheduler_factory=_scheduler_factory(family, depth),
                 entry_args=entry_args, tracer=tracer,
                 coverage_out=coverage,
+                profile_out=profile_out, profile_interval=profile_interval,
             )
         merged.merge(seed_reports)
         stats.append(RunStats(
@@ -253,6 +255,10 @@ def _run_wave_serial(
             accesses=detector.access_count, reports=len(seed_reports),
             wall_seconds=time.perf_counter() - started,
         ))
+        if feed is not None:
+            feed.seed_done(stage="detect", seed=seed, detector=kind,
+                           steps=result.steps, reports=len(seed_reports),
+                           cached=False)
     return merged, stats, coverage
 
 
@@ -277,6 +283,9 @@ def explore_seeds(
     cache=None,
     policy=None,
     explore: Optional[ExplorePolicy] = None,
+    profile_out: Optional[List] = None,
+    profile_interval: Optional[int] = None,
+    feed=None,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """Coverage-guided exploration over seeds ``0 .. max_seeds - 1``.
 
@@ -290,6 +299,12 @@ def explore_seeds(
     found exactly the races of the fixed sweep's prefix.  The full
     :class:`ExplorationResult` (waves, saturation, coverage) is appended
     to ``explore.history``.
+
+    ``profile_out``/``profile_interval`` sample every executed seed's VM
+    (see :mod:`repro.runtime.profiler`); ``feed`` (an
+    :class:`repro.owl.stream.EventFeed`) receives one ``seed_done`` per
+    seed and one ``wave_done`` per wave — the live per-wave progress
+    ``owl watch`` renders.
     """
     explore = explore if explore is not None else ExplorePolicy()
     ladder = explore.ladder_for(kind, depth)
@@ -317,11 +332,15 @@ def explore_seeds(
                 jobs=jobs, stats_out=wave_stats, executor=executor,
                 tracer=tracer, cache=cache, policy=policy,
                 scheduler=family, coverage_out=wave_coverage,
+                profile_out=profile_out, profile_interval=profile_interval,
+                feed=feed,
             )
         else:
             wave_reports, wave_stats, wave_coverage = _run_wave_serial(
                 kind, module, wave_seeds, family, wave_depth, entry, inputs,
                 annotations, max_steps, entry_args, tracer,
+                profile_out=profile_out, profile_interval=profile_interval,
+                feed=feed,
             )
         signatures_before = result.coverage.distinct_schedules
         deltas = result.coverage.merge_all(wave_coverage)  # seed order
@@ -347,6 +366,13 @@ def explore_seeds(
             result.coverage.distinct_schedules - signatures_before,
             result.coverage.total_pairs, escalated=escalated,
         ))
+        if feed is not None:
+            feed.wave_done(index=len(result.waves) - 1, seeds=wave_seeds,
+                           scheduler=family, depth=wave_depth,
+                           new_pairs=new_pairs,
+                           total_pairs=result.coverage.total_pairs,
+                           dry=new_pairs == 0, escalated=escalated,
+                           saturated=result.saturated)
         if result.saturated:
             break
     result.wall_seconds = time.perf_counter() - started
@@ -366,6 +392,9 @@ def explore_program(
     cache=None,
     policy=None,
     explore: Optional[ExplorePolicy] = None,
+    profile_out: Optional[List] = None,
+    profile_interval: Optional[int] = None,
+    feed=None,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """Exploration over one :class:`repro.spec.ProgramSpec`'s detector.
 
@@ -386,4 +415,6 @@ def explore_program(
         annotations=annotations, max_steps=spec.max_steps,
         jobs=jobs, executor=executor, stats_out=stats_out, tracer=tracer,
         cache=cache, policy=policy, explore=explore,
+        profile_out=profile_out, profile_interval=profile_interval,
+        feed=feed,
     )

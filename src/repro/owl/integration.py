@@ -35,6 +35,9 @@ def run_detector(
     policy=None,
     explore=None,
     replay=None,
+    profile_out: Optional[List] = None,
+    profile_interval: Optional[int] = None,
+    feed=None,
 ) -> Tuple[ReportSet, List]:
     """Run the spec's front-end detector over its configured schedules.
 
@@ -62,7 +65,13 @@ def run_detector(
 
     A ``replay`` source (:class:`repro.owl.replay.ReplaySource`) replaces
     live execution entirely: every recorded log is deterministically
-    re-executed with the detector attached (see :mod:`repro.owl.replay`).
+    re-executed with the detector attached (see :mod:`repro.owl.replay`);
+    profiling and feed events apply to live paths only.
+
+    ``profile_out``/``profile_interval`` sample the VM every K scheduler
+    decisions into per-seed :class:`repro.runtime.profiler.SeedProfile`
+    aggregates; ``feed`` (an :class:`repro.owl.stream.EventFeed`)
+    receives one ``seed_done`` progress event per executed seed.
     """
     if replay is not None:
         return replay.run_detector(
@@ -74,7 +83,8 @@ def run_detector(
         return explore_program(
             spec, annotations=annotations, jobs=jobs, executor=executor,
             stats_out=stats_out, tracer=tracer, cache=cache, policy=policy,
-            explore=explore,
+            explore=explore, profile_out=profile_out,
+            profile_interval=profile_interval, feed=feed,
         )
     if (jobs and jobs > 1) or executor is not None or cache is not None:
         from repro.owl.batch import run_detector_batch
@@ -82,17 +92,23 @@ def run_detector(
         return run_detector_batch(
             spec, annotations=annotations, jobs=jobs, executor=executor,
             stats_out=stats_out, tracer=tracer, cache=cache, policy=policy,
+            profile_out=profile_out, profile_interval=profile_interval,
+            feed=feed,
         )
     if spec.detector == "ski":
         return run_ski(
             spec.build(), entry=spec.entry, inputs=spec.workload_inputs,
             seeds=spec.detect_seeds, annotations=annotations,
             max_steps=spec.max_steps, stats_out=stats_out, tracer=tracer,
+            profile_out=profile_out, profile_interval=profile_interval,
+            feed=feed,
         )
     return run_tsan(
         spec.build(), entry=spec.entry, inputs=spec.workload_inputs,
         seeds=spec.detect_seeds, annotations=annotations,
         max_steps=spec.max_steps, stats_out=stats_out, tracer=tracer,
+        profile_out=profile_out, profile_interval=profile_interval,
+        feed=feed,
     )
 
 

@@ -132,6 +132,13 @@ class PipelineResult:
         #: The detect stage's :class:`repro.owl.explore.ExplorationResult`
         #: when the run used coverage-guided exploration.
         self.explore = None
+        #: The run's deterministic telemetry snapshot (schema-6
+        #: ``"telemetry"`` block): job-count-invariant counters, gauges
+        #: and histograms assembled from every layer.
+        self.telemetry: Optional[Dict] = None
+        #: Merged :class:`repro.runtime.profiler.SeedProfile` when the
+        #: run profiled its detector stages (``profile=K``).
+        self.profile = None
         self.raw_reports: Optional[ReportSet] = None
         self.annotations: Optional[AnnotationSet] = None
         self.annotated_reports: Optional[ReportSet] = None
@@ -197,6 +204,19 @@ class OwlPipeline:
     what the observer reports, never the schedule).  Replay bookkeeping
     lands in the schema-5 metrics JSON (``"replay"`` block); replay is
     mutually exclusive with ``explore``.
+
+    Every run assembles a deterministic **telemetry snapshot**
+    (:mod:`repro.runtime.telemetry`): stage/work counters, per-seed step
+    and report histograms, the cache's and batch policy's registries, the
+    span count — everything job-count invariant — into the schema-6
+    metrics JSON ``"telemetry"`` block and ``result.telemetry``.
+    ``profile=K`` additionally samples the detector stages' VMs every K
+    scheduler decisions (:mod:`repro.runtime.profiler`; live runs only —
+    off by default, zero overhead when off), merging per-seed profiles in
+    seed order into ``result.profile``.  ``feed``
+    (:class:`repro.owl.stream.EventFeed`) streams structured progress
+    events — stages, seeds, waves, verification items — as the run
+    executes, for ``owl watch``.
     """
 
     def __init__(
@@ -212,6 +232,8 @@ class OwlPipeline:
         journal_config: Optional[Dict] = None,
         explore=None,
         replay=None,
+        profile: Optional[int] = None,
+        feed=None,
     ):
         if explore is not None and replay is not None:
             raise ValueError(
@@ -229,6 +251,11 @@ class OwlPipeline:
         self.journal_config = journal_config
         self.explore = explore
         self.replay = replay
+        self.profile = int(profile) if profile else None
+        self.feed = feed
+        #: Per-run telemetry registry (rebuilt at the top of :meth:`run`).
+        self._registry = None
+        self._profiles: Optional[List] = None
 
     # ------------------------------------------------------------------
 
@@ -251,18 +278,50 @@ class OwlPipeline:
                     ),
                     config=self.journal_config or {},
                 )
+        from repro.runtime.telemetry import MetricsRegistry
+
+        self._registry = MetricsRegistry()
+        self._profiles = [] if self.profile and self.replay is None else None
+        if self.feed is not None:
+            self.feed.run_begin(
+                self.spec.name, jobs,
+                explore=self.explore is not None,
+                cache=self.cache is not None,
+                replay=self.replay is not None,
+            )
         executor = make_executor(jobs) if jobs > 1 else None
         started = time.perf_counter()
         try:
             with result.spans.span("pipeline", program=self.spec.name,
                                    jobs=jobs):
-                self._stage_detect(result, jobs, executor)
-                self._stage_schedule_reduction(result, jobs, executor)
-                self._stage_race_verification(result, jobs, executor)
-                self._stage_vulnerability_analysis(result)
+                stages = [
+                    ("detect", lambda: self._stage_detect(
+                        result, jobs, executor)),
+                    ("schedule_reduction",
+                     lambda: self._stage_schedule_reduction(
+                         result, jobs, executor)),
+                    ("race_verification",
+                     lambda: self._stage_race_verification(
+                         result, jobs, executor)),
+                    ("vulnerability_analysis",
+                     lambda: self._stage_vulnerability_analysis(result)),
+                ]
                 if self.verify_vulnerabilities:
-                    self._stage_vulnerability_verification(
-                        result, jobs, executor)
+                    stages.append((
+                        "vulnerability_verification",
+                        lambda: self._stage_vulnerability_verification(
+                            result, jobs, executor)))
+                for name, run_stage in stages:
+                    if self.feed is not None:
+                        self.feed.stage_begin(name)
+                    run_stage()
+                    if self.feed is not None:
+                        stage = result.metrics.stages[-1]
+                        self.feed.stage_end(
+                            name, items=stage.items, runs=stage.runs,
+                            cache_hits=stage.extra.get("cache_hits"),
+                            cache_misses=stage.extra.get("cache_misses"),
+                        )
         finally:
             if executor is not None:
                 executor.shutdown()
@@ -274,6 +333,7 @@ class OwlPipeline:
             result.metrics.batch = self.policy.counters()
         if self.replay is not None:
             result.metrics.replay = self.replay.metrics_block()
+        self._assemble_telemetry(result)
         if self.journal is not None:
             self.journal.complete(
                 status="completed",
@@ -281,7 +341,66 @@ class OwlPipeline:
                 remaining=result.counters.remaining,
                 attacks=len(result.realized_attacks()),
             )
+        if self.feed is not None:
+            self.feed.run_end(
+                raw_reports=result.counters.raw_reports,
+                remaining=result.counters.remaining,
+                attacks=len(result.realized_attacks()),
+            )
         return result
+
+    # ------------------------------------------------------------------
+    # telemetry assembly (schema 6)
+
+    def _assemble_telemetry(self, result: PipelineResult) -> None:
+        """Fold every layer's deterministic counters into one snapshot.
+
+        Everything here is job-count invariant — stage work counters,
+        Table-3 counters, cache/batch registries (merged in a fixed
+        order), the adopted span count — so the snapshot is bit-identical
+        between ``jobs=1`` and ``jobs=N`` runs on the same seeds.  Wall
+        clock stays out (it lives in the stage metrics).
+        """
+        registry = self._registry
+        for stage in result.metrics.stages:
+            prefix = "stage.%s" % stage.name
+            registry.counter(prefix + ".items").inc(stage.items)
+            registry.counter(prefix + ".runs").inc(stage.runs)
+            registry.counter(prefix + ".vm_steps").inc(stage.vm_steps)
+            registry.counter(prefix + ".accesses").inc(stage.accesses)
+        counters = result.counters
+        registry.counter("pipeline.raw_reports").inc(counters.raw_reports)
+        registry.counter("pipeline.adhoc_syncs").inc(counters.adhoc_syncs)
+        registry.counter("pipeline.after_annotation").inc(
+            counters.after_annotation)
+        registry.counter("pipeline.verifier_eliminated").inc(
+            counters.verifier_eliminated)
+        registry.counter("pipeline.remaining").inc(counters.remaining)
+        registry.counter("pipeline.vulnerability_reports").inc(
+            counters.vulnerability_reports)
+        registry.counter("pipeline.attacks").inc(len(result.attacks))
+        registry.counter("pipeline.attacks_realized").inc(
+            len(result.realized_attacks()))
+        if result.explore is not None:
+            registry.counter("explore.seeds_executed").inc(
+                result.explore.seeds_executed)
+            registry.counter("explore.waves").inc(len(result.explore.waves))
+            registry.gauge("explore.total_pairs").set(
+                result.explore.coverage.total_pairs)
+        if self.cache is not None:
+            registry.merge_snapshot(self.cache.registry.snapshot())
+        if self.policy is not None:
+            registry.merge_snapshot(self.policy.registry.snapshot())
+        result.spans.publish(registry)
+        snapshot = registry.snapshot()
+        if self._profiles:
+            from repro.runtime.profiler import merge_profiles
+
+            result.profile = merge_profiles(self._profiles)
+            if result.profile is not None:
+                snapshot["profile"] = result.profile.summary()
+        result.telemetry = snapshot
+        result.metrics.telemetry = snapshot
 
     # ------------------------------------------------------------------
     # cache accounting: per-pipeline-stage hit/miss deltas
@@ -314,9 +433,11 @@ class OwlPipeline:
                 reports, _ = run_detector(
                     self.spec, jobs=jobs, executor=executor, stats_out=stats,
                     tracer=result.spans, cache=self.cache, policy=self.policy,
-                    explore=self.explore,
+                    explore=self.explore, profile_out=self._profiles,
+                    profile_interval=self.profile, feed=self.feed,
                 )
             stage.absorb_run_stats(stats)
+            self._observe_seed_stats(stats)
             stage.items = len(reports)
             self._record_cache_delta(stage, marks)
             self._record_explore(result, stage, span, primary=True)
@@ -333,6 +454,17 @@ class OwlPipeline:
                 detector=report.detector,
                 seeds=seeds_run,
             )
+
+    def _observe_seed_stats(self, stats) -> None:
+        """Per-seed step/report histograms (deterministic: seed order)."""
+        from repro.runtime.telemetry import REPORT_BUCKETS, STEP_BUCKETS
+
+        steps = self._registry.histogram("vm.steps_per_seed", STEP_BUCKETS)
+        reports = self._registry.histogram("detect.reports_per_seed",
+                                           REPORT_BUCKETS)
+        for stat in stats:
+            steps.observe(stat.steps)
+            reports.observe(stat.reports)
 
     def _record_explore(self, result: PipelineResult, stage, span,
                         primary: bool = False) -> None:
@@ -385,8 +517,11 @@ class OwlPipeline:
                         executor=executor, stats_out=stats,
                         tracer=result.spans, cache=self.cache,
                         policy=self.policy, explore=self.explore,
+                        profile_out=self._profiles,
+                        profile_interval=self.profile, feed=self.feed,
                     )
                 stage.absorb_run_stats(stats)
+                self._observe_seed_stats(stats)
                 self._record_explore(result, stage, span)
             else:
                 reports = result.raw_reports
@@ -476,7 +611,7 @@ class OwlPipeline:
             result.verifications = verify_races_batch(
                 self.spec, list(result.annotated_reports), jobs=jobs,
                 executor=executor, tracer=result.spans,
-                cache=self.cache, policy=self.policy,
+                cache=self.cache, policy=self.policy, feed=self.feed,
             )
             stage.items = len(result.verifications)
             stage.runs = sum(v.runs_used for v in result.verifications)
@@ -619,7 +754,7 @@ class OwlPipeline:
             pairs = verify_vulns_batch(
                 self.spec, result.vulnerabilities, jobs=jobs,
                 executor=executor, tracer=result.spans,
-                cache=self.cache, policy=self.policy,
+                cache=self.cache, policy=self.policy, feed=self.feed,
             )
             for vulnerability, (verification, ground_truth) in zip(
                     result.vulnerabilities, pairs):

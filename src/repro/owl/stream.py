@@ -1,0 +1,216 @@
+"""Live run streaming: a JSON-lines progress feed for ``owl watch``.
+
+The span tree and the journal answer "what did the run do" *after* the
+fact; this module answers "what is it doing *right now*".  The pipeline
+(and the batch/explore drivers under it) emit structured progress events
+— run begin/end, stage begin/end with counter deltas, one ``seed_done``
+per detector seed (with its cache disposition), one ``wave_done`` per
+exploration wave, one ``item_done`` per verified report/vulnerability —
+into an append-only JSON-lines feed next to the run's other artifacts.
+
+The feed follows the :class:`repro.owl.journal.BatchJournal` discipline:
+every event is one line, flushed on write, so a reader polling the file
+(``owl watch``, or a dashboard tailing it) sees events as they happen and
+an interrupted run leaves a readable prefix (at worst one torn final
+line, which readers skip).  Event payloads carry only deterministic
+fields plus a wall-clock timestamp; consumers that diff feeds across runs
+drop ``wall`` and ``pid``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "FEED_SCHEMA",
+    "EventFeed",
+    "read_feed",
+    "follow_feed",
+    "render_event",
+    "feed_path",
+]
+
+#: Version stamped into every feed's ``run_begin`` event.
+FEED_SCHEMA = 1
+
+
+def feed_path(directory: str, program: str) -> str:
+    """Canonical feed location for one program's run artifacts."""
+    return os.path.join(directory, "feed_%s.jsonl" % program)
+
+
+class EventFeed:
+    """Append-only JSON-lines event writer (line-flushed).
+
+    One feed serves one run; opening truncates any stale feed so a
+    follower never replays a previous run's tail.  All ``emit`` helpers
+    are cheap (one ``json.dumps`` + write + flush) and never raise into
+    the pipeline: a full disk degrades streaming, not detection.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.seq = 0
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "w")
+
+    def emit(self, event: str, **fields) -> None:
+        if self._handle is None:
+            return
+        record = {"event": event, "seq": self.seq, "wall": time.time()}
+        record.update(fields)
+        self.seq += 1
+        try:
+            self._handle.write(json.dumps(record, default=repr) + "\n")
+            self._handle.flush()
+        except OSError:
+            self.close()  # streaming is best-effort; the run continues
+
+    # ------------------------------------------------------------------
+    # event vocabulary (the names ``owl watch`` renders)
+
+    def run_begin(self, program: str, jobs: int, **fields) -> None:
+        self.emit("run_begin", schema=FEED_SCHEMA, program=program,
+                  jobs=jobs, pid=os.getpid(), **fields)
+
+    def run_end(self, **fields) -> None:
+        self.emit("run_end", **fields)
+        self.close()
+
+    def stage_begin(self, stage: str, **fields) -> None:
+        self.emit("stage_begin", stage=stage, **fields)
+
+    def stage_end(self, stage: str, **fields) -> None:
+        self.emit("stage_end", stage=stage, **fields)
+
+    def seed_done(self, **fields) -> None:
+        self.emit("seed_done", **fields)
+
+    def wave_done(self, **fields) -> None:
+        self.emit("wave_done", **fields)
+
+    def item_done(self, **fields) -> None:
+        self.emit("item_done", **fields)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+
+def read_feed(path: str) -> List[Dict]:
+    """All complete events in a feed file; torn final lines are skipped."""
+    events: List[Dict] = []
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # torn line (writer died mid-record)
+    except FileNotFoundError:
+        pass
+    return events
+
+
+def follow_feed(path: str, poll: float = 0.2,
+                timeout: Optional[float] = None) -> Iterator[Dict]:
+    """Yield feed events as they appear, like ``tail -f``.
+
+    Ends after a ``run_end`` event, or after ``timeout`` seconds without
+    a complete new event (None = wait forever).  The file may not exist
+    yet when following starts — a watcher can attach before the run.
+    """
+    position = 0
+    buffered = ""
+    deadline = time.monotonic() + timeout if timeout is not None else None
+    while True:
+        progressed = False
+        try:
+            with open(path) as handle:
+                handle.seek(position)
+                chunk = handle.read()
+                position = handle.tell()
+        except FileNotFoundError:
+            chunk = ""
+        buffered += chunk
+        while "\n" in buffered:
+            line, buffered = buffered.split("\n", 1)
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            progressed = True
+            if deadline is not None:
+                deadline = time.monotonic() + timeout
+            yield event
+            if event.get("event") == "run_end":
+                return
+        if progressed:
+            continue
+        if deadline is not None and time.monotonic() >= deadline:
+            return
+        time.sleep(poll)
+
+
+def render_event(event: Dict) -> Optional[str]:
+    """One human-readable ``owl watch`` line (None: not worth a line)."""
+    kind = event.get("event")
+    if kind == "run_begin":
+        extras = []
+        if event.get("explore"):
+            extras.append("explore")
+        if event.get("cache"):
+            extras.append("cache")
+        return "run %s (jobs=%s%s)" % (
+            event.get("program"), event.get("jobs"),
+            "".join(", " + extra for extra in extras))
+    if kind == "stage_begin":
+        return "stage %s ..." % event.get("stage")
+    if kind == "stage_end":
+        parts = ["stage %s done" % event.get("stage")]
+        if event.get("items") is not None:
+            parts.append("%s items" % event["items"])
+        if event.get("cache_hits") or event.get("cache_misses"):
+            parts.append("cache %s hit/%s miss" % (
+                event.get("cache_hits", 0), event.get("cache_misses", 0)))
+        return "  ".join(parts)
+    if kind == "seed_done":
+        return "  seed %-4s %-5s steps=%-7s reports=%s%s" % (
+            event.get("seed"), event.get("detector", ""),
+            event.get("steps"), event.get("reports"),
+            "  [cached]" if event.get("cached") else "")
+    if kind == "wave_done":
+        return "  wave %s: seeds %s  %s/d%s  +%s pairs (%s total)%s%s" % (
+            event.get("index"), event.get("seeds"),
+            event.get("scheduler"), event.get("depth"),
+            event.get("new_pairs"), event.get("total_pairs"),
+            "  [dry]" if event.get("dry") else "",
+            "  [saturated]" if event.get("saturated") else "")
+    if kind == "item_done":
+        verdict = ""
+        if "verified" in event:
+            verdict = "verified" if event["verified"] else "unverified"
+        elif "realized" in event:
+            verdict = "attack" if event["realized"] else "benign"
+        return "  %s[%s] %s  %s%s" % (
+            event.get("stage"), event.get("index"), event.get("item"),
+            verdict, "  [cached]" if event.get("cached") else "")
+    if kind == "run_end":
+        return "run complete: %s raw reports -> %s remaining, %s attacks" % (
+            event.get("raw_reports"), event.get("remaining"),
+            event.get("attacks"))
+    return None

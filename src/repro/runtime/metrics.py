@@ -88,14 +88,29 @@ Schema of the exported JSON (one file per program run)::
         "sync_divergences": 0,
         "thread_divergences": 0,
         "unfaithful_replays": 0
+      },
+      # schema 6, always present on pipeline runs: the deterministic
+      # telemetry snapshot (repro.runtime.telemetry) plus the optional
+      # profiler summary (repro.runtime.profiler):
+      "telemetry": {
+        "counters": {"cache.detect.hits": 30, "vm.steps": 123456, ...},
+        "gauges": {"spans.records": 412, ...},
+        "histograms": {"vm.steps_per_seed": {"bounds": [...],
+                       "counts": [...], "sum": 123456, "count": 10}},
+        "profile": {                # only when --profile was on
+          "interval": 251, "samples": 480, "observer_samples": 210,
+          "top_functions": [["main", 140], ...],
+          "top_opcodes": [["Load", 180], ...]
+        }
       }
     }
 
-Schema 4 files are identical minus the ``replay`` block; schema 3 files
-additionally lack the ``diff_oracle`` block; schema 2 files further lack
-the ``explore`` block; schema 1 files lack the ``cache``/``batch`` blocks
-and the per-stage ``cache_hits``/``cache_misses`` extras as well.  The
-loader accepts all five.
+Schema 5 files are identical minus the ``telemetry`` block; schema 4
+files additionally lack the ``replay`` block; schema 3 files further lack
+the ``diff_oracle`` block; schema 2 files further lack the ``explore``
+block; schema 1 files lack the ``cache``/``batch`` blocks and the
+per-stage ``cache_hits``/``cache_misses`` extras as well.  The loader
+accepts all six.
 
 Counters (:class:`repro.owl.pipeline.StageCounters`) stay byte-identical
 between serial and parallel runs; metrics are *observations* and naturally
@@ -113,12 +128,12 @@ from typing import Dict, Iterable, List, Optional
 #: Version of the metrics JSON layout.  ``benchmarks/out/metrics_*.json``
 #: files are compared across PRs; the loader refuses files whose schema it
 #: does not understand rather than silently mis-reading them.
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
-#: Versions :func:`load_metrics` can still read.  Schemas 1–4 are strict
-#: subsets of schema 5 (fewer optional blocks), so old files remain
+#: Versions :func:`load_metrics` can still read.  Schemas 1–5 are strict
+#: subsets of schema 6 (fewer optional blocks), so old files remain
 #: loadable.
-SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5)
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6)
 
 
 class MetricsSchemaError(ValueError):
@@ -237,6 +252,10 @@ class PipelineMetrics:
         #: ``ReplaySource.metrics_block()`` of a replayed run (schema 5):
         #: log/decision counts and every divergence counter.
         self.replay: Optional[Dict] = None
+        #: ``MetricsRegistry.snapshot()`` of the run (schema 6), with an
+        #: optional ``profile`` summary — deterministic content only, so
+        #: jobs=1 and jobs=N emit bit-identical blocks.
+        self.telemetry: Optional[Dict] = None
 
     # ------------------------------------------------------------------
 
@@ -285,6 +304,8 @@ class PipelineMetrics:
             data["diff_oracle"] = self.diff_oracle
         if self.replay is not None:
             data["replay"] = self.replay
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
         return data
 
     def save(self, path: str) -> str:

@@ -1,0 +1,226 @@
+"""Sampling profiler for the OWL VM: where do the cycles go?
+
+The VM executes one IR instruction per scheduler decision, so "CPU time"
+in this interpreter is *step count*, and a statistically fair profile is
+one sample every K scheduler decisions.  :class:`SamplingProfiler` wraps
+the scheduler (the same pure-delegation idiom as
+:class:`repro.runtime.coverage.SwitchTracker` and
+:class:`repro.runtime.record.ScheduleRecorder`): every K-th ``choose``
+it attributes the chosen thread's memoized :meth:`call_stack` to
+
+- the **app function stack** (collapsed-stack / flamegraph lines),
+- the **opcode class** about to execute (``Load``, ``Call``, …), and
+- **detector-observer overhead** — samples landing on event-emitting
+  opcodes (loads/stores/atomics) while observers are attached, i.e. the
+  fraction of steps that pay the access-event fan-out.
+
+Determinism: the wrapper delegates every decision unchanged, the sample
+points are a pure function of the decision count, and the sampled stacks
+are a pure function of program state — so given the same seed and
+interval, two runs produce byte-identical profiles, and per-seed
+profiles merge associatively in seed order (the snapshot-parity
+discipline of :mod:`repro.runtime.telemetry`).
+
+Zero overhead when off: profiling is opt-in per run; an unprofiled run
+never constructs the wrapper, so the hot loop's ``scheduler.choose``
+binding is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.thread import ThreadContext
+
+__all__ = [
+    "DEFAULT_SAMPLE_INTERVAL",
+    "EVENT_OPCODES",
+    "SeedProfile",
+    "SamplingProfiler",
+    "merge_profiles",
+]
+
+#: Default sampling stride (scheduler decisions between samples).
+DEFAULT_SAMPLE_INTERVAL = 251
+
+#: Opcode classes whose execution fans out events to attached observers
+#: (the detector-overhead attribution bucket).
+EVENT_OPCODES = frozenset(["Load", "Store", "AtomicRMW"])
+
+
+class SeedProfile:
+    """Mergeable sample aggregate for one (or many, merged) seeds.
+
+    ``stacks`` maps a collapsed call stack — ``";"``-joined function
+    names, outermost first — to its sample count; ``functions`` and
+    ``opcodes`` are the innermost-function and instruction-class
+    marginals.  All plain data: round-trips through the batch pool's
+    JSON payloads and merges by addition.
+    """
+
+    __slots__ = ("interval", "samples", "observer_samples", "stacks",
+                 "functions", "opcodes")
+
+    def __init__(self, interval: int):
+        self.interval = interval
+        self.samples = 0
+        self.observer_samples = 0
+        self.stacks: Dict[str, int] = {}
+        self.functions: Dict[str, int] = {}
+        self.opcodes: Dict[str, int] = {}
+
+    def record(self, stack: str, function: str, opcode: str,
+               observed: bool) -> None:
+        self.samples += 1
+        if observed:
+            self.observer_samples += 1
+        self.stacks[stack] = self.stacks.get(stack, 0) + 1
+        self.functions[function] = self.functions.get(function, 0) + 1
+        self.opcodes[opcode] = self.opcodes.get(opcode, 0) + 1
+
+    def merge(self, other: "SeedProfile") -> None:
+        if other.interval != self.interval:
+            raise ValueError(
+                "cannot merge profiles sampled at different intervals: "
+                "%d vs %d" % (self.interval, other.interval))
+        self.samples += other.samples
+        self.observer_samples += other.observer_samples
+        for target, source in ((self.stacks, other.stacks),
+                               (self.functions, other.functions),
+                               (self.opcodes, other.opcodes)):
+            for key, count in source.items():
+                target[key] = target.get(key, 0) + count
+
+    # ------------------------------------------------------------------
+    # payload round-trip (batch pool / result cache)
+
+    def to_payload(self) -> Dict:
+        return {
+            "interval": self.interval,
+            "samples": self.samples,
+            "observer_samples": self.observer_samples,
+            "stacks": dict(self.stacks),
+            "functions": dict(self.functions),
+            "opcodes": dict(self.opcodes),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "SeedProfile":
+        profile = cls(int(payload["interval"]))
+        profile.samples = int(payload["samples"])
+        profile.observer_samples = int(payload["observer_samples"])
+        profile.stacks = {str(k): int(v)
+                          for k, v in payload["stacks"].items()}
+        profile.functions = {str(k): int(v)
+                             for k, v in payload["functions"].items()}
+        profile.opcodes = {str(k): int(v)
+                           for k, v in payload["opcodes"].items()}
+        return profile
+
+    # ------------------------------------------------------------------
+    # reports
+
+    def collapsed(self) -> str:
+        """Collapsed-stack (Brendan Gregg flamegraph) text.
+
+        One ``stack count`` line per distinct stack, sorted by stack so
+        the bytes are stable across runs and job counts; feed straight
+        into ``flamegraph.pl`` or speedscope.
+        """
+        return "\n".join("%s %d" % (stack, count)
+                         for stack, count in sorted(self.stacks.items()))
+
+    def top_functions(self, n: int = 10) -> List[Tuple[str, int]]:
+        return sorted(self.functions.items(),
+                      key=lambda item: (-item[1], item[0]))[:n]
+
+    def top_opcodes(self, n: int = 10) -> List[Tuple[str, int]]:
+        return sorted(self.opcodes.items(),
+                      key=lambda item: (-item[1], item[0]))[:n]
+
+    def top_table(self, n: int = 10) -> str:
+        """Aligned top-N table (functions then opcode classes)."""
+        lines = ["%d samples, %d on observer-visible opcodes (%.1f%%)" % (
+            self.samples, self.observer_samples,
+            100.0 * self.observer_samples / self.samples
+            if self.samples else 0.0)]
+        for title, rows in (("function", self.top_functions(n)),
+                            ("opcode", self.top_opcodes(n))):
+            lines.append("  %-28s %8s %7s" % (title, "samples", "share"))
+            for name, count in rows:
+                share = 100.0 * count / self.samples if self.samples else 0.0
+                lines.append("  %-28s %8d %6.1f%%" % (name, count, share))
+        return "\n".join(lines)
+
+    def summary(self, n: int = 5) -> Dict:
+        """Compact block for the metrics JSON ``telemetry`` section."""
+        return {
+            "interval": self.interval,
+            "samples": self.samples,
+            "observer_samples": self.observer_samples,
+            "top_functions": [list(item) for item in self.top_functions(n)],
+            "top_opcodes": [list(item) for item in self.top_opcodes(n)],
+        }
+
+
+class SamplingProfiler(Scheduler):
+    """Scheduler wrapper sampling every ``interval``-th decision.
+
+    Delegates every decision unchanged; the profiled schedule is
+    identical to the unprofiled one.  Wrap *outermost* (around any
+    recorder/tracker) so the sampled thread is exactly the one about to
+    execute.
+    """
+
+    def __init__(self, inner: Scheduler, interval: int = DEFAULT_SAMPLE_INTERVAL,
+                 data: Optional[SeedProfile] = None, observed: bool = False):
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.inner = inner
+        self.interval = interval
+        self.data = data if data is not None else SeedProfile(interval)
+        #: Whether the VM has observers attached (detector overhead bucket).
+        self.observed = observed
+        self._countdown = interval
+
+    def choose(self, runnable: List[ThreadContext], step: int) -> ThreadContext:
+        chosen = self.inner.choose(runnable, step)
+        countdown = self._countdown - 1
+        if countdown == 0:
+            countdown = self.interval
+            self._sample(chosen)
+        self._countdown = countdown
+        return chosen
+
+    def on_thread_created(self, thread: ThreadContext) -> None:
+        self.inner.on_thread_created(thread)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._countdown = self.interval
+
+    def _sample(self, thread: ThreadContext) -> None:
+        stack = thread.call_stack()
+        if stack:
+            frames = ";".join(entry[0] for entry in stack)
+            function = stack[-1][0]
+        else:
+            frames = function = "<no-stack>"
+        instruction = thread.current_instruction()
+        opcode = instruction.__class__.__name__ if instruction is not None \
+            else "<none>"
+        self.data.record(frames, function, opcode,
+                         self.observed and opcode in EVENT_OPCODES)
+
+
+def merge_profiles(profiles) -> Optional[SeedProfile]:
+    """Merge per-seed profiles in the order given (callers pass seed order)."""
+    merged: Optional[SeedProfile] = None
+    for profile in profiles:
+        if profile is None:
+            continue
+        if merged is None:
+            merged = SeedProfile(profile.interval)
+        merged.merge(profile)
+    return merged

@@ -1,0 +1,184 @@
+"""Central metrics registry: counters, gauges, histograms.
+
+Every layer of the pipeline used to keep its own ad-hoc dict counters
+(``ResultCache._stage_counters``, ``BatchPolicy.timeouts``, the stage
+``extra`` dicts).  This module gives them one home with one contract:
+
+**Snapshot parity.**  :meth:`MetricsRegistry.snapshot` returns a plain
+JSON-able dict whose content depends only on *what* was counted, never on
+wall-clock time, process ids, or completion order.  Worker processes ship
+their snapshots back over the batch pool and the parent folds them in
+**seed order** with :func:`merge_snapshots`, which is associative and
+commutative for counters and histograms — so a ``jobs=4`` run's merged
+snapshot is bit-identical to the serial run's, the same discipline
+:meth:`repro.owl.pipeline.StageCounters.parity_dict` keeps for the paper
+tables.  Anything wall-clock flavoured (stage timings, steps/s) lives in
+:mod:`repro.runtime.metrics` stage records instead, never here.
+
+Histograms use **fixed bucket bounds** chosen at creation time: merging
+two histograms is element-wise addition of bucket counts, which is what
+makes the merge associative.  Registering the same histogram name with
+different bounds is an error — silent bound drift would break merges.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "STEP_BUCKETS",
+    "REPORT_BUCKETS",
+]
+
+#: Default bucket upper bounds for per-seed VM step counts.
+STEP_BUCKETS = (100, 300, 1000, 3000, 10000, 30000, 100000)
+
+#: Default bucket upper bounds for per-seed report counts.
+REPORT_BUCKETS = (0, 1, 2, 5, 10, 20, 50)
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                "counter %r cannot decrease (inc by %r)" % (self.name, amount))
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (job-count invariant inputs only)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bound histogram; bucket ``i`` counts values ``<= bounds[i]``.
+
+    The final implicit bucket counts values above the last bound.  Fixed
+    bounds are what make :func:`merge_snapshots` associative: merging is
+    element-wise addition of ``counts``.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(
+                "histogram %r needs sorted, non-empty bucket bounds" % name)
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+
+class MetricsRegistry:
+    """Create-on-demand registry with a deterministic snapshot.
+
+    Instruments are created the first time they are named; naming follows
+    ``<layer>.<what>`` (``cache.detect.hits``, ``vm.steps``).  The
+    snapshot sorts names so its JSON serialization is byte-stable.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = STEP_BUCKETS) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        elif instrument.bounds != tuple(bounds):
+            raise ValueError(
+                "histogram %r re-registered with different bounds: "
+                "%r vs %r" % (name, instrument.bounds, tuple(bounds)))
+        return instrument
+
+    def snapshot(self) -> Dict:
+        """Plain-dict view; sorted keys, no wall-clock content."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {
+                name: {
+                    "bounds": list(instrument.bounds),
+                    "counts": list(instrument.counts),
+                    "sum": instrument.total,
+                    "count": instrument.count,
+                }
+                for name, instrument in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Dict) -> None:
+        """Fold a snapshot (e.g. from a worker) into this registry.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (callers merge in seed order, so "last write" is
+        deterministic).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            instrument = self.histogram(name, data["bounds"])
+            for index, count in enumerate(data["counts"]):
+                instrument.counts[index] += count
+            instrument.total += data["sum"]
+            instrument.count += data["count"]
+
+
+def merge_snapshots(*snapshots: Dict) -> Dict:
+    """Associatively merge snapshot dicts into a new snapshot.
+
+    ``merge(merge(a, b), c) == merge(a, merge(b, c))`` bucket-for-bucket,
+    which is what lets a jobs=N run fold worker snapshots in seed order
+    and land on the serial run's bytes.
+    """
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)
+    return registry.snapshot()

@@ -62,6 +62,16 @@ class TraceLogger(TraceObserver):
         """Whether any event was dropped after ``max_records`` filled up."""
         return self.dropped > 0
 
+    def publish(self, registry) -> None:
+        """Fold record/drop counts into a telemetry registry.
+
+        Before the telemetry snapshot, the ``dropped`` counter existed but
+        nothing aggregated it; publishing makes a silently truncated trace
+        visible as ``tracing.dropped_records`` in the snapshot.
+        """
+        registry.counter("tracing.records").inc(len(self.records))
+        registry.counter("tracing.dropped_records").inc(self.dropped)
+
     def _add(self, record: TraceRecord) -> None:
         if self.kinds is not None and record.kind not in self.kinds:
             return

@@ -1,0 +1,165 @@
+"""Tests for the live run feed (repro.owl.stream) and its CLI surface."""
+
+import json
+import threading
+import time
+
+from repro.owl.stream import (
+    EventFeed,
+    feed_path,
+    follow_feed,
+    read_feed,
+    render_event,
+)
+
+
+class TestEventFeed:
+    def test_events_are_sequenced_json_lines(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        feed = EventFeed(path)
+        feed.run_begin("memcached", 2, explore=True)
+        feed.seed_done(stage="detect", seed=0, steps=1551, reports=16)
+        feed.run_end(raw_reports=16, remaining=4, attacks=0)
+        events = read_feed(path)
+        assert [e["event"] for e in events] == [
+            "run_begin", "seed_done", "run_end"]
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert events[0]["program"] == "memcached"
+        assert all("wall" in e for e in events)
+
+    def test_open_truncates_stale_feed(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        EventFeed(path).run_begin("old", 1)
+        feed = EventFeed(path)
+        feed.run_begin("new", 1)
+        feed.close()
+        events = read_feed(path)
+        assert len(events) == 1
+        assert events[0]["program"] == "new"
+
+    def test_emit_after_close_is_a_no_op(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        feed = EventFeed(path)
+        feed.run_begin("demo", 1)
+        feed.close()
+        feed.seed_done(seed=0)  # must not raise or write
+        assert len(read_feed(path)) == 1
+
+    def test_read_feed_skips_torn_final_line(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        feed = EventFeed(path)
+        feed.run_begin("demo", 1)
+        feed.close()
+        with open(path, "a") as handle:
+            handle.write('{"event": "seed_done", "se')  # writer died here
+        events = read_feed(path)
+        assert [e["event"] for e in events] == ["run_begin"]
+
+    def test_read_feed_missing_file_is_empty(self, tmp_path):
+        assert read_feed(str(tmp_path / "absent.jsonl")) == []
+
+    def test_feed_path_is_per_program(self, tmp_path):
+        assert feed_path(str(tmp_path), "apache").endswith(
+            "feed_apache.jsonl")
+
+
+class TestFollowFeed:
+    def test_follow_sees_events_written_after_attach(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+
+        def writer():
+            time.sleep(0.05)
+            feed = EventFeed(path)
+            feed.run_begin("demo", 1)
+            feed.seed_done(seed=0)
+            time.sleep(0.05)
+            feed.run_end(raw_reports=1, remaining=0, attacks=0)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            events = list(follow_feed(path, poll=0.01, timeout=5.0))
+        finally:
+            thread.join()
+        assert [e["event"] for e in events] == [
+            "run_begin", "seed_done", "run_end"]
+
+    def test_follow_times_out_on_quiet_feed(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        feed = EventFeed(path)
+        feed.run_begin("demo", 1)
+        feed.close()
+        events = list(follow_feed(path, poll=0.01, timeout=0.1))
+        assert [e["event"] for e in events] == ["run_begin"]
+
+
+class TestRenderEvent:
+    def test_known_events_render_one_line(self):
+        lines = [
+            render_event({"event": "run_begin", "program": "apache",
+                          "jobs": 2, "explore": True}),
+            render_event({"event": "stage_begin", "stage": "detect"}),
+            render_event({"event": "seed_done", "seed": 3,
+                          "detector": "tsan", "steps": 900, "reports": 2,
+                          "cached": True}),
+            render_event({"event": "wave_done", "index": 1,
+                          "seeds": [4, 5], "scheduler": "pct", "depth": 3,
+                          "new_pairs": 0, "total_pairs": 21, "dry": True}),
+            render_event({"event": "run_end", "raw_reports": 16,
+                          "remaining": 4, "attacks": 1}),
+        ]
+        assert all(isinstance(line, str) and line for line in lines)
+        assert "apache" in lines[0] and "explore" in lines[0]
+        assert "[cached]" in lines[2]
+        assert "[dry]" in lines[3]
+
+    def test_unknown_event_renders_nothing(self):
+        assert render_event({"event": "mystery"}) is None
+
+
+class TestPipelineFeed:
+    def test_pipeline_streams_begin_stages_seeds_end(self, tmp_path):
+        from repro.apps.registry import spec_by_name
+        from repro.owl.pipeline import OwlPipeline
+
+        path = str(tmp_path / "feed.jsonl")
+        OwlPipeline(spec_by_name("memcached"), feed=EventFeed(path)).run()
+        events = read_feed(path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_begin" and kinds[-1] == "run_end"
+        assert kinds.count("stage_begin") == kinds.count("stage_end") == 5
+        assert kinds.count("seed_done") > 0
+        stage_names = [e["stage"] for e in events
+                       if e["event"] == "stage_begin"]
+        assert stage_names[0] == "detect"
+        # every line is valid JSON with a seq gap-free ordering
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_watch_cli_renders_completed_feed(self, tmp_path, capsys):
+        from repro.apps.registry import spec_by_name
+        from repro.cli import main
+        from repro.owl.pipeline import OwlPipeline
+
+        path = str(tmp_path / "feed.jsonl")
+        OwlPipeline(spec_by_name("memcached"), feed=EventFeed(path)).run()
+        assert main(["watch", path, "--timeout", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "run memcached" in out
+        assert "run complete" in out
+
+    def test_status_cli_summarizes_feeds(self, tmp_path, capsys):
+        from repro.apps.registry import spec_by_name
+        from repro.cli import main
+        from repro.owl.pipeline import OwlPipeline
+
+        spec = spec_by_name("memcached")
+        OwlPipeline(spec, feed=EventFeed(
+            feed_path(str(tmp_path), spec.name))).run()
+        assert main(["status", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "memcached" in out and "complete" in out
+
+    def test_status_cli_fails_without_feeds(self, tmp_path):
+        from repro.cli import main
+
+        assert main(["status", str(tmp_path)]) == 1

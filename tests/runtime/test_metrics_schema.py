@@ -26,9 +26,9 @@ class TestMetricsSchema:
     def test_as_dict_declares_current_schema(self):
         assert PipelineMetrics("demo").as_dict()["schema"] == SCHEMA_VERSION
 
-    def test_current_schema_is_five_and_supports_ancestors(self):
-        assert SCHEMA_VERSION == 5
-        assert SUPPORTED_SCHEMAS == (1, 2, 3, 4, 5)
+    def test_current_schema_is_six_and_supports_ancestors(self):
+        assert SCHEMA_VERSION == 6
+        assert SUPPORTED_SCHEMAS == (1, 2, 3, 4, 5, 6)
 
     def test_loader_accepts_all_supported_versions(self, tmp_path):
         path = saved_metrics(tmp_path)
@@ -91,6 +91,30 @@ class TestMetricsSchema:
         data = load_metrics(saved_metrics(tmp_path))
         assert "replay" not in data
 
+    def test_telemetry_block_round_trips(self, tmp_path):
+        metrics = PipelineMetrics("demo", jobs=1)
+        metrics.telemetry = {
+            "counters": {"pipeline.raw_reports": 16, "cache.detect.hits": 3},
+            "gauges": {"spans.records": 412},
+            "histograms": {"vm.steps_per_seed": {
+                "bounds": [100, 1000], "counts": [0, 2, 1],
+                "sum": 4200, "count": 3}},
+            "profile": {"interval": 251, "samples": 70,
+                        "observer_samples": 23,
+                        "top_functions": [["worker", 41]],
+                        "top_opcodes": [["Store", 18]]},
+        }
+        path = str(tmp_path / "metrics_telemetry_demo.json")
+        metrics.save(path)
+        data = load_metrics(path)
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["telemetry"]["counters"]["pipeline.raw_reports"] == 16
+        assert data["telemetry"]["profile"]["interval"] == 251
+
+    def test_telemetry_block_absent_by_default(self, tmp_path):
+        data = load_metrics(saved_metrics(tmp_path))
+        assert "telemetry" not in data
+
     def test_load_round_trips_saved_file(self, tmp_path):
         path = saved_metrics(tmp_path)
         data = load_metrics(path)
@@ -106,6 +130,24 @@ class TestMetricsSchema:
             json.dump(data, handle)
         with pytest.raises(MetricsSchemaError, match="unsupported"):
             load_metrics(path)
+
+    def test_unknown_version_error_names_schema_and_supported_list(
+            self, tmp_path):
+        """The rejection message must carry everything needed to act on it:
+        the file, the offending version, and every supported version."""
+        path = saved_metrics(tmp_path)
+        with open(path) as handle:
+            data = json.load(handle)
+        data["schema"] = 99
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        with pytest.raises(MetricsSchemaError) as excinfo:
+            load_metrics(path)
+        message = str(excinfo.value)
+        assert path in message
+        assert "99" in message
+        for version in SUPPORTED_SCHEMAS:
+            assert str(version) in message
 
     def test_load_rejects_missing_schema_field(self, tmp_path):
         path = saved_metrics(tmp_path)

@@ -41,6 +41,35 @@ class TestCli:
         data = json.loads(target.read_text())
         assert data["program"] == "libsafe"
 
+    def test_detect_with_profile_prints_hot_functions(self, capsys):
+        assert main(["detect", "memcached", "--profile",
+                     "--profile-interval", "97"]) == 0
+        out = capsys.readouterr().out
+        assert "samples, " in out
+        assert "function" in out and "opcode" in out
+
+    def test_trace_stage_rollup_and_filtering(self, capsys, tmp_path):
+        base = str(tmp_path / "trace")
+        assert main(["trace", "memcached", "--out", base,
+                     "--stage", "race_verification", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        # the rollup table covers every stage with sum/count/max columns
+        assert "sum ms" in out and "count" in out and "max ms" in out
+        assert "detect" in out and "race_verification" in out
+        # the slowest-span listing is restricted to the requested stage
+        assert "slowest spans in stage race_verification" in out
+        assert "verify_report" in out
+        assert "detect_seed" not in out.split("slowest spans")[1]
+
+    def test_trace_unknown_stage_fails_and_lists_stages(self, capsys,
+                                                        tmp_path):
+        base = str(tmp_path / "trace")
+        assert main(["trace", "memcached", "--out", base,
+                     "--stage", "nonsense"]) == 1
+        err = capsys.readouterr().err
+        assert "no stage 'nonsense'" in err
+        assert "detect" in err
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
