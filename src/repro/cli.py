@@ -18,6 +18,10 @@ Commands:
 - ``owl replay <program>`` — replay recorded logs with the detector
   attached; ``--check-fingerprint`` additionally verifies each replay is
   bit-identical to a fresh recording (the diffcheck oracle).
+- ``owl predict <program>`` — predict the feasible race set from one
+  recorded execution via the sync-preserving closure
+  (``--optimistic`` for the sync-reversal relaxation, ``--no-witness``
+  to skip replay confirmation).
 - ``owl resume <program>`` — finish an interrupted ``--cache`` run from
   its journal (completed work is answered from the result cache).
 - ``owl watch <feed>`` — follow a run's live event feed (``tail -f`` for
@@ -32,7 +36,10 @@ span tree (Chrome format when PATH ends in ``.json``, JSON lines
 otherwise), ``--cache``/``--no-cache`` to reuse stage results across
 invocations, ``--explore`` (with ``--max-seeds``/``--wave-size``/
 ``--saturation-k``) to replace the fixed detect-seed sweep with
-coverage-guided exploration, ``--profile`` (with ``--profile-interval``/
+coverage-guided exploration, ``--predict`` (with ``--optimistic``/
+``--no-witness``) to run a predict wave before exploring so later waves
+only spend budget on interleavings prediction could not decide,
+``--profile`` (with ``--profile-interval``/
 ``--profile-out``) to sample the VM call stack during detection,
 ``--feed PATH`` to stream progress events for ``owl watch``, and
 ``--history [PATH]`` to append the run's trajectory record for
@@ -66,7 +73,15 @@ def _make_pipeline(spec, args, journal_config=None):
         cache = ResultCache(args.cache_dir)
         journal = BatchJournal(journal_path(args.cache_dir, spec.name))
     explore = None
-    if getattr(args, "explore", False):
+    predict = None
+    if getattr(args, "predict", False):
+        from repro.detectors.predict import PredictPolicy
+
+        predict = PredictPolicy(
+            optimistic=getattr(args, "optimistic", False),
+            witness=getattr(args, "witness", True),
+        )
+    if getattr(args, "explore", False) or predict is not None:
         from repro.owl.explore import ExplorePolicy
 
         explore = ExplorePolicy(
@@ -88,7 +103,7 @@ def _make_pipeline(spec, args, journal_config=None):
     pipeline = OwlPipeline(
         spec, jobs=args.jobs, cache=cache, policy=policy,
         journal=journal, journal_config=journal_config or {},
-        explore=explore, profile=profile, feed=feed,
+        explore=explore, predict=predict, profile=profile, feed=feed,
     )
     return pipeline, cache, journal
 
@@ -165,6 +180,9 @@ def _cmd_detect(args) -> int:
     print("vulnerability reports:          %d" % counters.vulnerability_reports)
     print("report reduction:               %.1f%%" % (
         100.0 * counters.reduction_ratio))
+    if result.predict is not None:
+        print()
+        print(result.predict.describe())
     if result.explore is not None:
         print()
         print(result.explore.describe())
@@ -405,6 +423,41 @@ def _cmd_status(args) -> int:
     return 0
 
 
+def _cmd_predict(args) -> int:
+    import json
+
+    from repro import spec_by_name
+    from repro.detectors.predict import PredictPolicy, predict_program
+    from repro.owl.replay import default_record_dir
+
+    spec = spec_by_name(args.program)
+    policy = PredictPolicy(optimistic=args.optimistic, witness=args.witness)
+    record_dir = args.record_dir or default_record_dir(args.program)
+    prediction = predict_program(
+        spec, seed=args.seed, policy=policy, record_dir=record_dir,
+    )
+    print("== OWL predict: %s (seed %d, %s) ==" % (
+        spec.name, args.seed, policy.mode))
+    print(prediction.describe())
+    counters = prediction.counters
+    if counters["unwitnessed"]:
+        # Invariant 8: unwitnessed predictions are surfaced, never
+        # silently trusted.
+        print("note: %d prediction(s) could not be replay-witnessed — "
+              "confirm via `owl detect %s --explore` residual waves"
+              % (counters["unwitnessed"], args.program))
+    if args.metrics:
+        import os
+
+        directory = os.path.dirname(os.path.abspath(args.metrics))
+        os.makedirs(directory, exist_ok=True)
+        with open(args.metrics, "w") as handle:
+            json.dump(prediction.metrics_block(), handle, indent=2)
+            handle.write("\n")
+        print("predict metrics written to %s" % args.metrics)
+    return 0
+
+
 def _cmd_record(args) -> int:
     import os
 
@@ -602,6 +655,22 @@ def build_parser() -> argparse.ArgumentParser:
             "--saturation-k", type=int, default=2, metavar="K",
             help="stop after K consecutive waves with no new coverage "
                  "(default: 2)")
+        command.add_argument(
+            "--predict", action="store_true", default=False,
+            help="run a predict wave first: record seed 0 once and infer "
+                 "every race feasible from that single trace "
+                 "(sync-preserving closure; implies --explore — later "
+                 "waves only spend budget on undecided interleavings)")
+        command.add_argument(
+            "--optimistic", action="store_true", default=False,
+            help="with --predict: allow the optimistic sync-reversal "
+                 "relaxation (more predictions, each still "
+                 "witness-checked)")
+        command.add_argument(
+            "--no-witness", dest="witness", action="store_false",
+            default=True,
+            help="with --predict: skip witness replay; non-observed "
+                 "predictions stay marked unwitnessed")
 
     def add_telemetry_arguments(command):
         from repro.owl.history import default_history_path
@@ -755,6 +824,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also verify each replay is bit-identical to "
                              "a fresh recording (exit 1 on divergence)")
     replay.set_defaults(func=_cmd_replay)
+    predict = sub.add_parser(
+        "predict",
+        help="predict the feasible race set from one recorded execution")
+    predict.add_argument("program")
+    predict.add_argument("--seed", type=int, default=0, metavar="N",
+                         help="the recorded seed to predict from "
+                              "(default: 0)")
+    predict.add_argument("--optimistic", action="store_true", default=False,
+                         help="allow the optimistic sync-reversal "
+                              "relaxation (more predictions, each still "
+                              "witness-checked)")
+    predict.add_argument("--no-witness", dest="witness",
+                         action="store_false", default=True,
+                         help="skip witness replay; non-observed "
+                              "predictions stay marked unwitnessed")
+    predict.add_argument("--record-dir", metavar="DIR", default=None,
+                         help="log directory (default: "
+                              "benchmarks/out/records/<program>; the "
+                              "seed is recorded there if absent)")
+    predict.add_argument("--metrics", metavar="PATH", default=None,
+                         help="write the prediction's schema-7 predict "
+                              "block as JSON to PATH")
+    predict.set_defaults(func=_cmd_predict)
     sub.add_parser("study", help="print the study findings").set_defaults(
         func=_cmd_study)
     return parser

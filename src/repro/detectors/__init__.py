@@ -8,6 +8,10 @@
   read's call stack is captured, writes sanitize).
 - :mod:`repro.detectors.lockset` — an Eraser-style lockset detector kept as
   a baseline comparator (more false positives than happens-before).
+- :mod:`repro.detectors.predict` — a predictive detector: from one recorded
+  execution, the sync-preserving closure decides which conflicting access
+  pairs a reordered-but-sync-consistent schedule could co-enable, each
+  prediction witness-replayed or explicitly marked unwitnessed.
 - :mod:`repro.detectors.annotations` — TSan-markup-style annotations that
   OWL's adhoc-synchronization stage applies to suppress benign schedules.
 - :mod:`repro.detectors.report` — race report data structures shared by all
@@ -21,6 +25,12 @@ from repro.detectors.tsan import TSanDetector, run_tsan
 from repro.detectors.lockset import LocksetDetector
 from repro.detectors.ski import SkiDetector, run_ski
 from repro.detectors.atomicity import AtomicityDetector, run_atomicity
+from repro.detectors.predict import (
+    PredictPolicy,
+    PredictionResult,
+    predict_from_log,
+    predict_program,
+)
 
 __all__ = [
     "AccessRecord",
@@ -35,4 +45,8 @@ __all__ = [
     "run_ski",
     "AtomicityDetector",
     "run_atomicity",
+    "PredictPolicy",
+    "PredictionResult",
+    "predict_from_log",
+    "predict_program",
 ]

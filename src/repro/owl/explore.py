@@ -72,7 +72,8 @@ class ExplorePolicy:
 
     def __init__(self, max_seeds: int = 20, wave_size: int = 4,
                  saturation_k: int = 2, escalate: bool = True,
-                 ladder: Optional[Sequence[Tuple[str, int]]] = None):
+                 ladder: Optional[Sequence[Tuple[str, int]]] = None,
+                 predict=None):
         if max_seeds <= 0:
             raise ValueError("max_seeds must be positive")
         if wave_size <= 0:
@@ -84,6 +85,12 @@ class ExplorePolicy:
         self.saturation_k = int(saturation_k)
         self.escalate = escalate
         self.ladder = tuple(ladder) if ladder is not None else None
+        #: A :class:`repro.detectors.predict.PredictPolicy` turns wave 0
+        #: into a *predict* wave: seed 0 runs once, recorded, and the
+        #: sync-preserving closure pre-seeds coverage with every race
+        #: inferable from that single trace — so later waves only spend
+        #: seed budget on interleavings prediction could not decide.
+        self.predict = predict
         self.history: List["ExplorationResult"] = []
 
     def ladder_for(self, kind: str, depth: int) -> Tuple[Tuple[str, int], ...]:
@@ -96,12 +103,15 @@ class ExplorePolicy:
         return self.history[-1] if self.history else None
 
     def as_dict(self) -> Dict:
-        return {
+        block = {
             "max_seeds": self.max_seeds,
             "wave_size": self.wave_size,
             "saturation_k": self.saturation_k,
             "escalate": self.escalate,
         }
+        if self.predict is not None:
+            block["predict"] = self.predict.as_dict()
+        return block
 
     def __repr__(self) -> str:
         return "<ExplorePolicy max_seeds=%d wave=%d k=%d escalate=%s>" % (
@@ -161,6 +171,9 @@ class ExplorationResult:
         self.saturation_wave: Optional[int] = None
         self.seeds_executed = 0
         self.wall_seconds = 0.0
+        #: The :class:`repro.detectors.predict.PredictionResult` of the
+        #: predict wave, when the policy asked for one.
+        self.predict = None
 
     @property
     def seeds_skipped(self) -> int:
@@ -262,6 +275,115 @@ def _run_wave_serial(
     return merged, stats, coverage
 
 
+def _run_predict_wave(
+    kind: str, module, entry: str, inputs, annotations, max_steps: int,
+    entry_args, family: str, depth: int, predict_policy, tracer=None,
+    world_factory=None, cache=None, feed=None,
+    profile_out=None, profile_interval=None,
+):
+    """Wave 0 of a predicting exploration: one recorded run + closure.
+
+    Runs seed 0 once under the base schedule family with the recorder
+    attached, then predicts the feasible race set from that single log
+    (:func:`repro.detectors.predict.predict_from_log`).  Returns
+    ``(reports, stats, coverage, prediction)`` where ``reports`` merges
+    the live seed-0 reports with the predicted ones, and ``coverage`` is
+    the seed-0 coverage *pre-seeded* with every predicted static pair —
+    the delta that makes later waves dry when they only rediscover what
+    prediction already decided.  Serial and deterministic at any job
+    count; cacheable as one ``predict`` stage entry.
+    """
+    from repro.detectors.predict import PredictionResult, predict_from_log
+    from repro.owl.batch import (
+        annotations_to_payload,
+        report_from_payload,
+        report_to_payload,
+    )
+
+    key = None
+    if cache is not None:
+        key = cache.key(
+            "predict", module=module, kind=kind, seed=0, entry=entry,
+            inputs=inputs, annotations=annotations_to_payload(annotations),
+            max_steps=max_steps, entry_args=tuple(entry_args),
+            scheduler=family, depth=depth,
+            predict=predict_policy.as_dict(),
+        )
+        hit = cache.get("predict", key)
+        if hit is not None:
+            prediction = PredictionResult.from_payload(
+                module, hit["prediction"])
+            reports = ReportSet()
+            for payload in hit["reports"]:
+                reports.add(report_from_payload(module, payload))
+            for item in prediction.predictions:
+                reports.add(item.report)
+            stats = [RunStats(*hit["stats"])]
+            coverage = SeedCoverage.from_payload(hit["coverage"])
+            if feed is not None:
+                feed.seed_done(stage="detect", seed=0, detector=kind,
+                               steps=stats[0].steps,
+                               reports=stats[0].reports, cached=True)
+            return reports, stats, coverage, prediction
+
+    from repro.detectors.ski import run_ski_seed
+    from repro.detectors.tsan import run_tsan_seed
+
+    started = time.perf_counter()
+    record_out: List = []
+    coverage_out: List[SeedCoverage] = []
+    if kind == "ski":
+        seed_reports, result, detector = run_ski_seed(
+            module, 0, entry=entry, inputs=inputs, annotations=annotations,
+            max_steps=max_steps, depth=depth, tracer=tracer,
+            coverage_out=coverage_out, record_out=record_out,
+            profile_out=profile_out, profile_interval=profile_interval,
+        )
+    else:
+        seed_reports, result, detector = run_tsan_seed(
+            module, 0, entry=entry, inputs=inputs, annotations=annotations,
+            max_steps=max_steps,
+            scheduler_factory=_scheduler_factory(family, depth),
+            entry_args=entry_args, tracer=tracer,
+            coverage_out=coverage_out, record_out=record_out,
+            profile_out=profile_out, profile_interval=profile_interval,
+        )
+    log = record_out[0]
+    prediction = predict_from_log(
+        module, log, annotations=annotations, inputs=inputs,
+        world_factory=world_factory, policy=predict_policy,
+        observed_keys={report.static_key for report in seed_reports},
+    )
+    stats = [RunStats(
+        seed=0, reason=result.reason, steps=result.steps,
+        accesses=detector.access_count, reports=len(seed_reports),
+        wall_seconds=time.perf_counter() - started,
+    )]
+    seed0 = coverage_out[0]
+    coverage = SeedCoverage(
+        seed=0, pairs=seed0.pairs | prediction.predicted_keys,
+        signature=seed0.signature, switches=seed0.switches,
+    )
+    reports = ReportSet()
+    reports.merge(seed_reports)
+    for item in prediction.predictions:
+        reports.add(item.report)
+    if cache is not None and key is not None:
+        cache.put("predict", key, {
+            "reports": [report_to_payload(r) for r in seed_reports],
+            "stats": (0, result.reason, result.steps,
+                      detector.access_count, len(seed_reports),
+                      stats[0].wall_seconds),
+            "coverage": coverage.to_payload(),
+            "prediction": prediction.to_payload(),
+        })
+    if feed is not None:
+        feed.seed_done(stage="detect", seed=0, detector=kind,
+                       steps=result.steps, reports=len(seed_reports),
+                       cached=False)
+    return reports, stats, coverage, prediction
+
+
 # ---------------------------------------------------------------------------
 # the exploration loop
 
@@ -286,6 +408,7 @@ def explore_seeds(
     profile_out: Optional[List] = None,
     profile_interval: Optional[int] = None,
     feed=None,
+    world_factory=None,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """Coverage-guided exploration over seeds ``0 .. max_seeds - 1``.
 
@@ -305,6 +428,16 @@ def explore_seeds(
     :class:`repro.owl.stream.EventFeed`) receives one ``seed_done`` per
     seed and one ``wave_done`` per wave — the live per-wave progress
     ``owl watch`` renders.
+
+    When ``explore.predict`` is set (a
+    :class:`repro.detectors.predict.PredictPolicy`), wave 0 becomes a
+    **predict wave**: seed 0 runs once with the schedule recorder
+    attached, the sync-preserving closure predicts every race feasible
+    from that single trace, and the predicted static pairs pre-seed the
+    coverage map — so a later wave that only rediscovers predicted races
+    is dry, and the seed budget goes to interleavings prediction could
+    not decide.  ``world_factory`` builds a fresh OS-world for each
+    witness replay of that wave (specs with an ``initial_world``).
     """
     explore = explore if explore is not None else ExplorePolicy()
     ladder = explore.ladder_for(kind, depth)
@@ -315,7 +448,37 @@ def explore_seeds(
     rung = 0
     dry = 0
     cursor = 0
-    while cursor < explore.max_seeds:
+    if explore.predict is not None:
+        family, wave_depth = ladder[0]
+        wave_reports, wave_stats, coverage, prediction = _run_predict_wave(
+            kind, module, entry, inputs, annotations, max_steps,
+            entry_args, family, wave_depth, explore.predict, tracer=tracer,
+            world_factory=world_factory, cache=cache, feed=feed,
+            profile_out=profile_out, profile_interval=profile_interval,
+        )
+        result.predict = prediction
+        new_pairs = result.coverage.merge(coverage)
+        merged.merge(wave_reports)
+        stats.extend(wave_stats)
+        result.seeds_executed += 1
+        cursor = 1
+        if new_pairs == 0:
+            dry += 1
+            if dry >= explore.saturation_k:
+                result.saturated = True
+                result.saturation_wave = 0
+        result.waves.append(WaveRecord(
+            0, [0], "predict", wave_depth, new_pairs,
+            result.coverage.distinct_schedules,
+            result.coverage.total_pairs,
+        ))
+        if feed is not None:
+            feed.wave_done(index=0, seeds=[0], scheduler="predict",
+                           depth=wave_depth, new_pairs=new_pairs,
+                           total_pairs=result.coverage.total_pairs,
+                           dry=new_pairs == 0, escalated=False,
+                           saturated=result.saturated)
+    while not result.saturated and cursor < explore.max_seeds:
         wave_seeds = list(range(
             cursor, min(cursor + explore.wave_size, explore.max_seeds)))
         cursor += len(wave_seeds)
@@ -408,6 +571,9 @@ def explore_program(
     parallel = can_parallelize(spec)
     if not parallel:
         cache = None  # keys need the registry-rebuilt module
+    world_factory = None
+    if spec.initial_world is not None:
+        world_factory = spec.initial_world
     return explore_seeds(
         spec.detector, spec.build(),
         module_source=spec.name if parallel else None,
@@ -416,5 +582,5 @@ def explore_program(
         jobs=jobs, executor=executor, stats_out=stats_out, tracer=tracer,
         cache=cache, policy=policy, explore=explore,
         profile_out=profile_out, profile_interval=profile_interval,
-        feed=feed,
+        feed=feed, world_factory=world_factory,
     )

@@ -132,6 +132,10 @@ class PipelineResult:
         #: The detect stage's :class:`repro.owl.explore.ExplorationResult`
         #: when the run used coverage-guided exploration.
         self.explore = None
+        #: The predict wave's
+        #: :class:`repro.detectors.predict.PredictionResult` when
+        #: exploration ran with a predict policy.
+        self.predict = None
         #: The run's deterministic telemetry snapshot (schema-6
         #: ``"telemetry"`` block): job-count-invariant counters, gauges
         #: and histograms assembled from every layer.
@@ -205,6 +209,18 @@ class OwlPipeline:
     lands in the schema-5 metrics JSON (``"replay"`` block); replay is
     mutually exclusive with ``explore``.
 
+    A ``predict`` policy (:class:`repro.detectors.predict.PredictPolicy`)
+    turns the exploration loop's wave 0 into a predict wave: seed 0 runs
+    once with the schedule recorder attached and the sync-preserving
+    closure (:mod:`repro.detectors.predict`) infers every race feasible
+    from that single trace, pre-seeding the coverage map so later waves
+    only spend budget on interleavings prediction could not decide.  The
+    prediction's counters and per-pair evidence land in the schema-7
+    metrics JSON (``"predict"`` block) and on ``result.predict``;
+    predicted-only reports carry the ``predicted`` provenance
+    disposition.  Mutually exclusive with ``replay``; composes with an
+    explicit ``explore`` policy (or creates a default one).
+
     Every run assembles a deterministic **telemetry snapshot**
     (:mod:`repro.runtime.telemetry`): stage/work counters, per-seed step
     and report histograms, the cache's and batch policy's registries, the
@@ -232,6 +248,7 @@ class OwlPipeline:
         journal_config: Optional[Dict] = None,
         explore=None,
         replay=None,
+        predict=None,
         profile: Optional[int] = None,
         feed=None,
     ):
@@ -240,6 +257,18 @@ class OwlPipeline:
                 "explore and replay are mutually exclusive: exploration "
                 "chooses schedules adaptively, replay re-executes a "
                 "recorded sweep verbatim")
+        if predict is not None and replay is not None:
+            raise ValueError(
+                "predict and replay are mutually exclusive: prediction "
+                "records and reorders a live execution, replay re-executes "
+                "a recorded sweep verbatim")
+        if predict is not None:
+            # Prediction rides on the exploration loop as its wave 0.
+            from repro.owl.explore import ExplorePolicy
+
+            if explore is None:
+                explore = ExplorePolicy()
+            explore.predict = predict
         self.spec = spec
         self.analysis_options = analysis_options or AnalysisOptions()
         self.verify_vulnerabilities = verify_vulnerabilities
@@ -387,6 +416,15 @@ class OwlPipeline:
             registry.counter("explore.waves").inc(len(result.explore.waves))
             registry.gauge("explore.total_pairs").set(
                 result.explore.coverage.total_pairs)
+        if result.predict is not None:
+            counters = result.predict.counters
+            registry.counter("predict.candidate_pairs").inc(
+                counters["candidate_pairs"])
+            registry.counter("predict.predicted").inc(counters["predicted"])
+            registry.counter("predict.observed").inc(counters["observed"])
+            registry.counter("predict.witnessed").inc(counters["witnessed"])
+            registry.counter("predict.unwitnessed").inc(
+                counters["unwitnessed"])
         if self.cache is not None:
             registry.merge_snapshot(self.cache.registry.snapshot())
         if self.policy is not None:
@@ -454,6 +492,12 @@ class OwlPipeline:
                 detector=report.detector,
                 seeds=seeds_run,
             )
+            predicted = report.tags.get("predicted")
+            if predicted is not None:
+                # Invariant 8: a predicted race carries its evidence
+                # status — replay-witnessed or explicitly unwitnessed.
+                result.provenance.record(
+                    report, "predict", "predicted", **predicted)
 
     def _observe_seed_stats(self, stats) -> None:
         """Per-seed step/report histograms (deterministic: seed order)."""
@@ -489,6 +533,9 @@ class OwlPipeline:
         if primary:
             result.explore = exploration
             result.metrics.explore = exploration.metrics_block()
+            if exploration.predict is not None:
+                result.predict = exploration.predict
+                result.metrics.predict = exploration.predict.metrics_block()
 
     # ------------------------------------------------------------------
     # stage 2: schedule reduction (section 5.1)

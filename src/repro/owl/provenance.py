@@ -18,8 +18,9 @@ stage's actual evidence —
   attack, with the observed faults and the matched ground truth.
 
 Each report ends in exactly one terminal disposition — ``pruned-adhoc``,
-``unverified``, ``verified-benign`` or ``attack`` — and ``owl explain
-<program> <report-uid>`` renders the whole record as a narrative.
+``unverified``, ``predicted``, ``verified-benign`` or ``attack`` — and
+``owl explain <program> <report-uid>`` renders the whole record as a
+narrative.
 
 **Determinism and parity invariants** (what makes provenance comparable
 across runs, and what the cache/journal layer relies on):
@@ -49,11 +50,15 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.detectors.report import RaceReport
 
-#: The four terminal dispositions a report can end in.
+#: The terminal dispositions a report can end in.
 DISPOSITION_PRUNED_ADHOC = "pruned-adhoc"
 DISPOSITION_UNVERIFIED = "unverified"
 DISPOSITION_VERIFIED_BENIGN = "verified-benign"
 DISPOSITION_ATTACK = "attack"
+#: A race the predictive detector inferred from one recorded trace and
+#: that no later stage upgraded: witnessed (or honestly unwitnessed —
+#: ARCHITECTURE invariant 8) evidence, but never caught in a live sweep.
+DISPOSITION_PREDICTED = "predicted"
 
 SCHEMA_VERSION = 1
 
@@ -120,6 +125,8 @@ class ReportProvenance:
             return DISPOSITION_PRUNED_ADHOC
         if "verified" in verdicts:
             return DISPOSITION_VERIFIED_BENIGN
+        if "predicted" in verdicts:
+            return DISPOSITION_PREDICTED
         return DISPOSITION_UNVERIFIED
 
     # ------------------------------------------------------------------

@@ -89,6 +89,22 @@ Schema of the exported JSON (one file per program run)::
         "thread_divergences": 0,
         "unfaithful_replays": 0
       },
+      # schema 7, present when exploration ran a predict wave
+      # (repro.detectors.predict): the wave-0 closure/witness counters
+      # and the per-pair evidence status:
+      "predict": {
+        "detector": "predict",
+        "program": "memcached",
+        "seed": 0,
+        "mode": "sync-preserving",  # or "optimistic" (sync-reversal)
+        "policy": {"optimistic": false, "witness": true,
+                   "max_pairs_per_static": 4, "max_closures": 20000},
+        "counters": {"events": 5120, "accesses": 4010,
+                     "candidate_pairs": 30, "closures": 30,
+                     "predicted": 16, "rejected": 14, "observed": 15,
+                     "witnessed": 1, "unwitnessed": 0, ...},
+        "pairs": [[[411, 873], "observed"], ...]
+      },
       # schema 6, always present on pipeline runs: the deterministic
       # telemetry snapshot (repro.runtime.telemetry) plus the optional
       # profiler summary (repro.runtime.profiler):
@@ -105,12 +121,13 @@ Schema of the exported JSON (one file per program run)::
       }
     }
 
-Schema 5 files are identical minus the ``telemetry`` block; schema 4
-files additionally lack the ``replay`` block; schema 3 files further lack
-the ``diff_oracle`` block; schema 2 files further lack the ``explore``
-block; schema 1 files lack the ``cache``/``batch`` blocks and the
-per-stage ``cache_hits``/``cache_misses`` extras as well.  The loader
-accepts all six.
+Schema 6 files are identical minus the ``predict`` block; schema 5 files
+additionally lack the ``telemetry`` block; schema 4 files further lack
+the ``replay`` block; schema 3 files further lack the ``diff_oracle``
+block; schema 2 files further lack the ``explore`` block; schema 1 files
+lack the ``cache``/``batch`` blocks and the per-stage
+``cache_hits``/``cache_misses`` extras as well.  The loader accepts all
+seven.
 
 Counters (:class:`repro.owl.pipeline.StageCounters`) stay byte-identical
 between serial and parallel runs; metrics are *observations* and naturally
@@ -128,12 +145,12 @@ from typing import Dict, Iterable, List, Optional
 #: Version of the metrics JSON layout.  ``benchmarks/out/metrics_*.json``
 #: files are compared across PRs; the loader refuses files whose schema it
 #: does not understand rather than silently mis-reading them.
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
-#: Versions :func:`load_metrics` can still read.  Schemas 1–5 are strict
-#: subsets of schema 6 (fewer optional blocks), so old files remain
+#: Versions :func:`load_metrics` can still read.  Schemas 1–6 are strict
+#: subsets of schema 7 (fewer optional blocks), so old files remain
 #: loadable.
-SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6)
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6, 7)
 
 
 class MetricsSchemaError(ValueError):
@@ -256,6 +273,11 @@ class PipelineMetrics:
         #: optional ``profile`` summary — deterministic content only, so
         #: jobs=1 and jobs=N emit bit-identical blocks.
         self.telemetry: Optional[Dict] = None
+        #: ``PredictionResult.metrics_block()`` of a predicting run
+        #: (schema 7): the wave-0 trace/closure/witness counters and the
+        #: per-pair evidence status — deterministic given the recorded
+        #: log, so jobs=1 and jobs=N emit bit-identical blocks.
+        self.predict: Optional[Dict] = None
 
     # ------------------------------------------------------------------
 
@@ -306,6 +328,8 @@ class PipelineMetrics:
             data["replay"] = self.replay
         if self.telemetry is not None:
             data["telemetry"] = self.telemetry
+        if self.predict is not None:
+            data["predict"] = self.predict
         return data
 
     def save(self, path: str) -> str:

@@ -548,6 +548,7 @@ def replay_log(
     world=None,
     strict: bool = True,
     fingerprint: bool = False,
+    scheduler_wrapper=None,
 ) -> ReplayResult:
     """Deterministically re-execute a recorded run, observers attached.
 
@@ -561,6 +562,10 @@ def replay_log(
     With ``fingerprint=True`` the result carries an
     :class:`~repro.runtime.diffcheck.ExecutionFingerprint` (mode
     ``"replayed"``) comparable against the recording's.
+    ``scheduler_wrapper``, when given, wraps the internal
+    :class:`ReplayScheduler` with a pure-delegation observer of the
+    decision stream (the predictive detector's decision-index tracker);
+    the wrapper must delegate every decision unchanged.
     """
     digest = module_ir_digest(module)
     digest_match = digest == log.ir_digest
@@ -568,7 +573,9 @@ def replay_log(
         raise ReplayMismatch(
             "log for %s was recorded against IR digest %s, module has %s"
             % (log.program, log.ir_digest, digest))
-    scheduler = ReplayScheduler(log.expand_schedule())
+    replay_scheduler = ReplayScheduler(log.expand_schedule())
+    scheduler = (scheduler_wrapper(replay_scheduler)
+                 if scheduler_wrapper is not None else replay_scheduler)
     verifier = _ReplayVerifier(log)
     vm = VM(module, scheduler=scheduler, world=world, inputs=inputs,
             max_steps=log.max_steps or 200_000, seed=log.seed)
@@ -593,7 +600,7 @@ def replay_log(
     return ReplayResult(
         log=log,
         result=result,
-        schedule_divergences=scheduler.divergences,
+        schedule_divergences=replay_scheduler.divergences,
         sync_divergences=verifier.sync_divergences,
         thread_divergences=verifier.thread_divergences,
         digest_match=digest_match,

@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
 """Check that relative links in the repo's markdown docs resolve.
 
-Scans README.md, DESIGN.md, EXPERIMENTS.md, and docs/*.md for inline
-markdown links (``[text](target)``) and reference definitions
-(``[label]: target``), resolves every relative target against the linking
-file's directory, and fails if any points at a file that does not exist.
-External links (http/https/mailto) are skipped, not fetched — this is an
-offline structural check, suitable for CI.
+Scans the root markdown files (README.md, DESIGN.md, EXPERIMENTS.md,
+CHANGES.md, ...) and docs/*.md for inline markdown links
+(``[text](target)``) and reference definitions (``[label]: target``),
+resolves every relative target — including links into ``src/`` and
+``tools/`` — against the linking file's directory, and fails if any
+points at a file that does not exist.  ``#fragment`` anchors on markdown
+targets (and bare same-file ``#fragment`` links) are validated against
+the target's actual headings, GitHub-slugified, so renamed sections break
+loudly instead of scrolling to the top.  External links
+(http/https/mailto) are skipped, not fetched — this is an offline
+structural check, suitable for CI.
 
 Usage::
 
     python tools/check_doc_links.py [repo-root]
 
 Exit status 0 when every link resolves, 1 otherwise (each broken link is
-printed as ``file:line: broken link -> target``).
+printed as ``file:line: broken link -> target``, dead anchors as
+``file:line: dead anchor -> target``).
 """
 
 import os
@@ -65,22 +71,65 @@ def targets_in(path):
                 yield number, match.group(1)
 
 
+HEADING = re.compile(r"^#{1,6}\s+(.*)")
+# GitHub slugs keep word characters and hyphens; spaces become hyphens.
+SLUG_STRIP = re.compile(r"[^\w\- ]", re.UNICODE)
+MARKUP = re.compile(r"[`*_]|\[|\]\([^)]*\)|\]")
+
+
+def github_slug(heading):
+    text = MARKUP.sub("", heading.strip())
+    text = SLUG_STRIP.sub("", text.lower())
+    return text.replace(" ", "-")
+
+
+def anchors_in(path, _cache={}):
+    """The set of GitHub-style anchor slugs a markdown file defines."""
+    if path in _cache:
+        return _cache[path]
+    slugs = set()
+    counts = {}
+    in_code_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            match = HEADING.match(line)
+            if not match:
+                continue
+            slug = github_slug(match.group(1))
+            seen = counts.get(slug, 0)
+            counts[slug] = seen + 1
+            slugs.add(slug if not seen else "%s-%d" % (slug, seen))
+    _cache[path] = slugs
+    return slugs
+
+
 def check(root):
     broken = []
     checked = 0
     for path in doc_files(root):
         base = os.path.dirname(path)
         for number, target in targets_in(path):
-            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            if target.startswith(SKIP_SCHEMES):
                 continue
-            relative = target.split("#", 1)[0]
-            if not relative:
+            relative, _, fragment = target.partition("#")
+            if not relative and not fragment:
                 continue
             checked += 1
-            resolved = os.path.normpath(os.path.join(base, relative))
+            resolved = path if not relative else \
+                os.path.normpath(os.path.join(base, relative))
             if not os.path.exists(resolved):
                 broken.append("%s:%d: broken link -> %s" % (
                     os.path.relpath(path, root), number, target))
+                continue
+            if fragment and resolved.endswith(".md"):
+                if fragment.lower() not in anchors_in(resolved):
+                    broken.append("%s:%d: dead anchor -> %s" % (
+                        os.path.relpath(path, root), number, target))
     return checked, broken
 
 
