@@ -104,6 +104,7 @@ def _make_pipeline(spec, args, journal_config=None):
         spec, jobs=args.jobs, cache=cache, policy=policy,
         journal=journal, journal_config=journal_config or {},
         explore=explore, predict=predict, profile=profile, feed=feed,
+        fuse=getattr(args, "fuse", False),
     )
     return pipeline, cache, journal
 
@@ -672,6 +673,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="with --predict: skip witness replay; non-observed "
                  "predictions stay marked unwitnessed")
 
+    def add_fuse_arguments(command):
+        command.add_argument(
+            "--fuse", dest="fuse", action="store_true", default=False,
+            help="compile hot basic blocks into fused superinstructions "
+                 "for the detector stages (same events, faults and "
+                 "schedules — only steps/s changes; see the schema-8 "
+                 "metrics `fuse` block)")
+        command.add_argument(
+            "--no-fuse", dest="fuse", action="store_false",
+            help="execute strictly one instruction per scheduler decision "
+                 "(the default)")
+
     def add_telemetry_arguments(command):
         from repro.owl.history import default_history_path
         from repro.runtime.profiler import DEFAULT_SAMPLE_INTERVAL
@@ -716,6 +729,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "lines otherwise)")
     add_cache_arguments(detect)
     add_explore_arguments(detect)
+    add_fuse_arguments(detect)
     add_telemetry_arguments(detect)
     detect.set_defaults(func=_cmd_detect)
     exploit = sub.add_parser("exploit", help="run one exploit script")
@@ -739,6 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "lines otherwise)")
     add_cache_arguments(export)
     add_explore_arguments(export)
+    add_fuse_arguments(export)
     add_telemetry_arguments(export)
     export.set_defaults(func=_cmd_export)
     resume = sub.add_parser(

@@ -53,6 +53,7 @@ def run_ski_seed(
     record_out: Optional[List] = None,
     profile_out: Optional[List] = None,
     profile_interval: Optional[int] = None,
+    fuse=False,
 ) -> Tuple[ReportSet, ExecutionResult, SkiDetector]:
     """One kernel execution under one PCT schedule, into a fresh report set.
 
@@ -63,7 +64,9 @@ def run_ski_seed(
     :class:`repro.runtime.record.ScheduleLog` without perturbing the
     schedule, and ``profile_out`` one
     :class:`repro.runtime.profiler.SeedProfile` sampled every
-    ``profile_interval`` decisions.
+    ``profile_interval`` decisions.  ``fuse`` (bool or a shared
+    :class:`repro.runtime.fuse.FuseEngine`) turns on superinstruction
+    fusion; the detector sees bit-identical events either way.
     """
     from repro.runtime.spans import maybe_span
 
@@ -90,7 +93,7 @@ def run_ski_seed(
             observed=True)
         scheduler = profiler
     vm = VM(module, scheduler=scheduler, inputs=inputs, max_steps=max_steps,
-            seed=seed)
+            seed=seed, fuse=fuse)
     detector = SkiDetector(annotations=annotations, reports=ReportSet())
     vm.add_observer(detector)
     if recorder is not None:
@@ -134,6 +137,7 @@ def run_ski(
     profile_out: Optional[List] = None,
     profile_interval: Optional[int] = None,
     feed=None,
+    fuse: bool = False,
 ) -> Tuple[ReportSet, List[ExecutionResult]]:
     """Systematically explore schedules of a kernel program.
 
@@ -156,7 +160,7 @@ def run_ski(
             depth=depth, jobs=jobs, stats_out=stats_out, tracer=tracer,
             cache=cache, policy=policy, explore=explore,
             profile_out=profile_out, profile_interval=profile_interval,
-            feed=feed,
+            feed=feed, fuse=bool(fuse),
         )
     if ((jobs and jobs > 1) or cache is not None) \
             and module_source is not None:
@@ -168,8 +172,13 @@ def run_ski(
             depth=depth, jobs=jobs, stats_out=stats_out, tracer=tracer,
             cache=cache, policy=policy, coverage_out=coverage_out,
             profile_out=profile_out, profile_interval=profile_interval,
-            feed=feed,
+            feed=feed, fuse=bool(fuse),
         )
+    if fuse:
+        # Shared across the sweep: compiles amortize over every seed.
+        from repro.runtime.fuse import FuseEngine
+
+        fuse = fuse if isinstance(fuse, FuseEngine) else FuseEngine()
     reports = ReportSet()
     results: List[ExecutionResult] = []
     for seed in seeds:
@@ -178,7 +187,7 @@ def run_ski(
             module, seed, entry=entry, inputs=inputs, annotations=annotations,
             max_steps=max_steps, depth=depth, tracer=tracer,
             coverage_out=coverage_out, profile_out=profile_out,
-            profile_interval=profile_interval,
+            profile_interval=profile_interval, fuse=fuse,
         )
         reports.merge(seed_reports)
         results.append(result)

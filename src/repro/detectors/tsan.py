@@ -250,6 +250,7 @@ def run_tsan_seed(
     record_out: Optional[List] = None,
     profile_out: Optional[List] = None,
     profile_interval: Optional[int] = None,
+    fuse=False,
 ) -> Tuple[ReportSet, ExecutionResult, TSanDetector]:
     """One program execution under one schedule, into a fresh report set.
 
@@ -268,7 +269,10 @@ def run_tsan_seed(
     when given a list, receives one
     :class:`repro.runtime.profiler.SeedProfile` sampled every
     ``profile_interval`` scheduler decisions (same pure-delegation
-    wrapper; deterministic given seed + interval).
+    wrapper; deterministic given seed + interval).  ``fuse`` (a bool, or
+    a shared :class:`repro.runtime.fuse.FuseEngine` to amortize compiles
+    across a sweep) turns on superinstruction fusion — detectors observe
+    bit-identical events either way, so the reports cannot change.
     """
     from repro.runtime.spans import maybe_span
 
@@ -298,7 +302,7 @@ def run_tsan_seed(
             observed=True)
         scheduler = profiler
     vm = VM(module, scheduler=scheduler, inputs=inputs, max_steps=max_steps,
-            seed=seed)
+            seed=seed, fuse=fuse)
     detector = TSanDetector(annotations=annotations, reports=ReportSet())
     vm.add_observer(detector)
     if recorder is not None:
@@ -345,6 +349,7 @@ def run_tsan(
     profile_out: Optional[List] = None,
     profile_interval: Optional[int] = None,
     feed=None,
+    fuse: bool = False,
 ) -> Tuple[ReportSet, List[ExecutionResult]]:
     """Run the detector over several schedules and merge the reports.
 
@@ -380,7 +385,7 @@ def run_tsan(
             entry_args=entry_args, jobs=jobs, stats_out=stats_out,
             tracer=tracer, cache=cache, policy=policy, explore=explore,
             profile_out=profile_out, profile_interval=profile_interval,
-            feed=feed,
+            feed=feed, fuse=bool(fuse),
         )
     if ((jobs and jobs > 1) or cache is not None) \
             and module_source is not None:
@@ -392,8 +397,14 @@ def run_tsan(
             entry_args=entry_args, jobs=jobs, stats_out=stats_out,
             tracer=tracer, cache=cache, policy=policy,
             coverage_out=coverage_out, profile_out=profile_out,
-            profile_interval=profile_interval, feed=feed,
+            profile_interval=profile_interval, feed=feed, fuse=bool(fuse),
         )
+    if fuse:
+        # One engine for the whole sweep: every seed runs the same module,
+        # so compiled superinstructions amortize across executions.
+        from repro.runtime.fuse import FuseEngine
+
+        fuse = fuse if isinstance(fuse, FuseEngine) else FuseEngine()
     reports = ReportSet()
     results: List[ExecutionResult] = []
     for seed in seeds:
@@ -403,6 +414,7 @@ def run_tsan(
             max_steps=max_steps, scheduler_factory=scheduler_factory,
             entry_args=entry_args, tracer=tracer, coverage_out=coverage_out,
             profile_out=profile_out, profile_interval=profile_interval,
+            fuse=fuse,
         )
         reports.merge(seed_reports)
         results.append(result)

@@ -471,6 +471,7 @@ def _detect_worker(payload: Dict) -> Dict:
     profiles: Optional[List] = [] if payload.get("profile") else None
     profile_interval = payload.get("profile")
     started = time.perf_counter()
+    fuse = bool(payload.get("fuse"))
     if payload["kind"] == "ski":
         reports, result, detector = run_ski_seed(
             module, payload["seed"], entry=payload["entry"],
@@ -478,6 +479,7 @@ def _detect_worker(payload: Dict) -> Dict:
             max_steps=payload["max_steps"], depth=payload["depth"],
             tracer=tracer, coverage_out=coverage, record_out=logs,
             profile_out=profiles, profile_interval=profile_interval,
+            fuse=fuse,
         )
     else:
         scheduler_factory = None
@@ -494,6 +496,7 @@ def _detect_worker(payload: Dict) -> Dict:
             scheduler_factory=scheduler_factory, tracer=tracer,
             coverage_out=coverage, record_out=logs,
             profile_out=profiles, profile_interval=profile_interval,
+            fuse=fuse,
         )
     output = {
         "seed": payload["seed"],
@@ -516,7 +519,8 @@ def _detect_payload(kind: str, source, seed: int, entry: str, inputs,
                     entry_args: Sequence[int],
                     scheduler: Optional[str] = None,
                     record: bool = False,
-                    profile: Optional[int] = None) -> Dict:
+                    profile: Optional[int] = None,
+                    fuse: bool = False) -> Dict:
     payload = {
         "kind": kind,
         "source": source,
@@ -536,6 +540,13 @@ def _detect_payload(kind: str, source, seed: int, entry: str, inputs,
         # carries the sample aggregate, so it must not be answered from
         # (or overwrite) an unprofiled seed's entry.
         payload["profile"] = int(profile)
+    if fuse:
+        # Also part of the cache key on purpose: fused results are
+        # bit-identical by construction (the diff oracle enforces it),
+        # but keeping the entries separate means a divergence hunt can
+        # compare cold fused vs cold stepwise runs instead of silently
+        # reading one mode's cache from the other's sweep.
+        payload["fuse"] = True
     return payload
 
 
@@ -584,6 +595,7 @@ def run_seeds_parallel(
     profile_out: Optional[List] = None,
     profile_interval: Optional[int] = None,
     feed=None,
+    fuse: bool = False,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """Fan one program's seeds out over worker processes.
 
@@ -633,7 +645,8 @@ def run_seeds_parallel(
     payloads = [
         _detect_payload(kind, module_source, seed, entry, inputs,
                         annotations_payload, max_steps, depth, entry_args,
-                        scheduler=scheduler, record=record, profile=profile)
+                        scheduler=scheduler, record=record, profile=profile,
+                        fuse=fuse)
         for seed in seeds
     ]
     keys = (
@@ -723,6 +736,7 @@ def run_detector_batch(
     profile_out: Optional[List] = None,
     profile_interval: Optional[int] = None,
     feed=None,
+    fuse: bool = False,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """The spec's front-end detector over its seeds, parallel when possible.
 
@@ -741,7 +755,7 @@ def run_detector_batch(
                                   stats_out=stats, tracer=tracer,
                                   profile_out=profile_out,
                                   profile_interval=profile_interval,
-                                  feed=feed)
+                                  feed=feed, fuse=fuse)
         if stats_out is not None:
             stats_out.extend(stats)
         return reports, stats
@@ -751,7 +765,7 @@ def run_detector_batch(
         annotations=annotations, max_steps=spec.max_steps, jobs=jobs,
         stats_out=stats_out, executor=executor, tracer=tracer,
         cache=cache, policy=policy, profile_out=profile_out,
-        profile_interval=profile_interval, feed=feed,
+        profile_interval=profile_interval, feed=feed, fuse=fuse,
     )
 
 

@@ -409,6 +409,7 @@ def explore_seeds(
     profile_interval: Optional[int] = None,
     feed=None,
     world_factory=None,
+    fuse: bool = False,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """Coverage-guided exploration over seeds ``0 .. max_seeds - 1``.
 
@@ -438,7 +439,15 @@ def explore_seeds(
     is dry, and the seed budget goes to interleavings prediction could
     not decide.  ``world_factory`` builds a fresh OS-world for each
     witness replay of that wave (specs with an ``initial_world``).
+
+    ``fuse`` is accepted for interface symmetry with the fixed sweeps
+    but is deliberately not applied: every exploration wave tracks
+    interleaving coverage through the :class:`SwitchTracker` scheduler
+    wrapper, which forces stepwise execution (``run_length == 1``) so
+    context-switch signatures stay byte-identical — fusing here would
+    only add plan-compilation overhead with no fused runs.
     """
+    del fuse  # see docstring: coverage tracking forces stepwise execution
     explore = explore if explore is not None else ExplorePolicy()
     ladder = explore.ladder_for(kind, depth)
     result = ExplorationResult(kind, explore)
@@ -558,6 +567,7 @@ def explore_program(
     profile_out: Optional[List] = None,
     profile_interval: Optional[int] = None,
     feed=None,
+    fuse: bool = False,
 ) -> Tuple[ReportSet, List[RunStats]]:
     """Exploration over one :class:`repro.spec.ProgramSpec`'s detector.
 
@@ -582,5 +592,5 @@ def explore_program(
         jobs=jobs, executor=executor, stats_out=stats_out, tracer=tracer,
         cache=cache, policy=policy, explore=explore,
         profile_out=profile_out, profile_interval=profile_interval,
-        feed=feed, world_factory=world_factory,
+        feed=feed, world_factory=world_factory, fuse=fuse,
     )

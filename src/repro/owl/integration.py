@@ -38,6 +38,7 @@ def run_detector(
     profile_out: Optional[List] = None,
     profile_interval: Optional[int] = None,
     feed=None,
+    fuse: bool = False,
 ) -> Tuple[ReportSet, List]:
     """Run the spec's front-end detector over its configured schedules.
 
@@ -72,6 +73,12 @@ def run_detector(
     decisions into per-seed :class:`repro.runtime.profiler.SeedProfile`
     aggregates; ``feed`` (an :class:`repro.owl.stream.EventFeed`)
     receives one ``seed_done`` progress event per executed seed.
+
+    ``fuse=True`` executes the sweep with superinstruction fusion
+    (:mod:`repro.runtime.fuse`); the detector observes bit-identical
+    events, faults and steps, so reports, coverage and logs are
+    unchanged — only steps/s moves.  Replay sources ignore the flag
+    (replayed decisions are scripted, which forces stepwise execution).
     """
     if replay is not None:
         return replay.run_detector(
@@ -84,7 +91,7 @@ def run_detector(
             spec, annotations=annotations, jobs=jobs, executor=executor,
             stats_out=stats_out, tracer=tracer, cache=cache, policy=policy,
             explore=explore, profile_out=profile_out,
-            profile_interval=profile_interval, feed=feed,
+            profile_interval=profile_interval, feed=feed, fuse=fuse,
         )
     if (jobs and jobs > 1) or executor is not None or cache is not None:
         from repro.owl.batch import run_detector_batch
@@ -93,7 +100,7 @@ def run_detector(
             spec, annotations=annotations, jobs=jobs, executor=executor,
             stats_out=stats_out, tracer=tracer, cache=cache, policy=policy,
             profile_out=profile_out, profile_interval=profile_interval,
-            feed=feed,
+            feed=feed, fuse=fuse,
         )
     if spec.detector == "ski":
         return run_ski(
@@ -101,14 +108,14 @@ def run_detector(
             seeds=spec.detect_seeds, annotations=annotations,
             max_steps=spec.max_steps, stats_out=stats_out, tracer=tracer,
             profile_out=profile_out, profile_interval=profile_interval,
-            feed=feed,
+            feed=feed, fuse=fuse,
         )
     return run_tsan(
         spec.build(), entry=spec.entry, inputs=spec.workload_inputs,
         seeds=spec.detect_seeds, annotations=annotations,
         max_steps=spec.max_steps, stats_out=stats_out, tracer=tracer,
         profile_out=profile_out, profile_interval=profile_interval,
-        feed=feed,
+        feed=feed, fuse=fuse,
     )
 
 

@@ -221,6 +221,17 @@ class OwlPipeline:
     disposition.  Mutually exclusive with ``replay``; composes with an
     explicit ``explore`` policy (or creates a default one).
 
+    ``fuse=True`` runs both detector stages with superinstruction fusion
+    (:mod:`repro.runtime.fuse`): one in-process
+    :class:`~repro.runtime.fuse.FuseEngine` is shared by every serial
+    detector execution of the run, so compiled blocks amortize across
+    seeds and stages.  Fusion never changes results — schedules, events,
+    reports, coverage, logs and the Table-3 ``parity_dict`` are
+    bit-identical with it on or off, at any job count — so only steps/s
+    moves; the engine's counters land in the schema-8 metrics ``fuse``
+    block and a ``fuse.enabled`` telemetry counter.  Ignored under
+    ``replay`` (scripted decisions force stepwise execution anyway).
+
     Every run assembles a deterministic **telemetry snapshot**
     (:mod:`repro.runtime.telemetry`): stage/work counters, per-seed step
     and report histograms, the cache's and batch policy's registries, the
@@ -251,6 +262,7 @@ class OwlPipeline:
         predict=None,
         profile: Optional[int] = None,
         feed=None,
+        fuse: bool = False,
     ):
         if explore is not None and replay is not None:
             raise ValueError(
@@ -282,9 +294,15 @@ class OwlPipeline:
         self.replay = replay
         self.profile = int(profile) if profile else None
         self.feed = feed
+        self.fuse = bool(fuse)
         #: Per-run telemetry registry (rebuilt at the top of :meth:`run`).
         self._registry = None
         self._profiles: Optional[List] = None
+        #: Per-run fuse engine (rebuilt at the top of :meth:`run`): shared
+        #: across every in-process detector execution so compiled
+        #: superinstructions amortize over the whole run; pooled workers
+        #: fuse with their own per-seed engines.
+        self._fuse_engine = None
 
     # ------------------------------------------------------------------
 
@@ -311,6 +329,12 @@ class OwlPipeline:
 
         self._registry = MetricsRegistry()
         self._profiles = [] if self.profile and self.replay is None else None
+        self._fuse_engine = None
+        if self.fuse and self.replay is None:
+            from repro.runtime.fuse import FuseEngine
+
+            self._fuse_engine = FuseEngine()
+        self._fuse_stages = 0
         if self.feed is not None:
             self.feed.run_begin(
                 self.spec.name, jobs,
@@ -362,6 +386,8 @@ class OwlPipeline:
             result.metrics.batch = self.policy.counters()
         if self.replay is not None:
             result.metrics.replay = self.replay.metrics_block()
+        if self._fuse_engine is not None:
+            result.metrics.fuse = self._fuse_block(result)
         self._assemble_telemetry(result)
         if self.journal is not None:
             self.journal.complete(
@@ -425,6 +451,14 @@ class OwlPipeline:
             registry.counter("predict.witnessed").inc(counters["witnessed"])
             registry.counter("predict.unwitnessed").inc(
                 counters["unwitnessed"])
+        if self._fuse_engine is not None:
+            # Only job-count-invariant facts go in the registry: the
+            # engine's execution counters depend on whether seeds shared
+            # one in-process engine (jobs=1) or per-worker ones (jobs=N),
+            # so they live in the schema-8 metrics ``fuse`` block, which
+            # is observational like steps/s.
+            registry.counter("fuse.enabled").inc(1)
+            registry.counter("fuse.stages_requested").inc(self._fuse_stages)
         if self.cache is not None:
             registry.merge_snapshot(self.cache.registry.snapshot())
         if self.policy is not None:
@@ -439,6 +473,34 @@ class OwlPipeline:
                 snapshot["profile"] = result.profile.summary()
         result.telemetry = snapshot
         result.metrics.telemetry = snapshot
+
+    def _fuse_block(self, result: PipelineResult) -> Dict:
+        """The schema-8 metrics ``fuse`` block.
+
+        Observational, like steps/s: the counters describe the pipeline's
+        in-process engine, which every serial detector execution shared.
+        Pooled workers (jobs > 1) fuse with their own per-seed engines, so
+        their compiles and fused steps are not visible here — the share
+        then under-reports, which is fine for a perf observation (the
+        correctness story is the diff oracle's, not this block's).
+        """
+        engine = self._fuse_engine
+        counters = engine.counters()
+        fused_steps = counters["fused_steps"]
+        detect_steps = sum(
+            stage.vm_steps for stage in result.metrics.stages
+            if stage.name in ("detect", "schedule_reduction")
+        )
+        return {
+            "enabled": True,
+            "compiled_blocks": counters["compiled"],
+            "fused_runs": counters["fused_runs"],
+            "fused_steps": fused_steps,
+            "fused_step_share": round(fused_steps / detect_steps, 4)
+            if detect_steps else 0.0,
+            "bailouts": counters["bailouts"],
+            "invalidations": counters["invalidations"],
+        }
 
     # ------------------------------------------------------------------
     # cache accounting: per-pipeline-stage hit/miss deltas
@@ -468,11 +530,14 @@ class OwlPipeline:
                     stats_out=stats, tracer=result.spans,
                 )
             else:
+                if self._fuse_engine is not None:
+                    self._fuse_stages += 1
                 reports, _ = run_detector(
                     self.spec, jobs=jobs, executor=executor, stats_out=stats,
                     tracer=result.spans, cache=self.cache, policy=self.policy,
                     explore=self.explore, profile_out=self._profiles,
                     profile_interval=self.profile, feed=self.feed,
+                    fuse=self._fuse_engine or False,
                 )
             stage.absorb_run_stats(stats)
             self._observe_seed_stats(stats)
@@ -559,6 +624,8 @@ class OwlPipeline:
                         tracer=result.spans,
                     )
                 else:
+                    if self._fuse_engine is not None:
+                        self._fuse_stages += 1
                     reports, _ = run_detector(
                         self.spec, annotations=annotations, jobs=jobs,
                         executor=executor, stats_out=stats,
@@ -566,6 +633,7 @@ class OwlPipeline:
                         policy=self.policy, explore=self.explore,
                         profile_out=self._profiles,
                         profile_interval=self.profile, feed=self.feed,
+                        fuse=self._fuse_engine or False,
                     )
                 stage.absorb_run_stats(stats)
                 self._observe_seed_stats(stats)

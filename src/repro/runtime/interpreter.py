@@ -120,6 +120,7 @@ class VM:
         seed: int = 0,
         nonfatal_faults: frozenset = NONFATAL_FAULTS,
         reference: Optional[bool] = None,
+        fuse: bool = False,
     ):
         self.module = module
         self.scheduler = scheduler or RoundRobinScheduler()
@@ -132,6 +133,23 @@ class VM:
         self.memory = Memory(memoize=not self.reference)
         if self.reference:
             self.execute = self._execute_reference  # type: ignore[assignment]
+        #: fuse=True compiles hot straight-line runs into superinstructions
+        #: (:mod:`repro.runtime.fuse`); bounded per run by the scheduler's
+        #: ``run_length`` no-preempt guarantee, so schedules and events are
+        #: bit-identical with fusion on or off.  Passing a ``FuseEngine``
+        #: instance shares its plan cache across VMs of the same module
+        #: (the seed sweeps), amortizing compiles.  Reference mode forces
+        #: fusion off — the oracle's reference leg must stay the plain
+        #: loop.
+        self.fuse = bool(fuse) and not self.reference
+        if self.fuse:
+            from repro.runtime.fuse import FuseEngine
+
+            engine = fuse if isinstance(fuse, FuseEngine) else FuseEngine()
+            self.fuse_engine: Optional["FuseEngine"] = None
+        else:
+            engine = None
+            self.fuse_engine = None
         self.inputs: Dict = dict(inputs or {})
         self._input_cursors: Dict = {}
         self.max_steps = max_steps
@@ -161,6 +179,10 @@ class VM:
         self._global_addresses: Dict[str, int] = {}
         self._setup_code_addresses()
         self._setup_globals()
+        if engine is not None:
+            # Attach after address setup: plans bake global/function
+            # addresses and the engine validates them on every attach.
+            self.fuse_engine = engine.attach(self)
 
     # ------------------------------------------------------------------
     # setup
@@ -306,6 +328,7 @@ class VM:
             thread.blocked_on = None
             thread.wake_step = None
             thread.blocked_kind = None
+            thread.blocked_arg = 0
             try:
                 self._blocked.remove(thread)
             except ValueError:
@@ -428,7 +451,7 @@ class VM:
             self._retry_blocked()
             runnable = self.runnable_threads()
             if not runnable:
-                outcome = self._handle_idle()
+                outcome = self._handle_idle(limit)
                 if outcome is not None:
                     return outcome
                 continue
@@ -459,6 +482,11 @@ class VM:
         step_thread = self.step_thread
         RUNNABLE = ThreadState.RUNNABLE
         FINISHED = ThreadState.FINISHED
+        fuse_engine = self.fuse_engine
+        if fuse_engine is not None:
+            plan_for = fuse_engine.plan_for
+            run_length = self.scheduler.run_length
+            step_fused = self._step_fused
         while True:
             if self._finished:
                 return ExecutionResult(self._result_reason or
@@ -492,7 +520,7 @@ class VM:
                 # Nothing blocked or halted: every live thread is runnable.
                 runnable = alive
             if not runnable:
-                outcome = self._handle_idle()
+                outcome = self._handle_idle(limit)
                 if outcome is not None:
                     return outcome
                 continue
@@ -502,6 +530,36 @@ class VM:
                 if instruction is not None and self.debugger.check(thread, instruction):
                     self._halt_thread(thread)
                     return ExecutionResult(ExecutionResult.BREAKPOINT, self)
+            elif (
+                fuse_engine is not None
+                and not self._halted_count
+                and limit - step > 1
+            ):
+                # Fusion window: fused (straight-line) runs contain no
+                # calls, so no thread can spawn, exit, unlock a mutex or
+                # finish a join target mid-run — mutex/join waiters stay
+                # blocked and the runnable set is invariant.  The only
+                # time-driven change is a sleeper expiring, so the window
+                # is clamped to the earliest wake-up; with no halted
+                # threads and no per-instruction debugger checks, the
+                # scheduler's no-preempt guarantee then makes the fused
+                # run schedule-identical to stepwise execution.
+                plan = plan_for(thread)
+                if plan is not None:
+                    max_len = plan.length
+                    if limit - step < max_len:
+                        max_len = limit - step
+                    for sleeper in blocked:
+                        wake = sleeper.wake_step
+                        if wake is not None and wake - step < max_len:
+                            max_len = wake - step
+                    if max_len > 1:
+                        length = run_length(thread, step, max_len)
+                        if length > 1:
+                            outcome = step_fused(thread, plan, length)
+                            if outcome is not None:
+                                return outcome
+                            continue
             outcome = step_thread(thread)
             if outcome is not None:
                 return outcome
@@ -511,7 +569,7 @@ class VM:
         thread.state = ThreadState.HALTED
         self._halted_count += 1
 
-    def _handle_idle(self) -> Optional[ExecutionResult]:
+    def _handle_idle(self, limit: int) -> Optional[ExecutionResult]:
         alive = [t for t in self.threads.values() if t.state != ThreadState.FINISHED]
         if not alive:
             self._finished = True
@@ -522,7 +580,16 @@ class VM:
             if t.state == ThreadState.BLOCKED and t.wake_step is not None
         ]
         if sleepers:
-            self.step = min(t.wake_step for t in sleepers)
+            wake = min(t.wake_step for t in sleepers)
+            if wake > limit:
+                # The earliest wake-up lies beyond this run's clamped step
+                # budget: fast-forwarding to it would overshoot ``limit``
+                # (and, on resumed runs, the process-wide ``max_steps``),
+                # inflating step counters and replay checkpoints.  Park
+                # the clock exactly at the budget instead.
+                self.step = limit
+                return ExecutionResult(ExecutionResult.STEP_LIMIT, self)
+            self.step = wake
             self._wake_sleepers()
             return None
         if halted:
@@ -538,6 +605,41 @@ class VM:
         )
         self.record_fault(event)
         return ExecutionResult(ExecutionResult.DEADLOCK, self)
+
+    def _step_fused(self, thread: ThreadContext, plan,
+                    count: int) -> Optional[ExecutionResult]:
+        """Execute ``count`` fused micro-ops of ``plan`` on ``thread``.
+
+        Semantically ``count`` consecutive :meth:`step_thread` calls on the
+        same thread: each micro-op increments the step counters before it
+        executes and advances ``frame.index`` itself, and a fault bails out
+        through the exact fault path of :meth:`step_thread`.  Fused
+        instructions cannot block, spawn, exit or switch frames, so those
+        ``step_thread`` arms have no fused equivalent.
+        """
+        frame = thread.top
+        ops = plan.ops
+        engine = self.fuse_engine
+        engine.fused_runs += 1
+        executed = 0
+        try:
+            for index in range(count):
+                self.step += 1
+                thread.steps_executed += 1
+                ops[index](self, thread, frame)
+                executed += 1
+        except RuntimeFault as fault:
+            engine.fused_steps += executed + 1
+            engine.bailouts += 1
+            if fault.event not in self.faults:
+                self.record_fault(fault.event)
+            self._finished = True
+            self._result_reason = ExecutionResult.FAULT
+            for observer in self.observers:
+                observer.on_finish(self)
+            return ExecutionResult(ExecutionResult.FAULT, self)
+        engine.fused_steps += executed
+        return None
 
     def step_thread(self, thread: ThreadContext) -> Optional[ExecutionResult]:
         """Execute one instruction of ``thread``."""
@@ -563,7 +665,13 @@ class VM:
                 thread.blocked_kind = "join"
                 thread.blocked_arg = int(reason[6:])
             else:
+                # Reset the argument together with the kind: a thread that
+                # previously blocked on a mutex must not keep the stale
+                # address when it later blocks on an unparsed reason
+                # (sleep, condvar) — coverage payloads and provenance
+                # dumps would misattribute the wait.
                 thread.blocked_kind = None
+                thread.blocked_arg = 0
             self._blocked.append(thread)
             return None
         except externals.ProcessExit as exit_request:

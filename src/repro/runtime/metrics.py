@@ -105,6 +105,15 @@ Schema of the exported JSON (one file per program run)::
                      "witnessed": 1, "unwitnessed": 0, ...},
         "pairs": [[[411, 873], "observed"], ...]
       },
+      # schema 8, only when the run fused hot blocks into
+      # superinstructions (repro.runtime.fuse).  Observational, like
+      # steps/s: pooled workers fuse with their own engines, so only the
+      # in-process engine's counters appear here:
+      "fuse": {
+        "enabled": true, "compiled_blocks": 305, "fused_runs": 13793,
+        "fused_steps": 183937, "fused_step_share": 0.6551,
+        "bailouts": 0, "invalidations": 0
+      },
       # schema 6, always present on pipeline runs: the deterministic
       # telemetry snapshot (repro.runtime.telemetry) plus the optional
       # profiler summary (repro.runtime.profiler):
@@ -121,13 +130,15 @@ Schema of the exported JSON (one file per program run)::
       }
     }
 
-Schema 6 files are identical minus the ``predict`` block; schema 5 files
-additionally lack the ``telemetry`` block; schema 4 files further lack
-the ``replay`` block; schema 3 files further lack the ``diff_oracle``
-block; schema 2 files further lack the ``explore`` block; schema 1 files
-lack the ``cache``/``batch`` blocks and the per-stage
+Schema 7 files are identical minus the ``fuse`` block (and the
+``diff_oracle`` block's ``fused_*`` fields); schema 6 files additionally
+lack the ``predict`` block; schema 5 files additionally lack the
+``telemetry`` block; schema 4 files further lack the ``replay`` block;
+schema 3 files further lack the ``diff_oracle`` block; schema 2 files
+further lack the ``explore`` block; schema 1 files lack the
+``cache``/``batch`` blocks and the per-stage
 ``cache_hits``/``cache_misses`` extras as well.  The loader accepts all
-seven.
+eight.
 
 Counters (:class:`repro.owl.pipeline.StageCounters`) stay byte-identical
 between serial and parallel runs; metrics are *observations* and naturally
@@ -145,12 +156,12 @@ from typing import Dict, Iterable, List, Optional
 #: Version of the metrics JSON layout.  ``benchmarks/out/metrics_*.json``
 #: files are compared across PRs; the loader refuses files whose schema it
 #: does not understand rather than silently mis-reading them.
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
-#: Versions :func:`load_metrics` can still read.  Schemas 1–6 are strict
-#: subsets of schema 7 (fewer optional blocks), so old files remain
+#: Versions :func:`load_metrics` can still read.  Schemas 1–7 are strict
+#: subsets of schema 8 (fewer optional blocks), so old files remain
 #: loadable.
-SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6, 7)
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6, 7, 8)
 
 
 class MetricsSchemaError(ValueError):
@@ -278,6 +289,11 @@ class PipelineMetrics:
         #: per-pair evidence status — deterministic given the recorded
         #: log, so jobs=1 and jobs=N emit bit-identical blocks.
         self.predict: Optional[Dict] = None
+        #: ``OwlPipeline._fuse_block()`` of a superinstruction-fused run
+        #: (schema 8): compiled blocks, fused-step share and bailouts of
+        #: the in-process engine.  Observational — pooled workers fuse
+        #: with per-seed engines invisible to this block.
+        self.fuse: Optional[Dict] = None
 
     # ------------------------------------------------------------------
 
@@ -330,6 +346,8 @@ class PipelineMetrics:
             data["telemetry"] = self.telemetry
         if self.predict is not None:
             data["predict"] = self.predict
+        if self.fuse is not None:
+            data["fuse"] = self.fuse
         return data
 
     def save(self, path: str) -> str:

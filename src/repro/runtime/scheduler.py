@@ -30,6 +30,27 @@ class Scheduler:
     def choose(self, runnable: List[ThreadContext], step: int) -> ThreadContext:
         raise NotImplementedError
 
+    def run_length(self, thread: ThreadContext, step: int,
+                   max_len: int) -> int:
+        """Guaranteed no-preempt run length for block fusion.
+
+        Called by the VM immediately after :meth:`choose` returned
+        ``thread`` for decision ``step``, and only while the runnable set
+        is guaranteed not to change (nothing blocked, halted or sleeping;
+        fused instructions cannot spawn, block or exit).  Returns a length
+        ``k`` in ``[1, max_len]`` promising that the next ``k - 1`` calls
+        to :meth:`choose` would also return ``thread``, and advances any
+        internal state exactly as those ``k - 1`` calls would have — so
+        the schedule is bit-identical whether the VM fuses or not.
+
+        The default of 1 disables fusion.  Wrapping schedulers
+        (recording, replay, scripted, coverage tracking, the sampling
+        profiler) deliberately keep this default: they observe every
+        individual decision, so their outputs stay byte-identical with
+        fusion on or off.
+        """
+        return 1
+
     def on_thread_created(self, thread: ThreadContext) -> None:
         pass
 
@@ -73,6 +94,19 @@ class RoundRobinScheduler(Scheduler):
         self._remaining = self.quantum - 1
         return chosen
 
+    def run_length(self, thread: ThreadContext, step: int,
+                   max_len: int) -> int:
+        # ``choose`` just returned ``thread`` leaving ``_remaining`` steps
+        # of its quantum: each of the next ``_remaining`` choices keeps the
+        # current thread, so the guaranteed run is ``_remaining + 1`` long
+        # (including the step already chosen).  Committing ``length - 1``
+        # decisions consumes exactly that much quantum.
+        if max_len <= 1:
+            return 1
+        length = min(max_len, self._remaining + 1)
+        self._remaining -= length - 1
+        return length
+
     def reset(self) -> None:
         self._current_id = None
         self._remaining = self.quantum
@@ -84,12 +118,80 @@ class RandomScheduler(Scheduler):
     def __init__(self, seed: int = 0):
         self.seed = seed
         self._rng = random.Random(seed)
+        self._last_n: Optional[int] = None
+        self._last_index = 0
+        self._pending: Optional[int] = None  # pre-drawn index (run_length)
+        self._pending_n = 0
 
     def choose(self, runnable: List[ThreadContext], step: int) -> ThreadContext:
-        return runnable[self._rng.randrange(len(runnable))]
+        n = len(runnable)
+        pending = self._pending
+        if pending is None:
+            index = self._rng.randrange(n)
+        else:
+            # run_length already drew this decision while scanning ahead;
+            # serve it verbatim so the rng stream matches stepwise
+            # execution draw for draw.
+            self._pending = None
+            if self._pending_n != n:
+                raise RuntimeError(
+                    "run_length no-preempt contract violated: runnable set "
+                    "changed size (%d -> %d) under a pending draw"
+                    % (self._pending_n, n))
+            index = pending
+        self._last_n = n
+        self._last_index = index
+        return runnable[index]
+
+    def run_length(self, thread: ThreadContext, step: int,
+                   max_len: int) -> int:
+        # Seeded lookahead on the *real* rng: each draw is exactly the
+        # draw the next ``choose`` would make (the runnable list — hence
+        # its length and the chosen thread's index — is invariant during
+        # a fused run), so a matching draw is simply committed.  The
+        # first differing draw ends the run and is cached in
+        # ``_pending`` for the next ``choose`` to serve verbatim: that
+        # next choose is guaranteed to happen with the same runnable set
+        # because a diverging lookahead always stops strictly inside the
+        # caller's window (length < max_len ≤ limit/sleeper clamps), and
+        # fused instructions make no calls, so nothing can finish,
+        # spawn, unlock or wake before the draw is consumed.  Note
+        # ``randrange(n)`` consumes entropy even for ``n == 1``
+        # (rejection sampling), so single-threaded runs must advance the
+        # rng draw by draw to stay bit-identical.
+        if max_len <= 1 or self._last_n is None:
+            return 1
+        n = self._last_n
+        if n > 3:
+            # Expected no-preempt run shrinks as n/(n-1): with four or
+            # more runnable threads the lookahead almost always stops at
+            # the first draw, so skip it (returning 1 commits nothing —
+            # the next choose simply draws for itself).
+            return 1
+        draw = self._rng.randrange
+        if n == 1:
+            # Only one runnable thread: every draw picks it; just consume
+            # the entropy the skipped ``choose`` calls would have.
+            for _ in range(max_len - 1):
+                draw(1)
+            return max_len
+        index = self._last_index
+        length = 1
+        while length < max_len:
+            decision = draw(n)
+            if decision != index:
+                self._pending = decision
+                self._pending_n = n
+                break
+            length += 1
+        return length
 
     def reset(self) -> None:
         self._rng = random.Random(self.seed)
+        self._last_n = None
+        self._last_index = 0
+        self._pending = None
+        self._pending_n = 0
 
 
 class PCTScheduler(Scheduler):
@@ -147,6 +249,22 @@ class PCTScheduler(Scheduler):
             self._priorities[chosen.thread_id] = self._low_water
             chosen = max(runnable, key=self._priority)
         return chosen
+
+    def run_length(self, thread: ThreadContext, step: int,
+                   max_len: int) -> int:
+        # Priorities only move at change points, and every runnable thread
+        # already has a priority assigned (``choose`` evaluated the whole
+        # runnable list at ``step``), so the highest-priority thread keeps
+        # winning until the next change point: the guaranteed run is the
+        # distance to it.  No state needs committing — the skipped
+        # ``choose`` calls would not have mutated anything.
+        if max_len <= 1:
+            return 1
+        length = 1
+        change_points = self._change_points
+        while length < max_len and (step + length) not in change_points:
+            length += 1
+        return length
 
 
 ScriptSegment = Tuple[Union[int, str], int]
@@ -214,6 +332,12 @@ class ScriptedScheduler(Scheduler):
             return min(runnable, key=lambda t: t.thread_id)
         return self.fallback.choose(runnable, step)
 
+    def run_length(self, thread: ThreadContext, step: int,
+                   max_len: int) -> int:
+        # Scripted schedules express per-instruction ordering for the
+        # verifiers; fusion must never skip a scripted decision.
+        return 1
+
     def on_thread_created(self, thread: ThreadContext) -> None:
         # The fallback takes over once the script is exhausted; it must
         # learn about every thread created while the script was running.
@@ -245,6 +369,12 @@ class RecordingScheduler(Scheduler):
         chosen = self.inner.choose(runnable, step)
         self.trace.append(chosen.thread_id)
         return chosen
+
+    def run_length(self, thread: ThreadContext, step: int,
+                   max_len: int) -> int:
+        # Recording must log one entry per scheduling decision; a fused
+        # run would silently drop trace entries.
+        return 1
 
     def on_thread_created(self, thread: ThreadContext) -> None:
         self.inner.on_thread_created(thread)
@@ -278,6 +408,12 @@ class ReplayScheduler(Scheduler):
             self.divergences += 1
             return min(runnable, key=lambda t: t.thread_id)
         return self.fallback.choose(runnable, step)
+
+    def run_length(self, thread: ThreadContext, step: int,
+                   max_len: int) -> int:
+        # Replay consumes exactly one recorded decision per step; fusing
+        # would desynchronize the cursor from the log.
+        return 1
 
     def on_thread_created(self, thread: ThreadContext) -> None:
         # The fallback takes over once the trace is exhausted; it must

@@ -10,7 +10,7 @@ Covers the four layers of :mod:`repro.detectors.predict`:
   synthesized witness schedule with a fresh TSan detector);
 - the **explorer wave-0 integration**: jobs=1 and jobs=2 produce
   bit-identical ``predict`` metrics blocks and report sets, and the
-  pipeline lands the block in the schema-7 metrics JSON with the
+  pipeline lands the block in the schema-8 metrics JSON with the
   ``predicted`` provenance verdict attached;
 - the **predicted ⊇ observed** property on random IR: every race the HB
   detector observed in the trace is predicted from it (each closure edge
@@ -202,7 +202,7 @@ class TestExplorerPredictWave:
             json.dumps(result_2.metrics_block(), sort_keys=True)
         assert [r.uid for r in reports_1] == [r.uid for r in reports_2]
 
-    def test_pipeline_lands_schema7_predict_block(self):
+    def test_pipeline_lands_predict_block(self):
         from repro.apps.registry import spec_by_name
         from repro.owl.pipeline import OwlPipeline
 
@@ -210,7 +210,7 @@ class TestExplorerPredictWave:
                              predict=PredictPolicy()).run()
         assert result.predict is not None
         data = result.metrics.as_dict()
-        assert data["schema"] == 7
+        assert data["schema"] == 8
         assert data["predict"]["detector"] == "predict"
         assert data["predict"]["counters"]["predicted"] >= 1
         assert data["telemetry"]["counters"]["predict.predicted"] >= 1

@@ -26,9 +26,9 @@ class TestMetricsSchema:
     def test_as_dict_declares_current_schema(self):
         assert PipelineMetrics("demo").as_dict()["schema"] == SCHEMA_VERSION
 
-    def test_current_schema_is_seven_and_supports_ancestors(self):
-        assert SCHEMA_VERSION == 7
-        assert SUPPORTED_SCHEMAS == (1, 2, 3, 4, 5, 6, 7)
+    def test_current_schema_is_eight_and_supports_ancestors(self):
+        assert SCHEMA_VERSION == 8
+        assert SUPPORTED_SCHEMAS == (1, 2, 3, 4, 5, 6, 7, 8)
 
     def test_loader_accepts_all_supported_versions(self, tmp_path):
         path = saved_metrics(tmp_path)
