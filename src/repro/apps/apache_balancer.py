@@ -254,6 +254,26 @@ def apache_balancer_attack() -> AttackGroundTruth:
     )
 
 
+def build_fixed_module() -> Module:
+    return build_module(fixed=True)
+
+
+def apache_balancer_fixed_spec() -> ProgramSpec:
+    """Ground-truth fixed variant: check-and-decrement under a mutex."""
+    return ProgramSpec(
+        name="apache_balancer_fixed",
+        module_factory=build_fixed_module,
+        detector="tsan",
+        entry="main",
+        workload_inputs=workload_inputs(),
+        detect_seeds=range(12),
+        verify_seeds=range(10),
+        max_steps=80_000,
+        attacks=[],
+        paper_loc="290K",
+    )
+
+
 def apache_balancer_spec() -> ProgramSpec:
     return ProgramSpec(
         name="apache_balancer",

@@ -43,8 +43,14 @@ MESSAGE_LEN = 20
 VICTIM_FD = 4
 
 
-def build_into(b: IRBuilder) -> dict:
-    """Add the mod_log code to a module; returns named handles."""
+def build_into(b: IRBuilder, fixed: bool = False) -> dict:
+    """Add the mod_log code to a module; returns named handles.
+
+    With ``fixed=True`` the writer body runs under a mutex (the upstream
+    fix shape): check, memcpy and cursor advance become one critical
+    section, so the stale-cursor overflow cannot happen and the detector
+    reports no race on ``outcnt``.
+    """
     module = b.module
     log_struct = b.struct("buffered_log", [
         ("outcnt", I64),
@@ -53,6 +59,7 @@ def build_into(b: IRBuilder) -> dict:
         ("spare", ArrayType(I8, 16)),
     ])
     log_global = b.global_var("buffered_log_state", log_struct)
+    log_lock = b.global_var("buffered_log_lock", I64, 0) if fixed else None
 
     # ------------------------------------------------------------------
     # flush_log: drain outbuf to the (possibly corrupted) descriptor
@@ -80,6 +87,9 @@ def build_into(b: IRBuilder) -> dict:
                      [("handle", ptr(I8)), ("strs", ptr(I8)), ("len", I64)],
                      source_file="http_log.c")
     buf = b.cast("bitcast", b.arg("handle"), ptr(log_struct), name="buf", line=1339)
+    if fixed:
+        b.call("mutex_lock",
+               [b.cast("bitcast", log_lock, ptr(I8), line=1340)], line=1340)
     outcnt_slot = b.field(buf, "outcnt", line=1342)
     outcnt = b.load(outcnt_slot, line=1342)
     total = b.add(b.arg("len"), outcnt, line=1342)
@@ -98,6 +108,9 @@ def build_into(b: IRBuilder) -> dict:
            line=1359)                                      # <- vulnerable site
     before = b.load(outcnt_slot, line=1362)
     b.store(b.add(before, b.arg("len"), line=1362), outcnt_slot, line=1362)
+    if fixed:
+        b.call("mutex_unlock",
+               [b.cast("bitcast", log_lock, ptr(I8), line=1363)], line=1363)
     b.ret(b.i32(0), line=1363)
     b.end_function()
 
@@ -136,10 +149,10 @@ def setup_main_body(b: IRBuilder, handles: dict, line: int = 1500) -> int:
     return line + 4
 
 
-def build_module() -> Module:
-    module = Module("apache_log")
+def build_module(fixed: bool = False) -> Module:
+    module = Module("apache_log" if not fixed else "apache_log_fixed")
     b = IRBuilder(module)
-    handles = build_into(b)
+    handles = build_into(b, fixed=fixed)
     b.begin_function("main", I32, [], source_file="main.c")
     line = setup_main_body(b, handles, line=1500)
     worker = module.get_function("log_worker")
@@ -228,6 +241,26 @@ def apache_log_attack() -> AttackGroundTruth:
         ),
         reference="Apache bug 25520, paper Figure 7 / section 8.4",
         subtle_input_summary="Concurrent requests with crafted log lengths",
+    )
+
+
+def build_fixed_module() -> Module:
+    return build_module(fixed=True)
+
+
+def apache_log_fixed_spec() -> ProgramSpec:
+    """Ground-truth fixed variant: the writer is mutex-protected."""
+    return ProgramSpec(
+        name="apache_log_fixed",
+        module_factory=build_fixed_module,
+        detector="tsan",
+        entry="main",
+        workload_inputs=workload_inputs(),
+        detect_seeds=range(12),
+        verify_seeds=range(10),
+        max_steps=60_000,
+        attacks=[],
+        paper_loc="290K",
     )
 
 

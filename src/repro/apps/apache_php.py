@@ -146,6 +146,26 @@ def apache_php_attack() -> AttackGroundTruth:
     )
 
 
+def build_fixed_module() -> Module:
+    return build_module(fixed=True)
+
+
+def apache_php_fixed_spec() -> ProgramSpec:
+    """Ground-truth fixed variant: the pool release runs under a mutex."""
+    return ProgramSpec(
+        name="apache_php_fixed",
+        module_factory=build_fixed_module,
+        detector="tsan",
+        entry="main",
+        workload_inputs=workload_inputs(),
+        detect_seeds=range(12),
+        verify_seeds=range(10),
+        max_steps=40_000,
+        attacks=[],
+        paper_loc="290K",
+    )
+
+
 def apache_php_spec() -> ProgramSpec:
     return ProgramSpec(
         name="apache_php",

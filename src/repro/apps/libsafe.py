@@ -215,6 +215,26 @@ def attack_realized(vm: VM) -> bool:
 # the spec
 
 
+def build_fixed_module() -> Module:
+    return build_module(fixed=True)
+
+
+def libsafe_fixed_spec() -> ProgramSpec:
+    """Ground-truth fixed variant: the ``dying`` flag is atomic."""
+    return ProgramSpec(
+        name="libsafe_fixed",
+        module_factory=build_fixed_module,
+        detector="tsan",
+        entry="main",
+        workload_inputs=workload_inputs(),
+        detect_seeds=range(12),
+        verify_seeds=range(10),
+        max_steps=60_000,
+        attacks=[],
+        paper_loc="3.4K",
+    )
+
+
 def libsafe_spec() -> ProgramSpec:
     module = build_module()
     probe = VM(module)

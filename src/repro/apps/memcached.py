@@ -21,11 +21,15 @@ from repro.ir.verifier import verify_module
 from repro.spec import ProgramSpec
 
 
-def build_module() -> Module:
-    module = Module("memcached")
+def build_module(fixed: bool = False) -> Module:
+    """With ``fixed=True`` the statistics counters bump atomically — the
+    upstream fix shape for the only verifiable races in this model; the
+    publish hand-offs are unchanged (they never verify)."""
+    module = Module("memcached" if not fixed else "memcached_fixed")
     b = IRBuilder(module)
     producer, consumer = add_publish_races(b, 12, "items.c", first_line=7000)
-    counters = add_benign_counters(b, 2, "stats.c", first_line=9000)
+    counters = add_benign_counters(b, 2, "stats.c", first_line=9000,
+                                   atomic=fixed)
     b.begin_function("main", I32, [], source_file="memcached.c")
     line = 100
     threads = []
@@ -40,6 +44,25 @@ def build_module() -> Module:
     b.end_function()
     verify_module(module)
     return module
+
+
+def build_fixed_module() -> Module:
+    return build_module(fixed=True)
+
+
+def memcached_fixed_spec() -> ProgramSpec:
+    """Ground-truth fixed variant: atomic counters, no verifiable races."""
+    return ProgramSpec(
+        name="memcached_fixed",
+        module_factory=build_fixed_module,
+        detector="tsan",
+        entry="main",
+        workload_inputs={},
+        detect_seeds=range(12),
+        verify_seeds=range(8),
+        max_steps=60_000,
+        attacks=[],
+    )
 
 
 def memcached_spec() -> ProgramSpec:

@@ -212,28 +212,37 @@ _FACTORIES: Dict[str, Callable[[], ProgramSpec]] = {}
 
 def _ensure_factories() -> Dict[str, Callable[[], ProgramSpec]]:
     if not _FACTORIES:
-        from repro.apps.apache_balancer import apache_balancer_spec
-        from repro.apps.apache_log import apache_log_spec
-        from repro.apps.apache_php import apache_php_spec
+        from repro.apps.apache_balancer import (
+            apache_balancer_fixed_spec, apache_balancer_spec)
+        from repro.apps.apache_log import (
+            apache_log_fixed_spec, apache_log_spec)
+        from repro.apps.apache_php import (
+            apache_php_fixed_spec, apache_php_spec)
         from repro.apps.chrome import chrome_spec
-        from repro.apps.libsafe import libsafe_spec
+        from repro.apps.libsafe import libsafe_fixed_spec, libsafe_spec
         from repro.apps.linux_proc import linux_proc_spec
         from repro.apps.linux_uselib import linux_uselib_spec
-        from repro.apps.memcached import memcached_spec
+        from repro.apps.memcached import (
+            memcached_fixed_spec, memcached_spec)
         from repro.apps.mysql import mysql_spec
         from repro.apps.ssdb import ssdb_spec
 
         _FACTORIES.update({
             "apache": apache_spec,
             "apache_log": apache_log_spec,
+            "apache_log_fixed": apache_log_fixed_spec,
             "apache_balancer": apache_balancer_spec,
+            "apache_balancer_fixed": apache_balancer_fixed_spec,
             "apache_php": apache_php_spec,
+            "apache_php_fixed": apache_php_fixed_spec,
             "chrome": chrome_spec,
             "libsafe": libsafe_spec,
+            "libsafe_fixed": libsafe_fixed_spec,
             "linux": linux_spec,
             "linux_uselib": linux_uselib_spec,
             "linux_proc": linux_proc_spec,
             "memcached": memcached_spec,
+            "memcached_fixed": memcached_fixed_spec,
             "mysql": mysql_spec,
             "ssdb": ssdb_spec,
         })

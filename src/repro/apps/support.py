@@ -25,6 +25,7 @@ def add_benign_counters(
     first_line: int = 9000,
     iterations: int = 1,
     prefix: str = "stat",
+    atomic: bool = False,
 ) -> str:
     """Create ``count`` racy-but-harmless statistics counters.
 
@@ -32,7 +33,9 @@ def add_benign_counters(
     ``iterations`` times without holding a lock.  Two such workers racing
     produce ``count`` distinct benign race reports (reads and writes of each
     counter), none of which is an adhoc sync and all of which verify as real
-    races — the reports that "deeply bury the vulnerable ones".
+    races — the reports that "deeply bury the vulnerable ones".  With
+    ``atomic=True`` the bumps use atomic loads/stores — the "fixed"
+    upstream shape, under which the detector reports nothing.
     """
     counters: List[GlobalVariable] = []
     for index in range(count):
@@ -45,8 +48,9 @@ def add_benign_counters(
     line = first_line
     for _ in range(iterations):
         for counter in counters:
-            value = builder.load(counter, line=line)
-            builder.store(builder.add(value, 1, line=line), counter, line=line)
+            value = builder.load(counter, line=line, atomic=atomic)
+            builder.store(builder.add(value, 1, line=line), counter,
+                          line=line, atomic=atomic)
             line += 1
     builder.ret(builder.i32(0), line=line)
     builder.end_function()

@@ -22,6 +22,11 @@ Commands:
   recorded execution via the sync-preserving closure
   (``--optimistic`` for the sync-reversal relaxation, ``--no-witness``
   to skip replay confirmation).
+- ``owl fix <program>`` — run the pipeline, then synthesize and gate
+  IR-level patches for every verified race (``repro.owl.repair``): a
+  patch is emitted only when the diff oracle, the detector re-run, and
+  the scheduler sweep all pass; ``--out DIR`` writes one patch+evidence
+  JSON artifact per repaired race.
 - ``owl resume <program>`` — finish an interrupted ``--cache`` run from
   its journal (completed work is answered from the result cache).
 - ``owl watch <feed>`` — follow a run's live event feed (``tail -f`` for
@@ -254,6 +259,47 @@ def _cmd_export(args) -> int:
         _save_trace(result, args.trace)
     _finish_telemetry(result, args)
     _finish_cached_run(cache, journal)
+    return 0
+
+
+def _cmd_fix(args) -> int:
+    import json
+    import os
+
+    from repro import spec_by_name
+    from repro.owl.repair import merge_repair_telemetry, repair_program
+
+    spec = spec_by_name(args.program)
+    pipeline, cache, journal = _make_pipeline(
+        spec, args, journal_config={"metrics_path": args.metrics})
+    result = pipeline.run()
+    repair = repair_program(
+        spec, result=result,
+        sweep_seeds=range(args.sweep_seeds),
+        max_targets=args.max_targets,
+        include_adhoc=args.include_adhoc,
+        cache=cache,
+    )
+    result.metrics.repair = repair.metrics_block()
+    merge_repair_telemetry(result, repair)
+    print("== OWL fix: %s ==" % spec.name)
+    print(repair.describe())
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for payload in repair.patch_payloads():
+            path = os.path.join(args.out, "patch_%s_%s.json" % (
+                spec.name, payload["target"]["uid"]))
+            with open(path, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print("patch artifact written to %s" % path)
+    if args.metrics:
+        result.metrics.save(args.metrics)
+        print("metrics written to %s" % args.metrics)
+    _finish_cached_run(cache, journal)
+    if repair.targets and not repair.emitted:
+        print("no candidate survived all three gates", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -756,6 +802,30 @@ def build_parser() -> argparse.ArgumentParser:
     add_fuse_arguments(export)
     add_telemetry_arguments(export)
     export.set_defaults(func=_cmd_export)
+    fix = sub.add_parser(
+        "fix",
+        help="synthesize and gate IR-level patches for the verified races")
+    fix.add_argument("program")
+    fix.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the pipeline's parallel "
+                          "stages (repair itself runs serially; default: 1)")
+    fix.add_argument("--out", metavar="DIR", default=None,
+                     help="write one patch+evidence JSON artifact per "
+                          "repaired race under DIR")
+    fix.add_argument("--metrics", metavar="PATH", default=None,
+                     help="write the run's metrics JSON (schema 9, with "
+                          "the `repair` block) to PATH")
+    fix.add_argument("--sweep-seeds", type=int, default=3, metavar="N",
+                     help="seeds 0..N-1 for the gate (c) scheduler sweep "
+                          "(default: 3)")
+    fix.add_argument("--max-targets", type=int, default=None, metavar="N",
+                     help="repair at most the first N verified races "
+                          "(static-key order)")
+    fix.add_argument("--include-adhoc", action="store_true", default=False,
+                     help="also target adhoc-annotated reports (the "
+                          "realsync rewrite is the natural candidate)")
+    add_cache_arguments(fix)
+    fix.set_defaults(func=_cmd_fix)
     resume = sub.add_parser(
         "resume",
         help="finish an interrupted --cache run from its journal")

@@ -273,7 +273,13 @@ class Call(Instruction):
 
     def describe(self) -> str:
         args = ", ".join(op.short_name() for op in self.operands)
-        return "call %s(%s)" % (self.callee_name(), args)
+        name = self.callee_name()
+        if name == "<indirect>":
+            # The callee value identity must feed the printed form (and so
+            # the module digest): two indirect calls through different
+            # pointers are different sync surfaces.
+            name = "<indirect %s>" % self.callee.short_name()
+        return "call %s(%s)" % (name, args)
 
 
 class Ret(Instruction):

@@ -68,6 +68,11 @@ class Module:
 
     def register_instruction(self, instruction: Instruction) -> None:
         if instruction.uid is not None:
+            # Adopt a pre-assigned uid (module cloning relies on this: a
+            # clone's instructions must keep the original uids so race-report
+            # static keys stay valid across the copy).
+            self._instructions_by_uid[instruction.uid] = instruction
+            self._next_uid = max(self._next_uid, instruction.uid + 1)
             return
         instruction.uid = self._next_uid
         self._next_uid += 1

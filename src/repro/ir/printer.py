@@ -48,7 +48,16 @@ def print_module(module: Module) -> str:
         fields = ", ".join("%s %s" % (t, n) for n, t in struct.fields)
         lines.append("%s = type { %s }" % (struct, fields))
     for variable in module.globals.values():
-        lines.append("@%s = global %s" % (variable.name, variable.value_type))
+        # The initializer is part of the digest-relevant surface: two modules
+        # whose globals differ only in initial value (e.g. a lock word seeded
+        # non-zero) must print — and therefore hash — differently.
+        if variable.initializer is None:
+            lines.append("@%s = global %s zeroinitializer"
+                         % (variable.name, variable.value_type))
+        else:
+            lines.append("@%s = global %s %r"
+                         % (variable.name, variable.value_type,
+                            variable.initializer))
     for external in module.externals.values():
         lines.append("declare %s @%s" % (external.ftype, external.name))
     for function in module.functions.values():

@@ -206,11 +206,20 @@ class ResultCache:
             self.journal.record(stage, key, "hit")
         return envelope["value"]
 
-    def put(self, stage: str, key: str, value) -> str:
-        """Persist one result atomically; returns the path written."""
+    def put(self, stage: str, key: str, value) -> Optional[str]:
+        """Persist one result atomically; returns the path written.
+
+        A cache is an accelerator, never a correctness dependency: an
+        ordinary store failure (disk full, permissions yanked mid-run)
+        discards the partial temp file, counts a ``store_errors``, and
+        returns ``None`` — the caller keeps its in-memory result and the
+        run proceeds as if caching were off.  ``KeyboardInterrupt`` and
+        ``SystemExit`` are re-raised after the temp file is discarded:
+        Ctrl-C mid-store must stop the run, not vanish into a silently
+        degraded miss.
+        """
         path = self._path(stage, key)
         directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
         envelope = {
             "schema": CACHE_SCHEMA,
             "stage": stage,
@@ -218,14 +227,25 @@ class ResultCache:
             "code": self.version,
             "value": value,
         }
-        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            self._count(stage, "store_errors")
+            return None
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(envelope, handle, default=repr)
             os.replace(temp_path, path)
-        except BaseException:
+        except (KeyboardInterrupt, SystemExit):
             self._discard(temp_path)
             raise
+        except Exception:
+            self._discard(temp_path)
+            self._count(stage, "store_errors")
+            return None
         self._count(stage, "stores")
         if self.journal is not None:
             self.journal.record(stage, key, "done")
@@ -263,10 +283,15 @@ class ResultCache:
         return sum(self._stage_value(stage, "stores")
                    for stage in self._stages)
 
+    @property
+    def store_errors(self) -> int:
+        return sum(self._stage_value(stage, "store_errors")
+                   for stage in self._stages)
+
     def stage_counters(self, stage: str) -> Dict[str, int]:
         """A copy of one stage's counters (zeros if the stage never ran)."""
         return {what: self._stage_value(stage, what)
-                for what in ("hits", "misses", "stores")}
+                for what in ("hits", "misses", "stores", "store_errors")}
 
     def counters(self) -> Dict:
         """The metrics-JSON ``"cache"`` block (schema 2)."""
@@ -276,6 +301,7 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "store_errors": self.store_errors,
             "stages": {
                 stage: self.stage_counters(stage)
                 for stage in sorted(self._stages)

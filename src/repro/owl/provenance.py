@@ -18,9 +18,10 @@ stage's actual evidence —
   attack, with the observed faults and the matched ground truth.
 
 Each report ends in exactly one terminal disposition — ``pruned-adhoc``,
-``unverified``, ``predicted``, ``verified-benign`` or ``attack`` — and
-``owl explain <program> <report-uid>`` renders the whole record as a
-narrative.
+``unverified``, ``predicted``, ``verified-benign``, ``attack`` or
+``repaired`` (an ``owl fix`` run emitted a patch that passed all three
+repair gates) — and ``owl explain <program> <report-uid>`` renders the
+whole record as a narrative.
 
 **Determinism and parity invariants** (what makes provenance comparable
 across runs, and what the cache/journal layer relies on):
@@ -59,6 +60,11 @@ DISPOSITION_ATTACK = "attack"
 #: that no later stage upgraded: witnessed (or honestly unwitnessed —
 #: ARCHITECTURE invariant 8) evidence, but never caught in a live sweep.
 DISPOSITION_PREDICTED = "predicted"
+#: A race for which ``owl fix`` emitted a patch that passed all three
+#: repair gates — diff oracle, detector re-run, scheduler sweep
+#: (ARCHITECTURE invariant 10).  Trumps every other disposition: a
+#: repaired report's history still shows how it was found and verified.
+DISPOSITION_REPAIRED = "repaired"
 
 SCHEMA_VERSION = 1
 
@@ -113,12 +119,15 @@ class ReportProvenance:
     def disposition(self) -> str:
         """The terminal disposition, resolved from the recorded verdicts.
 
-        Precedence mirrors the pipeline: a realized attack trumps
-        everything; an adhoc prune means the verifier never saw the report;
-        an unverified race was eliminated (R.V.E.); everything else that was
-        caught in the racing moment is verified-benign.
+        Precedence mirrors the pipeline: a gated repair trumps everything
+        (the report's history still shows how it was found); a realized
+        attack trumps the rest; an adhoc prune means the verifier never saw
+        the report; an unverified race was eliminated (R.V.E.); everything
+        else that was caught in the racing moment is verified-benign.
         """
         verdicts = set(self.verdicts())
+        if "repaired" in verdicts:
+            return DISPOSITION_REPAIRED
         if "attack-realized" in verdicts:
             return DISPOSITION_ATTACK
         if "pruned-adhoc" in verdicts or "eliminated-by-annotation" in verdicts:

@@ -19,6 +19,7 @@ next scheduled.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional
 
 from repro.runtime.errors import FaultEvent, FaultKind
@@ -62,6 +63,30 @@ def lookup(name: str) -> ExternalImpl:
         return _REGISTRY[name]
     except KeyError:
         raise KeyError("no runtime implementation for external %r" % name) from None
+
+
+@contextmanager
+def overridden(name: str, impl: ExternalImpl):
+    """Temporarily replace one external's implementation.
+
+    Used by the repair oracle to neutralize timing externals
+    (``io_delay``/``usleep``) when computing a *serialized reference*
+    execution: delays only constrain when a work-conserving scheduler runs
+    the other threads, so the delay-free behaviours are exactly the
+    behaviours of the idealized semantics in which a scheduler may idle —
+    including the fully serialized one no work-conserving schedule can
+    produce.  The override is process-global while the context is open;
+    callers run single-threaded (the repair path is serial by design).
+    """
+    saved = _REGISTRY.get(name)
+    _REGISTRY[name] = impl
+    try:
+        yield
+    finally:
+        if saved is None:
+            _REGISTRY.pop(name, None)
+        else:
+            _REGISTRY[name] = saved
 
 
 def has_impl(name: str) -> bool:

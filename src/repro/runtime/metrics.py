@@ -130,7 +130,9 @@ Schema of the exported JSON (one file per program run)::
       }
     }
 
-Schema 7 files are identical minus the ``fuse`` block (and the
+Schema 8 files are identical minus the ``repair`` block
+(:meth:`repro.owl.repair.RepairResult.metrics_block` of an ``owl fix``
+run); schema 7 files additionally lack the ``fuse`` block (and the
 ``diff_oracle`` block's ``fused_*`` fields); schema 6 files additionally
 lack the ``predict`` block; schema 5 files additionally lack the
 ``telemetry`` block; schema 4 files further lack the ``replay`` block;
@@ -138,7 +140,7 @@ schema 3 files further lack the ``diff_oracle`` block; schema 2 files
 further lack the ``explore`` block; schema 1 files lack the
 ``cache``/``batch`` blocks and the per-stage
 ``cache_hits``/``cache_misses`` extras as well.  The loader accepts all
-eight.
+nine.
 
 Counters (:class:`repro.owl.pipeline.StageCounters`) stay byte-identical
 between serial and parallel runs; metrics are *observations* and naturally
@@ -156,12 +158,12 @@ from typing import Dict, Iterable, List, Optional
 #: Version of the metrics JSON layout.  ``benchmarks/out/metrics_*.json``
 #: files are compared across PRs; the loader refuses files whose schema it
 #: does not understand rather than silently mis-reading them.
-SCHEMA_VERSION = 8
+SCHEMA_VERSION = 9
 
-#: Versions :func:`load_metrics` can still read.  Schemas 1–7 are strict
-#: subsets of schema 8 (fewer optional blocks), so old files remain
+#: Versions :func:`load_metrics` can still read.  Schemas 1–8 are strict
+#: subsets of schema 9 (fewer optional blocks), so old files remain
 #: loadable.
-SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6, 7, 8)
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6, 7, 8, 9)
 
 
 class MetricsSchemaError(ValueError):
@@ -294,6 +296,12 @@ class PipelineMetrics:
         #: the in-process engine.  Observational — pooled workers fuse
         #: with per-seed engines invisible to this block.
         self.fuse: Optional[Dict] = None
+        #: ``RepairResult.metrics_block()`` of an ``owl fix`` run
+        #: (schema 9): per-target candidate/gate outcomes, emitted patch
+        #: digests and the ground-truth comparison — deterministic given
+        #: the spec (repair runs serially, targets in static-key order),
+        #: so jobs=1 and jobs=N emit bit-identical blocks.
+        self.repair: Optional[Dict] = None
 
     # ------------------------------------------------------------------
 
@@ -348,6 +356,8 @@ class PipelineMetrics:
             data["predict"] = self.predict
         if self.fuse is not None:
             data["fuse"] = self.fuse
+        if self.repair is not None:
+            data["repair"] = self.repair
         return data
 
     def save(self, path: str) -> str:

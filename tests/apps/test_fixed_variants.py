@@ -123,3 +123,33 @@ class TestApacheBalancerFixed:
         base = vm.global_address("requests_assigned")
         assigned0 = vm.memory.read_int(base, 8)
         assert assigned0 > 0  # worker 0 is not starved
+
+
+class TestFixedRegistry:
+    """Every ground-truth fixed variant is reachable by name — the repair
+    engine's ground-truth check (`repro.owl.repair._check_ground_truth`)
+    resolves them through `spec_by_name`."""
+
+    FIXED_NAMES = ("apache_balancer_fixed", "apache_log_fixed",
+                   "apache_php_fixed", "libsafe_fixed", "memcached_fixed")
+
+    def test_every_fixed_variant_is_registered(self):
+        from repro.apps.registry import has_spec, known_spec_names
+
+        names = known_spec_names()
+        for name in self.FIXED_NAMES:
+            assert has_spec(name)
+            assert name in names
+        assert len(names) == 17
+
+    def test_fixed_specs_build_verifier_clean(self):
+        from repro.apps.registry import spec_by_name
+        from repro.ir.verifier import verify_module
+
+        for name in self.FIXED_NAMES:
+            spec = spec_by_name(name)
+            module = spec.build()
+            verify_module(module)
+            assert module.name == name
+            assert spec.attacks == []
+            assert spec.name == name

@@ -210,7 +210,7 @@ class TestExplorerPredictWave:
                              predict=PredictPolicy()).run()
         assert result.predict is not None
         data = result.metrics.as_dict()
-        assert data["schema"] == 8
+        assert data["schema"] == 9
         assert data["predict"]["detector"] == "predict"
         assert data["predict"]["counters"]["predicted"] >= 1
         assert data["telemetry"]["counters"]["predict.predicted"] >= 1

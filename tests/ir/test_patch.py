@@ -1,0 +1,147 @@
+"""Tests for module cloning and undo-logged patching (repro.ir.patch).
+
+The contract the repair engine relies on: a clone prints (and therefore
+digests) identically to the original while preserving instruction uids; a
+patch changes the digest — patched modules are distinct cache keys — and
+``revert()`` restores the clone bit-for-bit.
+"""
+
+import pytest
+
+from repro.apps.registry import all_specs, spec_by_name
+from repro.ir.instructions import Load, Store
+from repro.ir.patch import ModulePatcher, clone_module, ir_diff
+from repro.ir.printer import print_module
+from repro.ir.types import I64
+from repro.ir.verifier import verify_module
+from repro.owl.cache import ResultCache, module_digest
+from repro.owl.repair import synthesize_mutex
+
+APP_NAMES = [spec.name for spec in all_specs()]
+
+
+def first_access_uid(module):
+    """The lowest-uid non-atomic Load/Store — a generic mutex target."""
+    uids = [
+        instruction.uid
+        for function in module.functions.values()
+        for instruction in function.instructions()
+        if isinstance(instruction, (Load, Store)) and not instruction.atomic
+    ]
+    assert uids, "no plain shared access in %s" % module.name
+    return min(uids)
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+class TestCloneAllApps:
+    def test_clone_prints_and_digests_identically(self, name):
+        module = spec_by_name(name).build()
+        clone = clone_module(module)
+        assert print_module(clone) == print_module(module)
+        assert module_digest(clone) == module_digest(module)
+
+    def test_clone_is_verifier_clean(self, name):
+        clone = clone_module(spec_by_name(name).build())
+        verify_module(clone)
+
+    def test_clone_preserves_uids(self, name):
+        module = spec_by_name(name).build()
+        clone = clone_module(module)
+        for function in module.functions.values():
+            for instruction in function.instructions():
+                twin = clone.instruction_by_uid(instruction.uid)
+                assert twin is not instruction
+                assert twin.opcode == instruction.opcode
+                assert twin.location == instruction.location
+
+    def test_mutex_patch_is_verifier_clean(self, name):
+        """Satellite: every app accepts a synthesized lock patch."""
+        module = spec_by_name(name).build()
+        clone = clone_module(module)
+        uid = first_access_uid(clone)
+        patcher = synthesize_mutex(clone, (uid, uid))
+        assert patcher is not None
+        verify_module(clone)
+        assert ir_diff(module, clone)
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+class TestApplyRevertRoundTrip:
+    def test_revert_restores_print_digest_and_uids(self, name):
+        module = spec_by_name(name).build()
+        clone = clone_module(module)
+        before = print_module(clone)
+        next_uid = clone._next_uid
+        uid = first_access_uid(clone)
+        patcher = synthesize_mutex(clone, (uid, uid))
+        assert patcher is not None
+        assert print_module(clone) != before
+        assert module_digest(clone) != module_digest(module)
+        patcher.revert()
+        assert print_module(clone) == before
+        assert module_digest(clone) == module_digest(module)
+        assert clone._next_uid == next_uid
+        verify_module(clone)
+
+
+class TestPatcherJournal:
+    def test_ops_record_every_edit_and_clear_on_revert(self):
+        module = spec_by_name("libsafe").build()
+        clone = clone_module(module)
+        patcher = ModulePatcher(clone)
+        patcher.add_global("repair_demo_lock", I64, 0)
+        patcher.ensure_external("mutex_lock")
+        assert len(patcher.ops) == 2
+        patcher.revert()
+        assert patcher.ops == []
+        assert "repair_demo_lock" not in clone.globals
+
+    def test_clone_edits_never_leak_to_original(self):
+        module = spec_by_name("libsafe").build()
+        before = print_module(module)
+        clone = clone_module(module)
+        uid = first_access_uid(clone)
+        assert synthesize_mutex(clone, (uid, uid)) is not None
+        assert print_module(module) == before
+
+
+class TestPatchedCacheKeys:
+    """Regression: a lock-insertion patch must change the detect cache key,
+    or a warm cache would answer detector queries about the patched module
+    with the unpatched module's reports — and the repair gates would lie."""
+
+    def test_lock_insertion_changes_detect_key(self, tmp_path):
+        module = spec_by_name("memcached").build()
+        clone = clone_module(module)
+        cache = ResultCache(str(tmp_path))
+        key_original = cache.key("detect", module=module, seed=0)
+        uid = first_access_uid(clone)
+        assert synthesize_mutex(clone, (uid, uid)) is not None
+        key_patched = cache.key("detect", module=clone, seed=0)
+        assert key_patched != key_original
+
+    def test_atomic_flip_changes_detect_key(self, tmp_path):
+        """The realsync candidate only flips atomic flags — the flag must
+        feed the printed IR (and hence the digest) for the same reason."""
+        module = spec_by_name("libsafe").build()
+        clone = clone_module(module)
+        uid = first_access_uid(clone)
+        patcher = ModulePatcher(clone)
+        patcher.set_atomic(clone.instruction_by_uid(uid), True)
+        cache = ResultCache(str(tmp_path))
+        assert cache.key("detect", module=clone, seed=0) != \
+            cache.key("detect", module=module, seed=0)
+
+    def test_reverted_clone_keys_like_the_original(self, tmp_path):
+        module = spec_by_name("memcached").build()
+        clone = clone_module(module)
+        uid = first_access_uid(clone)
+        patcher = synthesize_mutex(clone, (uid, uid))
+        patcher.revert()
+        # fresh caches: module_key memoizes per object, and the point here
+        # is the digest underneath, not the memo
+        key_original = ResultCache(str(tmp_path)).key(
+            "detect", module=module, seed=0)
+        key_reverted = ResultCache(str(tmp_path)).key(
+            "detect", module=clone, seed=0)
+        assert key_reverted == key_original

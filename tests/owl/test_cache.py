@@ -180,3 +180,62 @@ class TestCorruptionHandling:
         assert warm_cache.misses >= 1  # the corrupted entry re-ran
         assert warm.counters.parity_dict() == baseline.counters.parity_dict()
         assert warm.provenance.as_dict() == baseline.provenance.as_dict()
+
+
+class TestPutFailure:
+    """``put`` is an accelerator, never a correctness dependency: ordinary
+    store failures degrade to counted misses with no temp-file litter, but
+    Ctrl-C mid-store must still stop the run."""
+
+    def test_store_error_degrades_and_counts(self, tmp_path, monkeypatch):
+        import glob
+
+        cache = ResultCache(str(tmp_path))
+
+        def explode(_src, _dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", explode)
+        assert cache.put("detect", "ab" * 32, {"v": 1}) is None
+        assert cache.store_errors == 1
+        assert cache.stores == 0
+        assert not glob.glob(str(tmp_path / "detect" / "*" / "*.tmp"))
+
+    def test_unwritable_directory_degrades(self, tmp_path):
+        blocker = tmp_path / "root"
+        blocker.write_text("a file where the cache root should be")
+        cache = ResultCache(str(blocker))
+        assert cache.put("detect", "cd" * 32, {"v": 1}) is None
+        assert cache.store_errors == 1
+
+    def test_keyboard_interrupt_reraised_after_cleanup(self, tmp_path,
+                                                       monkeypatch):
+        import glob
+
+        cache = ResultCache(str(tmp_path))
+
+        def interrupt(_src, _dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(os, "replace", interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put("detect", "ef" * 32, {"v": 1})
+        # the partial temp file was discarded, and this is not an "error"
+        # the run should account as degraded caching — it is a stop
+        assert not glob.glob(str(tmp_path / "detect" / "*" / "*.tmp"))
+        assert cache.store_errors == 0
+
+    def test_failed_store_leaves_next_put_working(self, tmp_path,
+                                                  monkeypatch):
+        cache = ResultCache(str(tmp_path))
+        original_replace = os.replace
+
+        def explode_once(src, dst):
+            monkeypatch.setattr(os, "replace", original_replace)
+            raise OSError("transient")
+
+        monkeypatch.setattr(os, "replace", explode_once)
+        key = "12" * 32
+        assert cache.put("detect", key, {"v": 1}) is None
+        assert cache.put("detect", key, {"v": 1}) is not None
+        assert cache.get("detect", key) == {"v": 1}

@@ -129,7 +129,7 @@ class TestPipelineIntegration:
         assert result.explore is not None
         assert result.explore.seeds_executed >= 1
         data = result.metrics.as_dict()
-        assert data["schema"] == 8
+        assert data["schema"] == 9
         assert data["explore"]["saturation_wave"] == \
             result.explore.saturation_wave
         detect_stage = result.metrics.stage_by_name("detect")

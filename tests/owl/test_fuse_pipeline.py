@@ -84,7 +84,7 @@ class TestSchema8FuseBlock:
     def test_save_load_round_trip(self, fused_result, tmp_path):
         path = fused_result.metrics.save(str(tmp_path / "metrics.json"))
         data = load_metrics(path)
-        assert data["schema"] == 8
+        assert data["schema"] == 9
         assert data["fuse"] == fused_result.metrics.fuse
 
 

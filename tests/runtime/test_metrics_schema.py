@@ -26,9 +26,9 @@ class TestMetricsSchema:
     def test_as_dict_declares_current_schema(self):
         assert PipelineMetrics("demo").as_dict()["schema"] == SCHEMA_VERSION
 
-    def test_current_schema_is_eight_and_supports_ancestors(self):
-        assert SCHEMA_VERSION == 8
-        assert SUPPORTED_SCHEMAS == (1, 2, 3, 4, 5, 6, 7, 8)
+    def test_current_schema_is_nine_and_supports_ancestors(self):
+        assert SCHEMA_VERSION == 9
+        assert SUPPORTED_SCHEMAS == (1, 2, 3, 4, 5, 6, 7, 8, 9)
 
     def test_loader_accepts_all_supported_versions(self, tmp_path):
         path = saved_metrics(tmp_path)
@@ -90,6 +90,24 @@ class TestMetricsSchema:
     def test_replay_block_absent_by_default(self, tmp_path):
         data = load_metrics(saved_metrics(tmp_path))
         assert "replay" not in data
+
+    def test_repair_block_round_trips(self, tmp_path):
+        metrics = PipelineMetrics("demo", jobs=1)
+        metrics.repair = {"program": "demo", "original_digest": "ab12",
+                          "targets": 4, "candidates": 12, "emitted": 4,
+                          "ground_truth": {"spec": "demo_fixed",
+                                           "checked": 4, "matched": 4},
+                          "per_target": [], "counters": {}}
+        path = str(tmp_path / "metrics_repair_demo.json")
+        metrics.save(path)
+        data = load_metrics(path)
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["repair"]["emitted"] == 4
+        assert data["repair"]["ground_truth"]["matched"] == 4
+
+    def test_repair_block_absent_by_default(self, tmp_path):
+        data = load_metrics(saved_metrics(tmp_path))
+        assert "repair" not in data
 
     def test_telemetry_block_round_trips(self, tmp_path):
         metrics = PipelineMetrics("demo", jobs=1)

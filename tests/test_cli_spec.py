@@ -41,6 +41,27 @@ class TestCli:
         data = json.loads(target.read_text())
         assert data["program"] == "libsafe"
 
+    def test_fix_command_emits_gated_patches(self, capsys, tmp_path):
+        import glob
+        import json
+
+        out_dir = str(tmp_path / "patches")
+        metrics = str(tmp_path / "metrics.json")
+        assert main(["fix", "apache_log", "--out", out_dir,
+                     "--metrics", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 verified races repaired" in out
+        assert "oracle=ok, detector=ok, schedulers=ok" in out
+        artifacts = sorted(glob.glob(out_dir + "/patch_apache_log_*.json"))
+        assert len(artifacts) == 4
+        payload = json.loads(open(artifacts[0]).read())
+        assert payload["strategy"] == "mutex"
+        assert payload["ir_diff"]
+        data = json.loads(open(metrics).read())
+        assert data["schema"] == 9
+        assert data["repair"]["emitted"] == 4
+        assert data["telemetry"]["counters"]["repair.emitted"] == 4
+
     def test_detect_with_profile_prints_hot_functions(self, capsys):
         assert main(["detect", "memcached", "--profile",
                      "--profile-interval", "97"]) == 0
